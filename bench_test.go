@@ -1,0 +1,317 @@
+package cliffedge
+
+// One benchmark per experiment id of DESIGN.md §3 / EXPERIMENTS.md, plus
+// protocol micro-benchmarks. The experiment benchmarks run a reduced
+// variant per iteration and report domain metrics (msgs/op, decisions/op)
+// alongside time and allocations; the full sweeps behind the tables in
+// EXPERIMENTS.md are produced by cmd/cliffedge-bench.
+
+import (
+	"fmt"
+	"testing"
+
+	"cliffedge/internal/baseline"
+	"cliffedge/internal/core"
+	"cliffedge/internal/graph"
+	"cliffedge/internal/mck"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/region"
+	"cliffedge/internal/scenario"
+	"cliffedge/internal/sim"
+)
+
+func runSpec(b *testing.B, spec scenario.Spec) *sim.Result {
+	b.Helper()
+	res, err := spec.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkFig1aDisjointRegions(b *testing.B) {
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		res := runSpec(b, scenario.Fig1a(int64(i)))
+		msgs += res.Stats.Messages
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
+func BenchmarkFig1bCascade(b *testing.B) {
+	rejections := 0
+	for i := 0; i < b.N; i++ {
+		res := runSpec(b, scenario.Fig1b(int64(i)))
+		rejections += res.Stats.Rejections
+	}
+	b.ReportMetric(float64(rejections)/float64(b.N), "rejections/op")
+}
+
+func BenchmarkFig2AdjacentDomains(b *testing.B) {
+	decisions := 0
+	for i := 0; i < b.N; i++ {
+		res := runSpec(b, scenario.Fig2(int64(i)))
+		decisions += res.Stats.Decisions
+	}
+	b.ReportMetric(float64(decisions)/float64(b.N), "decisions/op")
+}
+
+func BenchmarkFig3OverlapStress(b *testing.B) {
+	g := graph.Grid(10, 10)
+	for i := 0; i < b.N; i++ {
+		runSpec(b, scenario.Randomized(g, int64(i), 3, 6, 10, 80))
+	}
+}
+
+// BenchmarkT1LocalityCliff measures the cliff-edge protocol on a fixed
+// 3×3 block while the system grows: msgs/op must stay flat across
+// sub-benchmarks.
+func BenchmarkT1LocalityCliff(b *testing.B) {
+	for _, side := range []int{10, 20, 40, 80} {
+		b.Run(fmt.Sprintf("N=%d", side*side), func(b *testing.B) {
+			g := graph.Grid(side, side)
+			crashes := scenario.CrashAll(graph.CenterBlock(side, side, 3), 10)
+			b.ResetTimer()
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				res := runSpec(b, scenario.Spec{
+					Name: "t1", Graph: g, Crashes: crashes, Seed: int64(i),
+				})
+				msgs += res.Stats.Messages
+			}
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkT1LocalityGlobal is the whole-system baseline on the same
+// workload: msgs/op grows ~quadratically with N.
+func BenchmarkT1LocalityGlobal(b *testing.B) {
+	for _, side := range []int{10, 15, 20} {
+		b.Run(fmt.Sprintf("N=%d", side*side), func(b *testing.B) {
+			g := graph.Grid(side, side)
+			var crashes []sim.CrashAt
+			for _, n := range graph.CenterBlock(side, side, 3) {
+				crashes = append(crashes, sim.CrashAt{Time: 10, Node: n})
+			}
+			b.ResetTimer()
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				r, err := sim.NewRunner(sim.Config{
+					Graph: g, Factory: baseline.GlobalFactory(g),
+					Seed: int64(i), Crashes: crashes,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := r.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += res.Stats.Messages
+			}
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+func BenchmarkT2RegionCost(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				spec := scenario.GridBlockSpec(16, 16, k, int64(i))
+				res := runSpec(b, spec)
+				msgs += res.Stats.Messages
+			}
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+func BenchmarkT3Latency(b *testing.B) {
+	for _, lat := range []int64{2, 50} {
+		b.Run(fmt.Sprintf("net=%d", lat), func(b *testing.B) {
+			g := graph.Grid(12, 12)
+			var decide int64
+			for i := 0; i < b.N; i++ {
+				res := runSpec(b, scenario.Spec{
+					Name: "t3", Graph: g,
+					Crashes:    scenario.CrashAll(graph.CenterBlock(12, 12, 3), 10),
+					Seed:       int64(i),
+					NetLatency: sim.Uniform{Min: 1, Max: lat},
+				})
+				decide += res.Stats.DecideTime
+			}
+			b.ReportMetric(float64(decide)/float64(b.N), "t_decide/op")
+		})
+	}
+}
+
+func BenchmarkT4ArbitrationAblation(b *testing.B) {
+	for _, arb := range []bool{true, false} {
+		b.Run(fmt.Sprintf("arbitration=%v", arb), func(b *testing.B) {
+			decisions := 0
+			for i := 0; i < b.N; i++ {
+				spec := scenario.Fig2(int64(i))
+				spec.DisableArbitration = !arb
+				res := runSpec(b, spec)
+				decisions += res.Stats.Decisions
+			}
+			b.ReportMetric(float64(decisions)/float64(b.N), "decisions/op")
+		})
+	}
+}
+
+func BenchmarkT5CascadeDepth(b *testing.B) {
+	for _, depth := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			resets := 0
+			for i := 0; i < b.N; i++ {
+				res := runSpec(b, scenario.CascadeSpec(9, 9, 2, depth, 30, int64(i)))
+				resets += res.Stats.Resets
+			}
+			b.ReportMetric(float64(resets)/float64(b.N), "resets/op")
+		})
+	}
+}
+
+func BenchmarkT6Predicate(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rows, err := scenario.ExperimentT6(12, []int{k}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = rows
+			b.ResetTimer()
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				rows, err := scenario.ExperimentT6(12, []int{k}, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += rows[0].Msgs
+			}
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+func BenchmarkT7RoundsAblation(b *testing.B) {
+	for _, literal := range []bool{false, true} {
+		b.Run(fmt.Sprintf("literal=%v", literal), func(b *testing.B) {
+			g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
+			for i := 0; i < b.N; i++ {
+				lit := literal
+				runSpec(b, scenario.Spec{
+					Name:  "t7",
+					Graph: g,
+					Crashes: []sim.CrashAt{{Time: 5, Node: "b"},
+						{Time: 18 + int64(i%14), Node: "c"}},
+					Seed: int64(i),
+					Factory: func(id graph.NodeID) proto.Automaton {
+						return core.New(core.Config{ID: id, Graph: g, LiteralPaperRounds: lit})
+					},
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkMCExhaustive(b *testing.B) {
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
+	states := 0
+	for i := 0; i < b.N; i++ {
+		out, err := mck.Explore(mck.Config{Graph: g, Crashes: []graph.NodeID{"b", "c"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Ok() {
+			b.Fatal("violations")
+		}
+		states += out.StatesExplored
+	}
+	b.ReportMetric(float64(states)/float64(b.N), "states/op")
+}
+
+// --- micro-benchmarks -------------------------------------------------
+
+// BenchmarkCoreOnMessage measures one protocol message through the
+// automaton's merge + guard pipeline.
+func BenchmarkCoreOnMessage(b *testing.B) {
+	g := graph.Grid(8, 8)
+	victim := graph.GridID(3, 3)
+	view := region.New(g, []graph.NodeID{victim})
+	border := view.Border()
+	msg := core.Message{Round: 1, View: view, Border: border,
+		Opinions: core.Vector{border[1]: {Kind: core.Accept, Value: "v"}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := core.New(core.Config{ID: border[0], Graph: g})
+		n.Start()
+		n.OnMessage(border[1], msg)
+	}
+}
+
+// BenchmarkCoreFullInstance measures a complete single-crash agreement
+// (4 participants, 4 uniform rounds) through the simulator.
+func BenchmarkCoreFullInstance(b *testing.B) {
+	g := graph.Grid(8, 8)
+	crashes := []sim.CrashAt{{Time: 10, Node: graph.GridID(3, 3)}}
+	for i := 0; i < b.N; i++ {
+		r, err := sim.NewRunner(sim.Config{Graph: g,
+			Factory: scenario.CoreFactory(g), Seed: int64(i), Crashes: crashes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegionRanking(b *testing.B) {
+	g := graph.Grid(16, 16)
+	r1 := region.New(g, graph.CenterBlock(16, 16, 3))
+	r2 := region.New(g, graph.GridBlock(1, 1, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		region.Less(r1, r2)
+	}
+}
+
+func BenchmarkRegionConstruction(b *testing.B) {
+	g := graph.Grid(32, 32)
+	block := graph.CenterBlock(32, 32, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		region.New(g, block)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := graph.Grid(32, 32)
+	crashed := graph.ToSet(graph.CenterBlock(32, 32, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents(crashed)
+	}
+}
+
+func BenchmarkNodeClone(b *testing.B) {
+	g := graph.Grid(8, 8)
+	n := core.New(core.Config{ID: graph.GridID(2, 3), Graph: g})
+	n.Start()
+	n.OnCrash(graph.GridID(3, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Clone()
+	}
+}
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		graph.Grid(32, 32)
+	}
+}

@@ -1,0 +1,333 @@
+// Package cliffedge is a library for cliff-edge consensus — the convergent
+// detection of crashed regions in networks of arbitrary size, after
+// Taïani, Porter, Coulson & Raynal, "Cliff-Edge Consensus: Agreeing on the
+// Precipice" (PaCT 2013).
+//
+// When a whole region of a large distributed system fails at once (a rack,
+// a data centre, a partitioned overlay neighbourhood), the surviving nodes
+// around the hole — the nodes on the "cliff edge" — must agree on the
+// exact extent of the crashed region and on a common recovery action,
+// involving only themselves: the protocol's cost depends on the size of
+// the failure, never on the size of the system.
+//
+// # Quick start
+//
+//	topo := cliffedge.Grid(8, 8)
+//	victims := cliffedge.CenterBlock(8, 8, 2)
+//	res, err := cliffedge.RunChecked(
+//		cliffedge.Config{Topology: topo, Seed: 1},
+//		cliffedge.CrashAll(victims, 10),
+//	)
+//	// res.Decisions: every border node of the 2×2 block decided the same
+//	// (region, repair-plan) pair.
+//
+// Run executes a deterministic discrete-event simulation (same seed, same
+// run, bit for bit). RunLive executes the same protocol with one goroutine
+// per node on the Go scheduler. RunChecked additionally verifies the seven
+// properties CD1–CD7 from the paper over the finished trace and fails if
+// any is violated.
+package cliffedge
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cliffedge/internal/check"
+	"cliffedge/internal/core"
+	"cliffedge/internal/graph"
+	"cliffedge/internal/livenet"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/region"
+	"cliffedge/internal/sim"
+	"cliffedge/internal/trace"
+)
+
+// NodeID identifies a process; IDs order lexicographically.
+type NodeID = graph.NodeID
+
+// Topology is the immutable knowledge graph G = (Π, E): an edge means the
+// two nodes know each other and monitor each other's liveness.
+type Topology = graph.Graph
+
+// TopologyBuilder accumulates nodes and undirected edges.
+type TopologyBuilder = graph.Builder
+
+// Region is a canonical set of nodes with its border; decided views are
+// regions.
+type Region = region.Region
+
+// Value is a decision value (e.g. a repair-plan identifier).
+type Value = proto.Value
+
+// Event is one trace entry of a run.
+type Event = trace.Event
+
+// Event kinds, for Trigger predicates and trace inspection.
+const (
+	EventCrash   = trace.KindCrash
+	EventDetect  = trace.KindDetect
+	EventSend    = trace.KindSend
+	EventDeliver = trace.KindDeliver
+	EventDrop    = trace.KindDrop
+	EventPropose = trace.KindPropose
+	EventReject  = trace.KindReject
+	EventReset   = trace.KindReset
+	EventDecide  = trace.KindDecide
+)
+
+// Stats aggregates a run's trace.
+type Stats = trace.Stats
+
+// NewTopology returns an empty topology builder.
+func NewTopology() *TopologyBuilder { return graph.NewBuilder() }
+
+// Topology generators, re-exported from the graph substrate. All are
+// deterministic given their parameters (and seed where randomised).
+var (
+	// Grid builds a rows×cols 4-neighbour mesh.
+	Grid = graph.Grid
+	// Torus builds a wraparound mesh.
+	Torus = graph.Torus
+	// Ring builds an n-cycle.
+	Ring = graph.Ring
+	// Line builds an n-node path.
+	Line = graph.Line
+	// Star builds a hub-and-leaves topology.
+	Star = graph.Star
+	// Tree builds a complete k-ary tree.
+	Tree = graph.Tree
+	// Complete builds K_n.
+	Complete = graph.Complete
+	// Chord builds a ring with power-of-two fingers (DHT-like).
+	Chord = graph.Chord
+	// ErdosRenyi builds G(n, p) plus a connectivity cycle.
+	ErdosRenyi = graph.ErdosRenyi
+	// SmallWorld builds a Watts–Strogatz small world.
+	SmallWorld = graph.SmallWorld
+	// RandomGeometric builds a unit-square proximity graph.
+	RandomGeometric = graph.RandomGeometric
+	// Clustered builds dense blobs joined by bridges.
+	Clustered = graph.Clustered
+	// BarabasiAlbert builds a scale-free preferential-attachment graph.
+	BarabasiAlbert = graph.BarabasiAlbert
+	// Hypercube builds the d-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// GridID names the node at (row, col) of a generated grid.
+	GridID = graph.GridID
+	// RingID names the i-th node of ring-like generators.
+	RingID = graph.RingID
+	// CenterBlock lists the k×k block centred in a rows×cols grid.
+	CenterBlock = graph.CenterBlock
+	// GridBlock lists the k×k block anchored at (r0, c0).
+	GridBlock = graph.GridBlock
+	// Fig1 builds the paper's Fig. 1 world graph (returns graph, F1, F2).
+	Fig1 = graph.Fig1
+	// Fig2 builds the paper's Fig. 2 faulty-domain cluster.
+	Fig2 = graph.Fig2
+)
+
+// NewRegion builds a Region over t from the given nodes.
+func NewRegion(t *Topology, nodes []NodeID) Region { return region.New(t, nodes) }
+
+// LatencyRange is a uniform latency band in virtual time ticks.
+type LatencyRange struct{ Min, Max int64 }
+
+// Config parameterises a cluster run.
+type Config struct {
+	// Topology is required.
+	Topology *Topology
+	// Seed drives all randomised latencies; same seed, same run.
+	Seed int64
+	// NetLatency is the message-delay band; default [1, 10].
+	NetLatency LatencyRange
+	// DetectLatency is the failure-detection delay band; default [1, 10].
+	DetectLatency LatencyRange
+	// Propose maps a view the node is about to propose to its suggested
+	// decision value (the paper's selectValueForView); default derives a
+	// deterministic repair-plan label from the view.
+	Propose func(Region) Value
+	// Pick deterministically selects the decision from the accepted
+	// values (the paper's deterministicPick); default: lexicographic
+	// minimum. Must be a pure function of the value multiset.
+	Pick func([]Value) Value
+	// Triggers optionally schedule event-conditioned crashes (simulator
+	// runs only).
+	Triggers []Trigger
+}
+
+// Crash schedules Node to fail at virtual time Time.
+type Crash struct {
+	Time int64
+	Node NodeID
+}
+
+// Trigger schedules a crash of Node `Delay` ticks after the first trace
+// event matching When — e.g. "crash paris right after madrid's first
+// proposal", the paper's Fig. 1(b) scenario. Triggers fire at most once.
+type Trigger struct {
+	Node  NodeID
+	When  func(Event) bool
+	Delay int64
+}
+
+// CrashAll schedules all nodes to fail at time t (a correlated region
+// failure).
+func CrashAll(nodes []NodeID, t int64) []Crash {
+	out := make([]Crash, len(nodes))
+	for i, n := range nodes {
+		out[i] = Crash{Time: t, Node: n}
+	}
+	return out
+}
+
+// Decision is one node's protocol outcome: the agreed crashed region and
+// the common decision value.
+type Decision struct {
+	Node  NodeID
+	View  Region
+	Value Value
+}
+
+// Result is a finished run.
+type Result struct {
+	// Decisions lists every correct node's decision, sorted by node.
+	Decisions []Decision
+	// Stats aggregates message, byte, round and timing counters.
+	Stats Stats
+	// Crashed is the set of nodes that failed during the run.
+	Crashed map[NodeID]bool
+
+	events []Event
+}
+
+// Events returns the full trace of the run in order.
+func (r *Result) Events() []Event { return r.events }
+
+// Narrative writes the trace in a human-readable line-per-event form.
+func (r *Result) Narrative(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecisionByNode returns the decision taken by n, or nil.
+func (r *Result) DecisionByNode(n NodeID) *Decision {
+	for i := range r.Decisions {
+		if r.Decisions[i].Node == n {
+			return &r.Decisions[i]
+		}
+	}
+	return nil
+}
+
+func (c Config) factory() proto.Factory {
+	t := c.Topology
+	propose := c.Propose
+	pick := c.Pick
+	return func(id NodeID) proto.Automaton {
+		return core.New(core.Config{ID: id, Graph: t, Propose: propose, Pick: pick})
+	}
+}
+
+func (c Config) netModel() sim.LatencyModel {
+	if c.NetLatency == (LatencyRange{}) {
+		return sim.Uniform{Min: 1, Max: 10}
+	}
+	return sim.Uniform{Min: c.NetLatency.Min, Max: c.NetLatency.Max}
+}
+
+func (c Config) fdModel() sim.LatencyModel {
+	if c.DetectLatency == (LatencyRange{}) {
+		return sim.Uniform{Min: 1, Max: 10}
+	}
+	return sim.Uniform{Min: c.DetectLatency.Min, Max: c.DetectLatency.Max}
+}
+
+// Run executes the scenario on the deterministic simulator until
+// quiescence.
+func Run(cfg Config, crashes []Crash) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("cliffedge: Config.Topology is required")
+	}
+	simCrashes := make([]sim.CrashAt, len(crashes))
+	for i, c := range crashes {
+		simCrashes[i] = sim.CrashAt{Time: c.Time, Node: c.Node}
+	}
+	simTriggers := make([]sim.Trigger, len(cfg.Triggers))
+	for i, t := range cfg.Triggers {
+		simTriggers[i] = sim.Trigger{Node: t.Node, When: t.When, Delay: t.Delay}
+	}
+	runner, err := sim.NewRunner(sim.Config{
+		Graph:      cfg.Topology,
+		Factory:    cfg.factory(),
+		Seed:       cfg.Seed,
+		NetLatency: cfg.netModel(),
+		FDLatency:  cfg.fdModel(),
+		Crashes:    simCrashes,
+		Triggers:   simTriggers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
+	for _, d := range res.SortedDecisions() {
+		out.Decisions = append(out.Decisions,
+			Decision{Node: d.Node, View: d.Decision.View, Value: d.Decision.Value})
+	}
+	return out, nil
+}
+
+// RunChecked is Run plus verification: the seven properties CD1–CD7 of
+// convergent detection of crashed regions are checked over the finished
+// trace, and any violation is returned as an error.
+func RunChecked(cfg Config, crashes []Crash) (*Result, error) {
+	res, err := Run(cfg, crashes)
+	if err != nil {
+		return nil, err
+	}
+	rep := check.Run(cfg.Topology, res.events)
+	if !rep.Ok() {
+		return res, fmt.Errorf("cliffedge: property violations:\n%s", rep)
+	}
+	return res, nil
+}
+
+// RunLive executes the protocol with one goroutine per node. Crash waves
+// are injected in order, each after the cluster went quiescent; timeout
+// bounds each quiescence wait. Outcomes are scheduler-dependent but always
+// satisfy CD1–CD7 (use the race detector in tests).
+func RunLive(cfg Config, waves [][]NodeID, timeout time.Duration) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("cliffedge: Config.Topology is required")
+	}
+	res, err := livenet.Run(cfg.Topology, cfg.factory(), waves, timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
+	ids := make([]NodeID, 0, len(res.Decisions))
+	for id := range res.Decisions {
+		ids = append(ids, id)
+	}
+	graph.SortIDs(ids)
+	for _, id := range ids {
+		d := res.Decisions[id]
+		out.Decisions = append(out.Decisions,
+			Decision{Node: id, View: d.View, Value: d.Value})
+	}
+	return out, nil
+}
+
+// DOT renders the topology in Graphviz format, shading the given crashed
+// nodes.
+func DOT(t *Topology, crashed []NodeID, name string) string {
+	return t.DOT(name, graph.ToSet(crashed))
+}

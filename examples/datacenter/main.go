@@ -1,0 +1,79 @@
+// Datacenter: correlated rack failure in a clustered topology.
+//
+// A datacenter is modelled as dense racks (clusters of servers) joined by
+// aggregation links. A power event takes out most of one rack at once.
+// The surviving neighbours agree on exactly which servers died and elect a
+// common repair plan — here, which rack's spare capacity absorbs the
+// failed shards — while the rest of the datacenter never hears about it.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cliffedge"
+)
+
+func main() {
+	const (
+		racks          = 8
+		serversPerRack = 12
+	)
+	topo := cliffedge.Clustered(racks, serversPerRack, 3, 0.35, 7)
+
+	// Rack 3 loses servers 0..9 (two survive on a separate feed).
+	var victims []cliffedge.NodeID
+	for i := 0; i < 10; i++ {
+		victims = append(victims, cliffedge.NodeID(fmt.Sprintf("c%03d-%04d", 3, i)))
+	}
+
+	res, err := cliffedge.RunChecked(cliffedge.Config{
+		Topology: topo,
+		Seed:     2026,
+		// The repair plan must be derived from the view (shared data), not
+		// from per-node identity, so deterministicPick converges: shards
+		// of the dead region rehome to the lexicographically first border
+		// rack.
+		Propose: func(view cliffedge.Region) cliffedge.Value {
+			return cliffedge.Value("rehome:" + rackOf(string(view.Border()[0])))
+		},
+	}, cliffedge.CrashAll(victims, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("datacenter: %d racks × %d servers = %d nodes\n",
+		racks, serversPerRack, topo.Len())
+	fmt.Printf("power event: %d servers of rack 3 down\n\n", len(victims))
+
+	if len(res.Decisions) == 0 {
+		log.Fatal("no decisions reached")
+	}
+	d := res.Decisions[0]
+	fmt.Printf("agreed crashed region (%d servers): %s\n", d.View.Len(), d.View)
+	fmt.Printf("agreed repair plan: %q\n", d.Value)
+	fmt.Printf("deciders (%d):", len(res.Decisions))
+	for _, dd := range res.Decisions {
+		fmt.Printf(" %s", dd.Node)
+	}
+	fmt.Println()
+
+	byRack := map[string]int{}
+	for _, dd := range res.Decisions {
+		byRack[rackOf(string(dd.Node))]++
+	}
+	fmt.Printf("deciders per rack: %v\n", byRack)
+	fmt.Printf("\nlocality: %d of %d correct servers participated; %d messages total\n",
+		res.Stats.Participants, topo.Len()-len(victims), res.Stats.Messages)
+}
+
+// rackOf extracts the rack label from a server id like "c003-0007".
+func rackOf(id string) string {
+	if i := strings.IndexByte(id, '-'); i > 0 {
+		return id[:i]
+	}
+	return id
+}

@@ -1,0 +1,54 @@
+// Overload: the §5 extension — agreeing on a *stable-predicate* region.
+//
+// "Being crashed" is one stable property; the paper's conclusion proposes
+// generalising to any stable predicate. Here a contiguous patch of a mesh
+// becomes saturated (think: a viral key-range, a draining maintenance
+// zone). Overloaded nodes are alive — they gossip the overloaded set
+// themselves, so no failure detector is involved — but they withdraw from
+// coordination, and the nodes around the patch agree on its exact extent
+// and elect a common load-shedding plan.
+//
+//	go run ./examples/overload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cliffedge"
+)
+
+func main() {
+	topo := cliffedge.Grid(9, 9)
+	hotspot := cliffedge.GridBlock(3, 3, 3) // a 3×3 saturated patch
+
+	res, err := cliffedge.RunPredicate(cliffedge.Config{
+		Topology: topo,
+		Seed:     99,
+		Propose: func(view cliffedge.Region) cliffedge.Value {
+			// The plan is derived from the agreed view: shed load away
+			// from the region through its first border gateway.
+			return cliffedge.Value(fmt.Sprintf("shed-via-%s", view.Border()[0]))
+		},
+	}, cliffedge.MarkAll(hotspot, 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mesh: %d nodes; overloaded patch: %d nodes\n\n", topo.Len(), len(hotspot))
+	if len(res.Decisions) == 0 {
+		log.Fatal("no agreement reached")
+	}
+	d := res.Decisions[0]
+	fmt.Printf("agreed overloaded region: %s\n", d.View)
+	fmt.Printf("agreed load-shedding plan: %q\n", d.Value)
+	fmt.Printf("deciders (%d of %d border nodes):", len(res.Decisions), d.View.BorderLen())
+	for _, dd := range res.Decisions {
+		fmt.Printf(" %s", dd.Node)
+	}
+	fmt.Println()
+
+	fmt.Printf("\nno failure detector involved: detection is cooperative gossip\n")
+	fmt.Printf("cost: %d messages, %d participants (locality as in the crash case)\n",
+		res.Stats.Messages, res.Stats.Participants)
+}

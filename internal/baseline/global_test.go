@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"testing"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/region"
+	"cliffedge/internal/sim"
+	"cliffedge/internal/trace"
+)
+
+func runGlobal(t *testing.T, g *graph.Graph, crashes []sim.CrashAt, seed int64) *sim.Result {
+	t.Helper()
+	r, err := sim.NewRunner(sim.Config{
+		Graph:   g,
+		Factory: GlobalFactory(g),
+		Seed:    seed,
+		Crashes: crashes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGlobalAgreesOnRegion(t *testing.T) {
+	g := graph.Grid(5, 5)
+	block := graph.CenterBlock(5, 5, 2)
+	var crashes []sim.CrashAt
+	for _, n := range block {
+		crashes = append(crashes, sim.CrashAt{Time: 10, Node: n})
+	}
+	res := runGlobal(t, g, crashes, 3)
+
+	want := region.New(g, block)
+	survivors := g.Len() - len(block)
+	if len(res.Decisions) != survivors {
+		t.Fatalf("got %d deciders, want all %d survivors", len(res.Decisions), survivors)
+	}
+	var val proto.Value
+	for _, d := range res.SortedDecisions() {
+		if !d.Decision.View.Equal(want) {
+			t.Errorf("%s decided %s, want %s", d.Node, d.Decision.View, want)
+		}
+		if val == "" {
+			val = d.Decision.Value
+		} else if val != d.Decision.Value {
+			t.Errorf("value disagreement: %q vs %q", d.Decision.Value, val)
+		}
+	}
+}
+
+func TestGlobalAgreementAcrossSeeds(t *testing.T) {
+	g := graph.Grid(4, 4)
+	victim := graph.GridID(1, 1)
+	for seed := int64(0); seed < 10; seed++ {
+		res := runGlobal(t, g, []sim.CrashAt{{Time: 5, Node: victim}}, seed)
+		views := map[string]bool{}
+		values := map[proto.Value]bool{}
+		for _, d := range res.Decisions {
+			views[d.View.Key()] = true
+			values[d.Value] = true
+		}
+		if len(views) != 1 || len(values) != 1 {
+			t.Fatalf("seed %d: agreement broken: views=%v values=%v", seed, views, values)
+		}
+		if !views[string(victim)] {
+			t.Fatalf("seed %d: decided views %v, want {%s}", seed, views, victim)
+		}
+	}
+}
+
+// TestGlobalIsNonLocal pins the property the paper criticises: every
+// correct node participates, even ones far from the crash, and message
+// cost covers the whole system.
+func TestGlobalIsNonLocal(t *testing.T) {
+	g := graph.Grid(6, 6)
+	victim := graph.GridID(0, 0) // corner crash
+	res := runGlobal(t, g, []sim.CrashAt{{Time: 5, Node: victim}}, 1)
+
+	stats := res.Stats
+	if stats.Participants != g.Len()-1 {
+		t.Errorf("participants = %d, want all %d survivors", stats.Participants, g.Len()-1)
+	}
+	// At least one full round of N×(N−1) messages must have flowed.
+	n := g.Len() - 1
+	if stats.Messages < n*(n-1)/2 {
+		t.Errorf("suspiciously few messages for a flooding protocol: %d", stats.Messages)
+	}
+	// The far corner — nowhere near the crash — must have been involved.
+	far := graph.GridID(5, 5)
+	involved := false
+	for _, e := range res.Events {
+		if e.Kind == trace.KindSend && e.Node == far {
+			involved = true
+			break
+		}
+	}
+	if !involved {
+		t.Error("far corner sent nothing; global consensus should involve everyone")
+	}
+}
+
+func TestGlobalStaggeredCrashesStillAgree(t *testing.T) {
+	g := graph.Grid(5, 5)
+	block := graph.CenterBlock(5, 5, 2)
+	var crashes []sim.CrashAt
+	for i, n := range block {
+		crashes = append(crashes, sim.CrashAt{Time: int64(10 + 15*i), Node: n})
+	}
+	res := runGlobal(t, g, crashes, 9)
+	views := map[string]bool{}
+	for _, d := range res.Decisions {
+		views[d.View.Key()] = true
+	}
+	if len(views) != 1 {
+		t.Fatalf("agreement broken: %v", views)
+	}
+}
+
+func TestGlobalMsgWireSizeGrowsWithProposals(t *testing.T) {
+	small := GlobalMsg{Round: 1, Proposals: map[graph.NodeID]Proposal{
+		"a": {ViewKey: "x", Value: "v"}}}
+	big := GlobalMsg{Round: 1, Proposals: map[graph.NodeID]Proposal{
+		"a": {ViewKey: "x", Value: "v"}, "b": {ViewKey: "y", Value: "w"}}}
+	if big.WireSize() <= small.WireSize() {
+		t.Error("wire size should grow with the proposal map")
+	}
+	if small.Kind() != "global" {
+		t.Error("Kind")
+	}
+}

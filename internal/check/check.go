@@ -1,0 +1,343 @@
+// Package check verifies the seven properties CD1–CD7 of convergent
+// detection of crashed regions (paper §2.3) over the trace of a finished
+// (quiescent) run, together with implementation sanity conditions (lemma 2
+// monotonicity, message conservation, no post-crash sends).
+//
+// The checkers are intentionally independent of the protocol
+// implementation: they consume only the event trace, the topology, and the
+// ground-truth crash set, so they hold the core, the ablations and the
+// extension to the same specification.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/region"
+	"cliffedge/internal/trace"
+)
+
+// Violation is one property breach.
+type Violation struct {
+	Property string // "CD1".."CD7", "LEMMA2", "SANITY"
+	Detail   string
+}
+
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+// Report is the outcome of checking one run.
+type Report struct {
+	Violations []Violation
+	// Decisions is the number of decide events observed.
+	Decisions int
+	// FaultyDomains is the number of maximal crashed regions at quiescence.
+	FaultyDomains int
+	// Clusters is the number of faulty clusters (transitive adjacency
+	// classes of faulty domains).
+	Clusters int
+	// DecidedClusters counts clusters with at least one correct decider.
+	DecidedClusters int
+}
+
+// Ok reports whether no property was violated.
+func (r Report) Ok() bool { return len(r.Violations) == 0 }
+
+// String summarises the report; violations are listed one per line.
+func (r Report) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("ok: %d decisions, %d domains, %d/%d clusters decided",
+			r.Decisions, r.FaultyDomains, r.DecidedClusters, r.Clusters)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d violations:\n", len(r.Violations))
+	for _, v := range r.Violations {
+		sb.WriteString("  " + v.String() + "\n")
+	}
+	return sb.String()
+}
+
+func (r *Report) violatef(prop, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{prop, fmt.Sprintf(format, args...)})
+}
+
+type decision struct {
+	node  graph.NodeID
+	view  region.Region
+	value string
+	time  int64
+}
+
+// Run checks a quiescent run. events is the full trace; the ground-truth
+// crash set is reconstructed from the trace's crash events. Progress (CD4,
+// CD7) is judged at quiescence — the trace must come from a run that was
+// executed until no event remained.
+func Run(g *graph.Graph, events []trace.Event) Report {
+	var rep Report
+
+	crashed := make(map[graph.NodeID]bool)
+	crashTime := make(map[graph.NodeID]int64)
+	for _, e := range events {
+		if e.Kind == trace.KindCrash {
+			crashed[e.Node] = true
+			crashTime[e.Node] = e.Time
+		}
+	}
+
+	// Collect decisions; CD1 (integrity): at most one decide per node.
+	decisionsByNode := make(map[graph.NodeID][]decision)
+	var decisions []decision
+	for _, e := range events {
+		if e.Kind != trace.KindDecide {
+			continue
+		}
+		d := decision{node: e.Node, view: region.FromKey(g, e.View), value: e.Value, time: e.Time}
+		if prev := decisionsByNode[e.Node]; len(prev) > 0 {
+			rep.violatef("CD1", "node %s decided twice: %s then %s", e.Node, prev[0].view, d.view)
+		}
+		decisionsByNode[e.Node] = append(decisionsByNode[e.Node], d)
+		decisions = append(decisions, d)
+	}
+	rep.Decisions = len(decisions)
+
+	// CD2 (view accuracy): decided views are crashed regions (connected,
+	// fully crashed before the decision) bordered by the decider.
+	for _, d := range decisions {
+		if d.view.IsEmpty() {
+			rep.violatef("CD2", "node %s decided the empty view", d.node)
+			continue
+		}
+		if !g.IsConnectedSubset(graph.ToSet(d.view.Nodes())) {
+			rep.violatef("CD2", "node %s decided a disconnected view %s", d.node, d.view)
+		}
+		for _, m := range d.view.Nodes() {
+			if !crashed[m] {
+				rep.violatef("CD2", "node %s decided view %s containing correct node %s",
+					d.node, d.view, m)
+			} else if crashTime[m] > d.time {
+				rep.violatef("CD2", "node %s decided view %s at t=%d before member %s crashed at t=%d",
+					d.node, d.view, d.time, m, crashTime[m])
+			}
+		}
+		if !d.view.OnBorder(d.node) {
+			rep.violatef("CD2", "node %s decided view %s it does not border", d.node, d.view)
+		}
+	}
+
+	// Faulty domains at quiescence: maximal crashed regions (their borders
+	// are correct by maximality once all scheduled crashes have happened).
+	domains := region.FromComponents(g, g.ConnectedComponents(crashed))
+	rep.FaultyDomains = len(domains)
+
+	// CD3 (locality): each message ran between two nodes of S ∪ border(S)
+	// for a single faulty domain S.
+	inDomain := make(map[graph.NodeID][]int) // node → indices of domains it is in or borders
+	for i, dom := range domains {
+		for _, n := range dom.Nodes() {
+			inDomain[n] = append(inDomain[n], i)
+		}
+		for _, n := range dom.Border() {
+			inDomain[n] = append(inDomain[n], i)
+		}
+	}
+	shareDomain := func(p, q graph.NodeID) bool {
+		for _, i := range inDomain[p] {
+			for _, j := range inDomain[q] {
+				if i == j {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	cd3Reported := 0
+	for _, e := range events {
+		if e.Kind != trace.KindSend {
+			continue
+		}
+		if !shareDomain(e.Node, e.Peer) {
+			if cd3Reported < 10 { // cap noise; one violation proves the breach
+				rep.violatef("CD3", "message %s→%s outside any faulty domain ∪ border", e.Node, e.Peer)
+			}
+			cd3Reported++
+		}
+	}
+	if cd3Reported > 10 {
+		rep.violatef("CD3", "… and %d more locality breaches", cd3Reported-10)
+	}
+
+	// CD4 (border termination): if p decided (V, ·), every correct node in
+	// border(V) decided by quiescence.
+	for _, d := range decisions {
+		for _, q := range d.view.Border() {
+			if crashed[q] {
+				continue
+			}
+			if len(decisionsByNode[q]) == 0 {
+				rep.violatef("CD4", "%s decided %s but correct border node %s never decided",
+					d.node, d.view, q)
+			}
+		}
+	}
+
+	// CD5 (uniform border agreement): deciders on the border of a decided
+	// view decided identically. Uniform: crashed deciders count too.
+	for _, d := range decisions {
+		for _, q := range d.view.Border() {
+			for _, dq := range decisionsByNode[q] {
+				if !dq.view.Equal(d.view) || dq.value != d.value {
+					rep.violatef("CD5", "%s decided (%s,%q) but border node %s decided (%s,%q)",
+						d.node, d.view, d.value, q, dq.view, dq.value)
+				}
+			}
+		}
+	}
+
+	// CD6 (view convergence): overlapping views decided by correct nodes
+	// are equal.
+	for i := 0; i < len(decisions); i++ {
+		if crashed[decisions[i].node] {
+			continue
+		}
+		for j := i + 1; j < len(decisions); j++ {
+			if crashed[decisions[j].node] {
+				continue
+			}
+			vi, vj := decisions[i].view, decisions[j].view
+			if vi.Intersects(vj) && !vi.Equal(vj) {
+				rep.violatef("CD6", "correct nodes %s and %s decided overlapping distinct views %s and %s",
+					decisions[i].node, decisions[j].node, vi, vj)
+			}
+		}
+	}
+
+	// CD7 (progress): every faulty cluster has ≥1 correct decider on the
+	// border of one of its domains. Clusters are the transitive closure of
+	// border adjacency.
+	parent := make([]int, len(domains))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < len(domains); i++ {
+		for j := i + 1; j < len(domains); j++ {
+			if bordersIntersect(domains[i], domains[j]) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	clusterDecided := make(map[int]bool)
+	clusterHasBorder := make(map[int]bool)
+	for i, dom := range domains {
+		root := find(i)
+		if dom.BorderLen() > 0 {
+			clusterHasBorder[root] = true
+		}
+		for _, p := range dom.Border() {
+			if crashed[p] {
+				continue
+			}
+			if len(decisionsByNode[p]) > 0 {
+				clusterDecided[root] = true
+			}
+		}
+	}
+	rep.Clusters = len(clusterHasBorder)
+	for root := range clusterHasBorder {
+		if clusterDecided[root] {
+			rep.DecidedClusters++
+		} else {
+			rep.violatef("CD7", "faulty cluster %s has no correct decider on any border",
+				domains[root])
+		}
+	}
+
+	checkSanity(g, events, crashed, &rep)
+	return rep
+}
+
+func bordersIntersect(a, b region.Region) bool {
+	bb := graph.ToSet(b.Border())
+	for _, n := range a.Border() {
+		if bb[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSanity verifies run-mechanics invariants that are not CD properties
+// but would invalidate the experiment if broken: lemma 2 (strictly
+// monotonic proposals; never re-proposing a rejected view), conservation
+// of messages (every send delivered or dropped by quiescence), and no
+// activity by crashed nodes.
+func checkSanity(g *graph.Graph, events []trace.Event, crashed map[graph.NodeID]bool, rep *Report) {
+	lastProposed := make(map[graph.NodeID]region.Region)
+	rejectedBy := make(map[graph.NodeID]map[string]bool)
+	crashedSoFar := make(map[graph.NodeID]bool)
+	sends, delivered := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindCrash:
+			crashedSoFar[e.Node] = true
+		case trace.KindPropose:
+			v := region.FromKey(g, e.View)
+			if prev, ok := lastProposed[e.Node]; ok && !region.Less(prev, v) {
+				rep.violatef("LEMMA2", "node %s proposed %s after %s (not strictly increasing)",
+					e.Node, v, prev)
+			}
+			lastProposed[e.Node] = v
+			if rejectedBy[e.Node][e.View] {
+				rep.violatef("LEMMA2", "node %s proposed previously rejected view {%s}", e.Node, e.View)
+			}
+		case trace.KindReject:
+			set := rejectedBy[e.Node]
+			if set == nil {
+				set = make(map[string]bool)
+				rejectedBy[e.Node] = set
+			}
+			if set[e.View] {
+				rep.violatef("LEMMA2", "node %s rejected view {%s} twice", e.Node, e.View)
+			}
+			set[e.View] = true
+		case trace.KindSend:
+			sends++
+			if crashedSoFar[e.Node] {
+				rep.violatef("SANITY", "crashed node %s sent a message at t=%d", e.Node, e.Time)
+			}
+		case trace.KindDeliver, trace.KindDrop:
+			delivered++
+		case trace.KindDecide:
+			if crashedSoFar[e.Node] {
+				rep.violatef("SANITY", "crashed node %s decided at t=%d", e.Node, e.Time)
+			}
+		}
+	}
+	if sends != delivered {
+		rep.violatef("SANITY", "message conservation broken: %d sends vs %d deliveries+drops",
+			sends, delivered)
+	}
+}
+
+// AutomataViolations extracts internal invariant breaches recorded by
+// automata that expose a Violations() []string method (e.g. the core
+// protocol node). It is generic over the map's value type so callers can
+// pass their concrete automaton maps directly.
+func AutomataViolations[T any](automata map[graph.NodeID]T) []Violation {
+	var out []Violation
+	for id, a := range automata {
+		if v, ok := any(a).(interface{ Violations() []string }); ok {
+			for _, s := range v.Violations() {
+				out = append(out, Violation{"INTERNAL", fmt.Sprintf("%s: %s", id, s)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/region"
+	"cliffedge/internal/trace"
+)
+
+// The checker is itself a critical artifact: these tests feed it
+// hand-built traces that violate each property and assert the violation
+// is caught (a checker that never fires proves nothing), plus clean traces
+// that must pass.
+
+// pathGraph returns a - b - c - d.
+func pathGraph() *graph.Graph {
+	return graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
+}
+
+// cleanTrace is a minimal correct run on pathGraph: b crashes, a and c
+// agree on {b}.
+func cleanTrace() []trace.Event {
+	return []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+		{Time: 2, Kind: trace.KindDetect, Node: "a", Peer: "b"},
+		{Time: 2, Kind: trace.KindDetect, Node: "c", Peer: "b"},
+		{Time: 3, Kind: trace.KindPropose, Node: "a", View: "b"},
+		{Time: 3, Kind: trace.KindPropose, Node: "c", View: "b"},
+		{Time: 3, Kind: trace.KindSend, Node: "a", Peer: "c", View: "b", Round: 1, Bytes: 10},
+		{Time: 3, Kind: trace.KindSend, Node: "c", Peer: "a", View: "b", Round: 1, Bytes: 10},
+		{Time: 4, Kind: trace.KindDeliver, Node: "c", Peer: "a", View: "b", Round: 1, Bytes: 10},
+		{Time: 4, Kind: trace.KindDeliver, Node: "a", Peer: "c", View: "b", Round: 1, Bytes: 10},
+		{Time: 5, Kind: trace.KindSend, Node: "a", Peer: "c", View: "b", Round: 2, Bytes: 10},
+		{Time: 5, Kind: trace.KindSend, Node: "c", Peer: "a", View: "b", Round: 2, Bytes: 10},
+		{Time: 6, Kind: trace.KindDeliver, Node: "c", Peer: "a", View: "b", Round: 2, Bytes: 10},
+		{Time: 6, Kind: trace.KindDeliver, Node: "a", Peer: "c", View: "b", Round: 2, Bytes: 10},
+		{Time: 7, Kind: trace.KindDecide, Node: "a", View: "b", Value: "v"},
+		{Time: 7, Kind: trace.KindDecide, Node: "c", View: "b", Value: "v"},
+	}
+}
+
+func hasViolation(rep Report, prop string) bool {
+	for _, v := range rep.Violations {
+		if v.Property == prop {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanTracePasses(t *testing.T) {
+	rep := Run(pathGraph(), cleanTrace())
+	if !rep.Ok() {
+		t.Fatalf("clean trace rejected: %s", rep)
+	}
+	if rep.Decisions != 2 || rep.FaultyDomains != 1 || rep.Clusters != 1 || rep.DecidedClusters != 1 {
+		t.Errorf("report counters wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "ok:") {
+		t.Errorf("clean report string: %q", rep.String())
+	}
+}
+
+func TestCD1DoubleDecision(t *testing.T) {
+	events := append(cleanTrace(),
+		trace.Event{Time: 9, Kind: trace.KindDecide, Node: "a", View: "b", Value: "v"})
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD1") {
+		t.Fatalf("double decision not caught: %s", rep)
+	}
+}
+
+func TestCD2LiveNodeInView(t *testing.T) {
+	events := cleanTrace()
+	// a decides a view containing the live node c.
+	events[13] = trace.Event{Time: 7, Kind: trace.KindDecide, Node: "a", View: "b,c", Value: "v"}
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD2") {
+		t.Fatalf("live node in view not caught: %s", rep)
+	}
+}
+
+func TestCD2DecideBeforeCrash(t *testing.T) {
+	events := cleanTrace()
+	// The decision predates b's crash.
+	events[13].Time = 0
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD2") {
+		t.Fatalf("decision-before-crash not caught: %s", rep)
+	}
+}
+
+func TestCD2NonBorderDecider(t *testing.T) {
+	events := append(cleanTrace(),
+		trace.Event{Time: 8, Kind: trace.KindDecide, Node: "d", View: "b", Value: "v"})
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD2") {
+		t.Fatalf("non-border decider not caught: %s", rep)
+	}
+}
+
+func TestCD2DisconnectedView(t *testing.T) {
+	g := graph.NewBuilder().
+		AddEdge("a", "b").AddEdge("a", "d"). // b and d both adjacent to a, not to each other
+		Build()
+	events := []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+		{Time: 1, Kind: trace.KindCrash, Node: "d"},
+		{Time: 5, Kind: trace.KindDecide, Node: "a", View: "b,d", Value: "v"},
+	}
+	rep := Run(g, events)
+	if !hasViolation(rep, "CD2") {
+		t.Fatalf("disconnected view not caught: %s", rep)
+	}
+}
+
+func TestCD3NonLocalMessage(t *testing.T) {
+	events := append(cleanTrace(),
+		// d talks to a: neither pair is within {b} ∪ border({b}).
+		trace.Event{Time: 8, Kind: trace.KindSend, Node: "d", Peer: "a", Bytes: 5})
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD3") {
+		t.Fatalf("non-local message not caught: %s", rep)
+	}
+}
+
+func TestCD4MissingBorderDecision(t *testing.T) {
+	events := cleanTrace()[:14] // drop c's decision
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD4") {
+		t.Fatalf("missing border decision not caught: %s", rep)
+	}
+}
+
+func TestCD5DisagreeingValues(t *testing.T) {
+	events := cleanTrace()
+	events[14].Value = "w" // c decides a different value
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD5") {
+		t.Fatalf("value disagreement not caught: %s", rep)
+	}
+}
+
+func TestCD6OverlappingViews(t *testing.T) {
+	g := pathGraph()
+	events := []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+		{Time: 1, Kind: trace.KindCrash, Node: "c"},
+		{Time: 5, Kind: trace.KindDecide, Node: "a", View: "b", Value: "v"},
+		{Time: 5, Kind: trace.KindDecide, Node: "d", View: "b,c", Value: "v"},
+	}
+	rep := Run(g, events)
+	if !hasViolation(rep, "CD6") {
+		t.Fatalf("overlapping distinct views not caught: %s", rep)
+	}
+}
+
+func TestCD7UndecidedCluster(t *testing.T) {
+	events := []trace.Event{{Time: 1, Kind: trace.KindCrash, Node: "b"}}
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "CD7") {
+		t.Fatalf("undecided cluster not caught: %s", rep)
+	}
+}
+
+func TestCD7VacuousWhenAllCrashed(t *testing.T) {
+	g := graph.NewBuilder().AddEdge("a", "b").Build()
+	events := []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "a"},
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+	}
+	rep := Run(g, events)
+	if hasViolation(rep, "CD7") {
+		t.Fatalf("CD7 must be vacuous without survivors: %s", rep)
+	}
+}
+
+func TestLemma2NonMonotonicProposals(t *testing.T) {
+	events := append(cleanTrace(),
+		trace.Event{Time: 8, Kind: trace.KindPropose, Node: "a", View: "b"})
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "LEMMA2") {
+		t.Fatalf("repeated proposal not caught: %s", rep)
+	}
+}
+
+func TestLemma2ProposeAfterReject(t *testing.T) {
+	g := pathGraph()
+	events := []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+		{Time: 1, Kind: trace.KindCrash, Node: "c"},
+		{Time: 2, Kind: trace.KindPropose, Node: "a", View: "b,c"},
+		{Time: 3, Kind: trace.KindReject, Node: "a", View: "b"},
+		{Time: 4, Kind: trace.KindReject, Node: "a", View: "b"}, // double reject
+	}
+	rep := Run(g, events)
+	if !hasViolation(rep, "LEMMA2") {
+		t.Fatalf("double rejection not caught: %s", rep)
+	}
+}
+
+func TestSanityPostCrashActivity(t *testing.T) {
+	events := append(cleanTrace(),
+		trace.Event{Time: 9, Kind: trace.KindSend, Node: "b", Peer: "a", Bytes: 5},
+		trace.Event{Time: 9, Kind: trace.KindDeliver, Node: "a", Peer: "b", Bytes: 5})
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "SANITY") {
+		t.Fatalf("post-crash send not caught: %s", rep)
+	}
+}
+
+func TestSanityMessageConservation(t *testing.T) {
+	events := append(cleanTrace(),
+		trace.Event{Time: 8, Kind: trace.KindSend, Node: "a", Peer: "c", View: "b", Bytes: 5})
+	rep := Run(pathGraph(), events)
+	if !hasViolation(rep, "SANITY") {
+		t.Fatalf("lost message not caught: %s", rep)
+	}
+}
+
+func TestAutomataViolations(t *testing.T) {
+	type bad struct{ violating }
+	m := map[graph.NodeID]*bad{"x": {}}
+	vs := AutomataViolations(m)
+	if len(vs) != 1 || vs[0].Property != "INTERNAL" {
+		t.Fatalf("AutomataViolations = %v", vs)
+	}
+}
+
+type violating struct{}
+
+func (violating) Violations() []string { return []string{"boom"} }
+
+func TestReportStringLists(t *testing.T) {
+	rep := Report{}
+	rep.violatef("CD1", "node %s", graph.NodeID("x"))
+	s := rep.String()
+	if !strings.Contains(s, "CD1") || !strings.Contains(s, "node x") {
+		t.Errorf("report string %q", s)
+	}
+	if rep.Ok() {
+		t.Error("report with violations cannot be Ok")
+	}
+}
+
+// TestViewReconstruction guards the region round-trip the checker relies
+// on.
+func TestViewReconstruction(t *testing.T) {
+	g := pathGraph()
+	r := region.FromKey(g, "b,c")
+	if r.Len() != 2 || !r.OnBorder("a") || !r.OnBorder("d") {
+		t.Errorf("region reconstruction broken: %s borders %v", r, r.Border())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cliffedge/internal/graph"
+)
+
+// Fingerprint serialises the node's complete protocol state into a
+// canonical string. Two nodes with equal fingerprints behave identically
+// on all future inputs. The bounded model checker uses fingerprints to
+// deduplicate interleavings that converge to the same global state.
+func (n *Node) Fingerprint() string {
+	var sb strings.Builder
+	sb.WriteString(string(n.cfg.ID))
+	sb.WriteByte('#')
+	if n.decided != nil {
+		fmt.Fprintf(&sb, "D%s=%s", n.decided.View.Key(), n.decided.Value)
+	}
+	fmt.Fprintf(&sb, "|p=%v,%s|r=%d|vp=%s|mx=%s|cd=%s|",
+		n.hasProposed, n.proposedValue, n.round,
+		n.vp.Key(), n.maxView.Key(), n.candidateView.Key())
+	sb.WriteString("lc=")
+	writeIDSet(&sb, n.locallyCrashed)
+	sb.WriteString("|mon=")
+	writeIDSet(&sb, n.monitored)
+	sb.WriteString("|rej=")
+	writeStringSet(&sb, n.rejected)
+	sb.WriteString("|rcv=")
+	keys := make([]string, 0, len(n.received))
+	for k := range n.received {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		inst := n.received[k]
+		fmt.Fprintf(&sb, "{%s;B=%v;L=%d", k, inst.border, inst.lastRound)
+		for r := 1; r <= inst.lastRound; r++ {
+			fmt.Fprintf(&sb, ";r%d=%s;w%d=", r, inst.opinions[r], r)
+			writeIDSet(&sb, inst.waiting[r])
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteString("|self=")
+	for _, m := range n.pendingSelf {
+		sb.WriteString(m.String())
+	}
+	return sb.String()
+}
+
+func writeIDSet(sb *strings.Builder, set map[graph.NodeID]bool) {
+	ids := make([]graph.NodeID, 0, len(set))
+	for q := range set {
+		ids = append(ids, q)
+	}
+	graph.SortIDs(ids)
+	for i, q := range ids {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(string(q))
+	}
+}
+
+func writeStringSet(sb *strings.Builder, set map[string]bool) {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(k)
+	}
+}
+
+// MessageFingerprint serialises a message canonically (model checker
+// channel-state hashing).
+func MessageFingerprint(m Message) string {
+	return fmt.Sprintf("%d|%s|%v|%s", m.Round, m.View.Key(), m.Border, m.Opinions)
+}

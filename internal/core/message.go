@@ -1,0 +1,220 @@
+// Package core implements the cliff-edge consensus protocol — Algorithm 1
+// of Taïani, Porter, Coulson & Raynal, "Cliff-Edge Consensus: Agreeing on
+// the Precipice" (PaCT 2013) — as a pure, deterministic event-driven state
+// machine.
+//
+// The protocol is a superposition of flooding uniform consensus instances,
+// one per proposed view (candidate crashed region), arbitrated by the
+// strict total ranking of regions from §3.1: a node that knows of a
+// lower-ranked conflicting view rejects it, forcing its proposers to back
+// off, re-detect the (grown) region, and re-propose, until every border
+// node of a stable faulty domain proposes the same maximal view and the
+// flooding instance completes with an all-accept vector.
+//
+// Doc comments below cite "line n" meaning line n of Algorithm 1 in the
+// paper.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/region"
+)
+
+// OpinionKind is the state of one participant's slot in an opinion vector.
+type OpinionKind uint8
+
+const (
+	// Unknown is ⊥: no opinion learned yet for this participant.
+	Unknown OpinionKind = iota
+	// Accept carries the participant's proposed decision value.
+	Accept
+	// Reject marks that the participant rejected the view (line 30).
+	Reject
+)
+
+// String returns "⊥", "accept" or "reject".
+func (k OpinionKind) String() string {
+	switch k {
+	case Accept:
+		return "accept"
+	case Reject:
+		return "reject"
+	default:
+		return "⊥"
+	}
+}
+
+// Opinion is one slot of an opinion vector: ⊥, reject, or (accept, value).
+type Opinion struct {
+	Kind  OpinionKind
+	Value proto.Value // meaningful iff Kind == Accept
+}
+
+// Vector is an opinion vector opinions[V][r][·]: one Opinion per border
+// node of the view. Missing keys mean ⊥.
+type Vector map[graph.NodeID]Opinion
+
+// Clone deep-copies the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, o := range v {
+		out[k] = o
+	}
+	return out
+}
+
+// Get returns the opinion for q, defaulting to ⊥.
+func (v Vector) Get(q graph.NodeID) Opinion { return v[q] }
+
+// allAccept reports whether every node of border has an Accept opinion
+// (line 34's condition), returning the accepted values in border order.
+func (v Vector) allAccept(border []graph.NodeID) ([]proto.Value, bool) {
+	values := make([]proto.Value, 0, len(border))
+	for _, q := range border {
+		op := v[q]
+		if op.Kind != Accept {
+			return nil, false
+		}
+		values = append(values, op.Value)
+	}
+	return values, true
+}
+
+// String renders the vector deterministically, e.g. "[a:accept(v1) b:⊥]".
+func (v Vector) String() string {
+	keys := make([]graph.NodeID, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	graph.SortIDs(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		op := v[k]
+		switch op.Kind {
+		case Accept:
+			parts = append(parts, fmt.Sprintf("%s:accept(%s)", k, op.Value))
+		case Reject:
+			parts = append(parts, fmt.Sprintf("%s:reject", k))
+		default:
+			parts = append(parts, fmt.Sprintf("%s:⊥", k))
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Message is the protocol message [r, V, B, op] of lines 17, 31 and 40: a
+// round number, the proposed view, the view's border (the instance's
+// participant set), and the sender's opinion vector for that round.
+type Message struct {
+	Round    int
+	View     region.Region
+	Border   []graph.NodeID
+	Opinions Vector
+}
+
+// Kind labels the payload for traces.
+func (m Message) Kind() string { return "cliffedge" }
+
+// TraceView exposes the view key and round for trace annotation; runtimes
+// discover it through an interface assertion so they stay payload-agnostic.
+func (m Message) TraceView() (string, int) { return m.View.Key(), m.Round }
+
+// WireSize estimates the encoded payload size in bytes: the round tag, the
+// view's node IDs, the border IDs, and one tag byte plus value per opinion.
+func (m Message) WireSize() int {
+	size := 4 // round
+	for _, n := range m.View.Nodes() {
+		size += len(n) + 1
+	}
+	for _, n := range m.Border {
+		size += len(n) + 1
+	}
+	for q, op := range m.Opinions {
+		size += len(q) + 2
+		if op.Kind == Accept {
+			size += len(op.Value)
+		}
+	}
+	return size
+}
+
+// String renders the message compactly for traces and debugging.
+func (m Message) String() string {
+	return fmt.Sprintf("[r=%d V=%s B=%v op=%s]", m.Round, m.View, m.Border, m.Opinions)
+}
+
+var _ proto.Payload = Message{}
+
+// instance is the per-view consensus bookkeeping: opinions[V][·][·] and
+// waiting[V][·] (the data structures initialised at lines 20–22), indexed
+// by round 1..lastRound (slot 0 unused).
+//
+// Round count. Algorithm 1 as printed runs |B|−1 rounds (line 33 tests
+// r = |border(Vp)|−1). That is the round count of *regular* flooding
+// consensus, which only guarantees agreement among correct deciders. CD5
+// is *uniform* — deciders that later crash count — and the classical
+// flooding uniform consensus (Guerraoui & Rodrigues, Alg. 5.2, cited as
+// [13] by the paper) needs |B| rounds. With |B|−1 rounds there is a real
+// counterexample (found by the bounded model checker in internal/mck, see
+// TestLiteralRoundsViolateUniformCD5): on a path a-b-c-d with border(b) =
+// {a, c}, c can decide ({b}, d) after one round and crash, while a
+// completes the round through crash detection before c's in-flight accept
+// arrives, resets, and later decides ({b,c}, d′) ≠ ({b}, d) — violating
+// CD5 and the paper's Lemma 3. We therefore run |B| rounds by default and
+// keep the printed behaviour behind Config.LiteralPaperRounds for
+// demonstration and ablation.
+type instance struct {
+	view      region.Region
+	border    []graph.NodeID // B from the first message received for the view
+	lastRound int            // |B| (default) or |B|−1 (LiteralPaperRounds)
+	opinions  []Vector       // index r ∈ 1..lastRound
+	waiting   []map[graph.NodeID]bool
+}
+
+func newInstance(view region.Region, border []graph.NodeID, literalRounds bool) *instance {
+	last := len(border)
+	if literalRounds {
+		last = len(border) - 1
+	}
+	inst := &instance{
+		view:      view,
+		border:    append([]graph.NodeID(nil), border...),
+		lastRound: last,
+		opinions:  make([]Vector, last+1),
+		waiting:   make([]map[graph.NodeID]bool, last+1),
+	}
+	for r := 1; r <= last; r++ {
+		inst.opinions[r] = make(Vector, len(border))
+		inst.waiting[r] = make(map[graph.NodeID]bool, len(border))
+		for _, q := range border {
+			inst.waiting[r][q] = true
+		}
+	}
+	return inst
+}
+
+// validRound reports whether r indexes an allocated round slot.
+func (inst *instance) validRound(r int) bool { return r >= 1 && r <= inst.lastRound }
+
+// clone deep-copies the instance (used by the model checker).
+func (inst *instance) clone() *instance {
+	out := &instance{
+		view:      inst.view,
+		border:    append([]graph.NodeID(nil), inst.border...),
+		lastRound: inst.lastRound,
+		opinions:  make([]Vector, len(inst.opinions)),
+		waiting:   make([]map[graph.NodeID]bool, len(inst.waiting)),
+	}
+	for r := 1; r < len(inst.opinions); r++ {
+		out.opinions[r] = inst.opinions[r].Clone()
+		out.waiting[r] = make(map[graph.NodeID]bool, len(inst.waiting[r]))
+		for q := range inst.waiting[r] {
+			out.waiting[r][q] = true
+		}
+	}
+	return out
+}

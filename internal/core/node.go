@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/region"
+)
+
+// Config parameterises one protocol node.
+type Config struct {
+	// ID is this node's identity (p in the paper).
+	ID graph.NodeID
+	// Graph is the topology oracle: the paper assumes each node can query
+	// G on demand (§2.2), for live nodes by asking them and for crashed
+	// nodes through an underlying topology service. Both are modelled by
+	// read access to the immutable graph.
+	Graph *graph.Graph
+	// Propose is selectValueForView (line 14): it maps a view the node is
+	// about to propose to this node's suggested decision value (a repair
+	// plan identifier, say). Defaults to DefaultPropose.
+	Propose func(region.Region) proto.Value
+	// Pick is deterministicPick (line 35): it deterministically selects
+	// the decision from the accepted values of the final vector. It must
+	// be a pure function of the value multiset so that all border nodes
+	// pick identically. Defaults to DefaultPick (lexicographic minimum).
+	Pick func([]proto.Value) proto.Value
+	// DisableArbitration removes the ranking/rejection mechanism
+	// (lines 26–31) — the T4 ablation. With arbitration disabled,
+	// conflicting overlapping proposals deadlock instead of converging;
+	// never use outside experiments.
+	DisableArbitration bool
+	// LiteralPaperRounds runs |B|−1 flooding rounds per instance, exactly
+	// as printed in Algorithm 1 (line 33). The default is |B| rounds,
+	// which the classical flooding *uniform* consensus argument requires
+	// for CD5; the printed count admits a uniformity counterexample (see
+	// the instance type's doc comment and the mck package). Only use for
+	// demonstration and ablation.
+	LiteralPaperRounds bool
+}
+
+// DefaultPropose derives a deterministic repair-plan value from the view.
+func DefaultPropose(v region.Region) proto.Value {
+	return proto.Value("repair(" + v.Key() + ")")
+}
+
+// DefaultPick returns the lexicographically smallest value — a valid
+// deterministicPick since it depends only on the value multiset.
+func DefaultPick(values []proto.Value) proto.Value {
+	if len(values) == 0 {
+		return ""
+	}
+	min := values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Node is one protocol participant: the state of Algorithm 1 lines 1–3
+// plus the per-view instances. Create with New; drive through the
+// proto.Automaton interface. A Node is not safe for concurrent use — the
+// paper's model is mono-threaded event processing, and runtimes serialise
+// events per node.
+type Node struct {
+	cfg Config
+
+	// decided is the protocol outcome (line 2: decided ← ⊥).
+	decided *proto.Decision
+	// hasProposed mirrors proposed ≠ ⊥ (lines 2, 14, 37). The proposed
+	// value itself is proposedValue.
+	hasProposed   bool
+	proposedValue proto.Value
+
+	// locallyCrashed is the set of nodes p has detected as crashed (line 6).
+	locallyCrashed map[graph.NodeID]bool
+	// monitored tracks issued 〈monitorCrash〉 subscriptions so they are
+	// not re-issued; semantically idempotent either way.
+	monitored map[graph.NodeID]bool
+
+	// maxView and candidateView implement the view construction of
+	// lines 8–11; vp is V_p, the currently (or last) proposed view.
+	maxView       region.Region
+	candidateView region.Region
+	vp            region.Region
+	// round is r, the current round of p's own instance (line 16).
+	round int
+
+	// received and rejected index consensus instances by view key
+	// (lines 19–22, 30). received holds the live bookkeeping.
+	received map[string]*instance
+	rejected map[string]bool
+
+	// pendingSelf queues this node's own multicast copies: the paper's
+	// multicast includes the sender, and the flooding bookkeeping needs
+	// the self-delivery (it clears p from waiting[V][r]). Self-copies are
+	// processed synchronously in the guard loop — a zero-latency FIFO
+	// self-channel — so the network layer never sees them.
+	pendingSelf []Message
+
+	// violations records internal invariant breaches (bugs, not protocol
+	// events); checkers assert this stays empty.
+	violations []string
+}
+
+// New builds a Node from cfg, applying defaults. It panics only on a
+// programmer error: a missing ID or Graph.
+func New(cfg Config) *Node {
+	if cfg.ID == "" || cfg.Graph == nil {
+		panic("core.New: Config.ID and Config.Graph are required")
+	}
+	if cfg.Propose == nil {
+		cfg.Propose = DefaultPropose
+	}
+	if cfg.Pick == nil {
+		cfg.Pick = DefaultPick
+	}
+	return &Node{
+		cfg:            cfg,
+		locallyCrashed: make(map[graph.NodeID]bool),
+		monitored:      make(map[graph.NodeID]bool),
+		received:       make(map[string]*instance),
+		rejected:       make(map[string]bool),
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() graph.NodeID { return n.cfg.ID }
+
+// Decided returns the decision taken by this node, or nil (line 36).
+func (n *Node) Decided() *proto.Decision { return n.decided }
+
+// HasProposed reports whether proposed ≠ ⊥.
+func (n *Node) HasProposed() bool { return n.hasProposed }
+
+// CurrentView returns V_p, the view of the node's current (or last)
+// consensus instance; the empty region if it never proposed.
+func (n *Node) CurrentView() region.Region { return n.vp }
+
+// Round returns r, the node's current round within its own instance.
+func (n *Node) Round() int { return n.round }
+
+// LocallyCrashed returns the sorted set of nodes detected as crashed.
+func (n *Node) LocallyCrashed() []graph.NodeID {
+	return graph.SetToSlice(n.locallyCrashed)
+}
+
+// MaxView returns the highest-ranked crashed region known locally.
+func (n *Node) MaxView() region.Region { return n.maxView }
+
+// Violations returns internal invariant breaches recorded so far (always
+// empty unless there is an implementation bug).
+func (n *Node) Violations() []string {
+	return append([]string(nil), n.violations...)
+}
+
+func (n *Node) violatef(format string, args ...any) {
+	n.violations = append(n.violations, fmt.Sprintf(format, args...))
+}
+
+// Start handles 〈init〉 (lines 1–4): subscribe to crashes of border(p).
+func (n *Node) Start() proto.Effects {
+	var eff proto.Effects
+	n.subscribe(n.cfg.Graph.Neighbors(n.cfg.ID), &eff)
+	return eff
+}
+
+// subscribe issues 〈monitorCrash | S〉 for not-yet-monitored, not-yet-known
+// crashed nodes (the \locallyCrashed of line 7).
+func (n *Node) subscribe(nodes []graph.NodeID, eff *proto.Effects) {
+	for _, q := range nodes {
+		if q == n.cfg.ID || n.monitored[q] || n.locallyCrashed[q] {
+			continue
+		}
+		n.monitored[q] = true
+		eff.Monitor = append(eff.Monitor, q)
+	}
+}
+
+// OnCrash handles 〈crash | q〉 (lines 5–11): extend locallyCrashed, widen
+// the failure-detector subscription to border(q), recompute the connected
+// components of the locally known crashed set, and promote the
+// highest-ranked component to candidateView if it outranks every view
+// built so far. Then run the guard loop.
+func (n *Node) OnCrash(q graph.NodeID) proto.Effects {
+	var eff proto.Effects
+	if n.locallyCrashed[q] {
+		return eff // duplicate notification; idempotent
+	}
+	n.locallyCrashed[q] = true                                 // line 6
+	n.subscribe(n.cfg.Graph.Neighbors(q), &eff)                // line 7
+	comps := n.cfg.Graph.ConnectedComponents(n.locallyCrashed) // line 8
+	maxRanked := region.MaxRanked(region.FromComponents(n.cfg.Graph, comps))
+	if region.Less(n.maxView, maxRanked) { // line 9
+		n.maxView = maxRanked       // line 10
+		n.candidateView = maxRanked // line 11
+	}
+	n.runGuards(&eff)
+	return eff
+}
+
+// OnMessage handles 〈mDeliver | from, payload〉 (lines 18–25), then runs
+// the guard loop.
+func (n *Node) OnMessage(from graph.NodeID, payload proto.Payload) proto.Effects {
+	var eff proto.Effects
+	m, ok := payload.(Message)
+	if !ok {
+		n.violatef("foreign payload %T from %s", payload, from)
+		return eff
+	}
+	n.deliver(from, m)
+	n.runGuards(&eff)
+	return eff
+}
+
+// deliver merges one message into the per-view bookkeeping (lines 18–25).
+func (n *Node) deliver(from graph.NodeID, m Message) {
+	key := m.View.Key()
+	if n.rejected[key] { // line 18: V ∉ rejected
+		return
+	}
+	inst, ok := n.received[key]
+	if !ok { // lines 19–22: initialise data structures for V
+		inst = newInstance(m.View, m.Border, n.cfg.LiteralPaperRounds)
+		n.received[key] = inst
+	}
+	if !inst.validRound(m.Round) {
+		n.violatef("message round %d out of range for view %s (|B|=%d)",
+			m.Round, m.View, len(inst.border))
+		return
+	}
+	ops := inst.opinions[m.Round]
+	for _, pk := range inst.border { // lines 23–24: fill ⊥ slots only
+		if ops[pk].Kind == Unknown {
+			if op := m.Opinions[pk]; op.Kind != Unknown {
+				ops[pk] = op
+			}
+		}
+	}
+	// line 25: stop waiting for the sender and for every known rejector.
+	delete(inst.waiting[m.Round], from)
+	for pk, op := range m.Opinions {
+		if op.Kind == Reject {
+			delete(inst.waiting[m.Round], pk)
+		}
+	}
+}
+
+// runGuards re-evaluates the `upon` guards of lines 12, 26 and 32 to
+// fixpoint, in a fixed order (self-deliveries, propose, reject, round
+// completion), after every external event. Fixed ordering makes runs
+// deterministic; termination follows from the strict monotonicity of
+// proposals (lemma 2) and the finite round structure.
+func (n *Node) runGuards(eff *proto.Effects) {
+	for {
+		if len(n.pendingSelf) > 0 {
+			m := n.pendingSelf[0]
+			n.pendingSelf = n.pendingSelf[1:]
+			n.deliver(n.cfg.ID, m)
+			continue
+		}
+		if n.guardPropose(eff) {
+			continue
+		}
+		if n.guardReject(eff) {
+			continue
+		}
+		if n.guardRound(eff) {
+			continue
+		}
+		return
+	}
+}
+
+// guardPropose implements lines 12–17: start a new consensus instance when
+// no proposal is outstanding and a candidate view exists.
+func (n *Node) guardPropose(eff *proto.Effects) bool {
+	if n.hasProposed || n.candidateView.IsEmpty() {
+		return false
+	}
+	n.vp = n.candidateView                // line 13
+	n.candidateView = region.Empty        //
+	n.proposedValue = n.cfg.Propose(n.vp) // line 14
+	n.hasProposed = true
+	n.round = 1 // line 16
+	if n.rejected[n.vp.Key()] {
+		// Lemma 2 guarantees this cannot happen; record it if it does.
+		n.violatef("proposing previously rejected view %s", n.vp)
+	}
+	if !n.vp.OnBorder(n.cfg.ID) {
+		n.violatef("proposing view %s not bordered by self", n.vp)
+	}
+	eff.Proposed = append(eff.Proposed, n.vp)
+
+	border := n.vp.Border()
+	if len(border) == 1 {
+		// Deviation documented in DESIGN.md: Algorithm 1's flooding runs
+		// |B|−1 rounds, which is zero when this node is the region's only
+		// border. The 1-participant instance decides its own value
+		// immediately (its final vector is its own accept).
+		n.decided = &proto.Decision{View: n.vp, Value: n.cfg.Pick([]proto.Value{n.proposedValue})}
+		eff.Decision = n.decided
+		return true
+	}
+	op := Vector{n.cfg.ID: Opinion{Kind: Accept, Value: n.proposedValue}} // lines 15–16
+	msg := Message{Round: 1, View: n.vp, Border: border, Opinions: op}
+	n.multicast(border, msg, eff) // line 17
+	return true
+}
+
+// guardReject implements lines 26–31: reject every received view strictly
+// lower-ranked than the node's own proposal, lowest-ranked first.
+func (n *Node) guardReject(eff *proto.Effects) bool {
+	if n.cfg.DisableArbitration || n.vp.IsEmpty() {
+		// V_p persists across resets (line 37 clears proposed, not V_p),
+		// so a node keeps rejecting lower-ranked views between proposals.
+		return false
+	}
+	var lower []region.Region
+	for _, inst := range n.received {
+		if region.Less(inst.view, n.vp) {
+			lower = append(lower, inst.view)
+		}
+	}
+	if len(lower) == 0 {
+		return false
+	}
+	sort.Slice(lower, func(i, j int) bool { return region.Less(lower[i], lower[j]) })
+	l := lower[0]
+	inst := n.received[l.Key()]
+	delete(n.received, l.Key())                   // line 30: received ← received\{L}
+	n.rejected[l.Key()] = true                    //          rejected ← rejected ∪ {L}
+	op := Vector{n.cfg.ID: Opinion{Kind: Reject}} // lines 29–30
+	msg := Message{Round: 1, View: l, Border: inst.border, Opinions: op}
+	n.multicast(inst.border, msg, eff) // line 31
+	eff.Rejected = append(eff.Rejected, l)
+	return true
+}
+
+// guardRound implements lines 32–40: when every non-crashed participant of
+// the node's own instance has been heard for the current round, either
+// advance to the next round, decide (all-accept final vector), or reset.
+//
+// The guard additionally requires proposed ≠ ⊥, strengthening the paper's
+// text: after a reset the stale instance must not re-fire (the immediate
+// re-proposal of line 12 replaces V_p in the same activation whenever a
+// larger region is known, so behaviour is unchanged in the cases the paper
+// considers).
+func (n *Node) guardRound(eff *proto.Effects) bool {
+	if !n.hasProposed || n.decided != nil {
+		return false
+	}
+	inst, ok := n.received[n.vp.Key()] // line 32: Vp ∈ received
+	if !ok || !inst.validRound(n.round) {
+		return false
+	}
+	for q := range inst.waiting[n.round] { // waiting[Vp][r]\locallyCrashed = ∅
+		if !n.locallyCrashed[q] {
+			return false
+		}
+	}
+	if n.round == inst.lastRound { // line 33: consensus instance completed
+		if values, ok := inst.opinions[n.round].allAccept(inst.border); ok { // line 34
+			n.decided = &proto.Decision{View: n.vp, Value: n.cfg.Pick(values)} // line 35
+			eff.Decision = n.decided                                           // line 36
+		} else {
+			n.hasProposed = false // line 37: proposed ← ⊥, reset
+			eff.Resets++
+		}
+		return true
+	}
+	n.round++       // line 39
+	msg := Message{ // line 40
+		Round:    n.round,
+		View:     n.vp,
+		Border:   inst.border,
+		Opinions: inst.opinions[n.round-1].Clone(),
+	}
+	n.multicast(inst.border, msg, eff)
+	return true
+}
+
+// multicast implements 〈multicast | recipients, m〉 (§3.1): one copy per
+// recipient over the point-to-point FIFO channels. The sender's own copy is
+// queued for synchronous self-delivery rather than handed to the network.
+func (n *Node) multicast(recipients []graph.NodeID, m Message, eff *proto.Effects) {
+	to := make([]graph.NodeID, 0, len(recipients))
+	self := false
+	for _, q := range recipients {
+		if q == n.cfg.ID {
+			self = true
+			continue
+		}
+		to = append(to, q)
+	}
+	if len(to) > 0 {
+		eff.Sends = append(eff.Sends, proto.Send{To: to, Payload: m})
+	}
+	if self {
+		n.pendingSelf = append(n.pendingSelf, m)
+	}
+}
+
+var _ proto.Automaton = (*Node)(nil)
+
+// Clone deep-copies the node — used by the bounded model checker to
+// branch over interleavings. The Config (including its function values) is
+// shared; all mutable state is copied.
+func (n *Node) Clone() *Node {
+	out := &Node{
+		cfg:            n.cfg,
+		hasProposed:    n.hasProposed,
+		proposedValue:  n.proposedValue,
+		maxView:        n.maxView,
+		candidateView:  n.candidateView,
+		vp:             n.vp,
+		round:          n.round,
+		locallyCrashed: make(map[graph.NodeID]bool, len(n.locallyCrashed)),
+		monitored:      make(map[graph.NodeID]bool, len(n.monitored)),
+		received:       make(map[string]*instance, len(n.received)),
+		rejected:       make(map[string]bool, len(n.rejected)),
+	}
+	if n.decided != nil {
+		d := *n.decided
+		out.decided = &d
+	}
+	for k := range n.locallyCrashed {
+		out.locallyCrashed[k] = true
+	}
+	for k := range n.monitored {
+		out.monitored[k] = true
+	}
+	for k, inst := range n.received {
+		out.received[k] = inst.clone()
+	}
+	for k := range n.rejected {
+		out.rejected[k] = true
+	}
+	out.pendingSelf = append([]Message(nil), n.pendingSelf...)
+	out.violations = append([]string(nil), n.violations...)
+	return out
+}

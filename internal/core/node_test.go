@@ -1,0 +1,506 @@
+package core
+
+import (
+	"testing"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/region"
+)
+
+// lineABC is a - b - c; crashing b leaves border {a, c}.
+func lineABC() *graph.Graph {
+	return graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").Build()
+}
+
+func mkNode(t *testing.T, g *graph.Graph, id graph.NodeID, value proto.Value) *Node {
+	t.Helper()
+	return New(Config{
+		ID:      id,
+		Graph:   g,
+		Propose: func(region.Region) proto.Value { return value },
+	})
+}
+
+func hasMonitor(eff proto.Effects, q graph.NodeID) bool {
+	for _, m := range eff.Monitor {
+		if m == q {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStartMonitorsOwnBorder(t *testing.T) {
+	g := lineABC()
+	n := mkNode(t, g, "b", "vb")
+	eff := n.Start()
+	if len(eff.Monitor) != 2 || !hasMonitor(eff, "a") || !hasMonitor(eff, "c") {
+		t.Fatalf("Start should monitor border(b) = {a, c}, got %v", eff.Monitor)
+	}
+	if len(eff.Sends) != 0 || eff.Decision != nil {
+		t.Fatal("Start must not send or decide")
+	}
+}
+
+func TestCrashTriggersProposal(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	eff := a.OnCrash("b")
+
+	if !hasMonitor(eff, "c") {
+		t.Errorf("crash of b should widen monitoring to border(b) ∋ c, got %v", eff.Monitor)
+	}
+	if len(eff.Proposed) != 1 || eff.Proposed[0].Key() != "b" {
+		t.Fatalf("expected proposal of {b}, got %v", eff.Proposed)
+	}
+	if !a.HasProposed() || a.CurrentView().Key() != "b" || a.Round() != 1 {
+		t.Fatalf("proposal state wrong: proposed=%v vp=%s r=%d", a.HasProposed(), a.CurrentView(), a.Round())
+	}
+	if len(eff.Sends) != 1 {
+		t.Fatalf("expected 1 multicast, got %d", len(eff.Sends))
+	}
+	send := eff.Sends[0]
+	if len(send.To) != 1 || send.To[0] != "c" {
+		t.Errorf("round-1 multicast should go to {c} (self-delivery internal), got %v", send.To)
+	}
+	m := send.Payload.(Message)
+	if m.Round != 1 || m.View.Key() != "b" {
+		t.Errorf("bad round-1 message %s", m)
+	}
+	if op := m.Opinions.Get("a"); op.Kind != Accept || op.Value != "va" {
+		t.Errorf("proposal must carry own accept, got %v", op)
+	}
+	if op := m.Opinions.Get("c"); op.Kind != Unknown {
+		t.Errorf("other slots must be ⊥, got %v", op)
+	}
+}
+
+func TestTwoPartyAgreement(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnCrash("b")
+
+	// c's symmetrical round-1 proposal arrives; |B| = 2 means the uniform
+	// instance runs 2 rounds, so a advances to round 2 and multicasts its
+	// merged vector.
+	view := region.New(g, []graph.NodeID{"b"})
+	border := []graph.NodeID{"a", "c"}
+	eff := a.OnMessage("c", Message{Round: 1, View: view, Border: border,
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+	if eff.Decision != nil {
+		t.Fatal("uniform agreement must not decide after a single round")
+	}
+	if a.Round() != 2 {
+		t.Fatalf("round = %d, want 2", a.Round())
+	}
+	if len(eff.Sends) != 1 {
+		t.Fatalf("expected the round-2 multicast, got %d sends", len(eff.Sends))
+	}
+	r2 := eff.Sends[0].Payload.(Message)
+	if r2.Round != 2 || r2.Opinions.Get("c").Kind != Accept || r2.Opinions.Get("a").Kind != Accept {
+		t.Errorf("round-2 message must carry the merged round-1 vector, got %s", r2)
+	}
+
+	// c's round-2 message completes the final round: all-accept → decide.
+	eff = a.OnMessage("c", Message{Round: 2, View: view, Border: border,
+		Opinions: r2.Opinions.Clone()})
+	if eff.Decision == nil {
+		t.Fatal("a should decide after the final round")
+	}
+	if eff.Decision.View.Key() != "b" {
+		t.Errorf("decided view %s, want {b}", eff.Decision.View)
+	}
+	if eff.Decision.Value != "va" { // min("va", "vc")
+		t.Errorf("decided value %q, want deterministic min \"va\"", eff.Decision.Value)
+	}
+	if a.Decided() == nil || a.Decided().Value != "va" {
+		t.Error("Decided() should expose the decision")
+	}
+	if len(a.Violations()) != 0 {
+		t.Errorf("violations: %v", a.Violations())
+	}
+}
+
+func TestDecisionIsPickOfAllValues(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "zz-last")
+	a.Start()
+	a.OnCrash("b")
+	view := region.New(g, []graph.NodeID{"b"})
+	border := []graph.NodeID{"a", "c"}
+	a.OnMessage("c", Message{Round: 1, View: view, Border: border,
+		Opinions: Vector{"c": {Kind: Accept, Value: "aa-first"}}})
+	eff := a.OnMessage("c", Message{Round: 2, View: view, Border: border,
+		Opinions: Vector{"c": {Kind: Accept, Value: "aa-first"}, "a": {Kind: Accept, Value: "zz-last"}}})
+	if eff.Decision == nil || eff.Decision.Value != "aa-first" {
+		t.Fatalf("deterministicPick should take the minimum of all accepted values, got %v", eff.Decision)
+	}
+}
+
+// TestLiteralPaperRoundsDecidesEarlier pins the behavioural difference of
+// the printed |B|−1 round count: the two-party instance decides after a
+// single round.
+func TestLiteralPaperRoundsDecidesEarlier(t *testing.T) {
+	g := lineABC()
+	a := New(Config{ID: "a", Graph: g, LiteralPaperRounds: true,
+		Propose: func(region.Region) proto.Value { return "va" }})
+	a.Start()
+	a.OnCrash("b")
+	view := region.New(g, []graph.NodeID{"b"})
+	eff := a.OnMessage("c", Message{Round: 1, View: view, Border: []graph.NodeID{"a", "c"},
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+	if eff.Decision == nil {
+		t.Fatal("literal round count should decide after round 1 with |B| = 2")
+	}
+}
+
+func TestSingleBorderDecidesImmediately(t *testing.T) {
+	// a - b and nothing else: border({b}) = {a} alone.
+	g := graph.NewBuilder().AddEdge("a", "b").Build()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	eff := a.OnCrash("b")
+	if eff.Decision == nil || eff.Decision.View.Key() != "b" || eff.Decision.Value != "va" {
+		t.Fatalf("sole border node should decide immediately, got %+v", eff.Decision)
+	}
+	if len(eff.Sends) != 0 {
+		t.Errorf("no messages expected, got %d", len(eff.Sends))
+	}
+}
+
+func TestRejectLowerRankedView(t *testing.T) {
+	// a borders two crashed singletons {b} and {d}; border({b}) = {a, c},
+	// border({d}) = {a, e}. Ranking: sizes tie, border sizes tie, key
+	// "b" < "d", so a proposes {d} and must reject {b} when it arrives.
+	g := graph.NewBuilder().
+		AddEdge("a", "b").AddEdge("b", "c").
+		AddEdge("a", "d").AddEdge("d", "e").
+		Build()
+	// a proposed {d} (higher-ranked than {b}: sizes and border sizes tie,
+	// "b" < "d" lexicographically), then receives a round-1 proposal for
+	// {b} from c. a must reject it.
+	b := New(Config{ID: "a", Graph: g, Propose: func(region.Region) proto.Value { return "va" }})
+	b.Start()
+	b.OnCrash("d")
+	if b.CurrentView().Key() != "d" {
+		t.Fatalf("setup: vp = %s, want {d}", b.CurrentView())
+	}
+	msg := Message{Round: 1, View: region.New(g, []graph.NodeID{"b"}),
+		Border:   []graph.NodeID{"a", "c"},
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}}
+	eff := b.OnMessage("c", msg)
+	if len(eff.Rejected) != 1 || eff.Rejected[0].Key() != "b" {
+		t.Fatalf("expected rejection of {b}, got %v", eff.Rejected)
+	}
+	if len(eff.Sends) != 1 {
+		t.Fatalf("expected reject multicast, got %d sends", len(eff.Sends))
+	}
+	rm := eff.Sends[0].Payload.(Message)
+	if rm.View.Key() != "b" || rm.Opinions.Get("a").Kind != Reject {
+		t.Errorf("bad reject message %s", rm)
+	}
+	if len(rm.Opinions) != 1 {
+		t.Errorf("reject vector should carry only own reject, got %s", rm.Opinions)
+	}
+
+	// Further messages about {b} are ignored (line 18 guard).
+	eff = b.OnMessage("c", msg)
+	if !eff.IsZero() {
+		t.Errorf("messages for rejected views must be ignored, got %+v", eff)
+	}
+}
+
+func TestIncomingRejectForcesReset(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnCrash("b") // proposes {b}, border {a, c}
+	msg := Message{Round: 1, View: region.New(g, []graph.NodeID{"b"}),
+		Border:   []graph.NodeID{"a", "c"},
+		Opinions: Vector{"c": {Kind: Reject}}}
+	eff := a.OnMessage("c", msg)
+	if eff.Resets != 1 {
+		t.Fatalf("expected a reset, got %+v", eff)
+	}
+	if a.HasProposed() {
+		t.Error("proposed must be ⊥ after reset")
+	}
+	if a.Decided() != nil {
+		t.Error("no decision on a rejected instance")
+	}
+	if a.CurrentView().Key() != "b" {
+		t.Error("V_p persists across resets")
+	}
+
+	// Growth: c (a border node of {b}) crashes; the component {b, c}
+	// outranks {b}; its border is {a} alone, so a decides immediately.
+	eff = a.OnCrash("c")
+	if eff.Decision == nil || eff.Decision.View.Key() != "b,c" {
+		t.Fatalf("expected immediate decision on {b,c}, got %+v", eff.Decision)
+	}
+}
+
+func TestMergeFillsBottomSlotsOnly(t *testing.T) {
+	// b's neighbours: a, c, e — a three-party instance with 2 rounds.
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("c", "b").AddEdge("e", "b").Build()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnCrash("b")
+	view := region.New(g, []graph.NodeID{"b"})
+	border := []graph.NodeID{"a", "c", "e"}
+
+	// e's vector (wrongly) claims c rejected; then c's own accept arrives.
+	// Fill-⊥-only (line 24) keeps the first value.
+	a.OnMessage("e", Message{Round: 1, View: view, Border: border,
+		Opinions: Vector{"e": {Kind: Accept, Value: "ve"}, "c": {Kind: Reject}}})
+	a.OnMessage("c", Message{Round: 1, View: view, Border: border,
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+
+	inst := a.received[view.Key()]
+	if inst == nil {
+		t.Fatal("instance missing")
+	}
+	if op := inst.opinions[1].Get("c"); op.Kind != Reject {
+		t.Errorf("line 24 must not overwrite: c slot = %v, want the first (reject)", op)
+	}
+}
+
+func TestRejectorsClearWaitingAcrossRounds(t *testing.T) {
+	// Same 3-party topology. c rejects in round 1; a advances to round 2;
+	// a's own round-2 vector carries c's reject, clearing waiting[2] of c.
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("c", "b").AddEdge("e", "b").Build()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnCrash("b")
+	view := region.New(g, []graph.NodeID{"b"})
+	border := []graph.NodeID{"a", "c", "e"}
+
+	a.OnMessage("c", Message{Round: 1, View: view, Border: border,
+		Opinions: Vector{"c": {Kind: Reject}}})
+	// waiting[1] = {e}; e's round-1 accept completes round 1 → round 2.
+	eff := a.OnMessage("e", Message{Round: 1, View: view, Border: border,
+		Opinions: Vector{"e": {Kind: Accept, Value: "ve"}}})
+	if a.Round() != 2 {
+		t.Fatalf("round = %d, want 2", a.Round())
+	}
+	if len(eff.Sends) != 1 {
+		t.Fatalf("round-2 multicast missing")
+	}
+	m := eff.Sends[0].Payload.(Message)
+	if m.Round != 2 || m.Opinions.Get("c").Kind != Reject || m.Opinions.Get("e").Kind != Accept {
+		t.Errorf("round-2 message must carry the round-1 vector, got %s", m)
+	}
+	inst := a.received[view.Key()]
+	if inst.waiting[2]["c"] {
+		t.Error("self-delivered round-2 vector should clear c (a known rejector) from waiting[2]")
+	}
+
+	// e's round-2 and round-3 messages complete the remaining rounds
+	// (|B| = 3 → 3 uniform rounds); the vector contains a reject, so a
+	// resets instead of deciding.
+	eff = a.OnMessage("e", Message{Round: 2, View: view, Border: border,
+		Opinions: m.Opinions.Clone()})
+	if a.Round() != 3 {
+		t.Fatalf("round = %d, want 3", a.Round())
+	}
+	eff = a.OnMessage("e", Message{Round: 3, View: view, Border: border,
+		Opinions: m.Opinions.Clone()})
+	if eff.Resets != 1 || a.HasProposed() {
+		t.Fatalf("expected reset on non-all-accept final vector, got %+v", eff)
+	}
+}
+
+func TestDuplicateCrashIdempotent(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnCrash("b")
+	eff := a.OnCrash("b")
+	if !eff.IsZero() {
+		t.Errorf("duplicate crash must be a no-op, got %+v", eff)
+	}
+}
+
+func TestNoProposalWithoutDetection(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	// A proposal for {b} arrives before a's own failure detector fired.
+	msg := Message{Round: 1, View: region.New(g, []graph.NodeID{"b"}),
+		Border:   []graph.NodeID{"a", "c"},
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}}
+	eff := a.OnMessage("c", msg)
+	if len(eff.Proposed) != 0 || len(eff.Sends) != 0 {
+		t.Errorf("a must not propose before detecting a crash, got %+v", eff)
+	}
+	// Once detection arrives the proposal goes out; c's accept is already
+	// recorded, so round 1 completes immediately and a advances to the
+	// final round (|B| = 2 → 2 uniform rounds).
+	eff = a.OnCrash("b")
+	if len(eff.Proposed) != 1 {
+		t.Fatalf("expected proposal, got %+v", eff)
+	}
+	if a.Round() != 2 {
+		t.Fatalf("round = %d, want 2 (round 1 already satisfied)", a.Round())
+	}
+	eff = a.OnMessage("c", Message{Round: 2, View: region.New(g, []graph.NodeID{"b"}),
+		Border:   []graph.NodeID{"a", "c"},
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}, "a": {Kind: Accept, Value: "va"}}})
+	if eff.Decision == nil {
+		t.Fatal("expected decision after the final round")
+	}
+}
+
+func TestMonitorDeduplication(t *testing.T) {
+	// Diamond: a-b, a-c, b-d, c-d. Crashing b then c must subscribe to d
+	// only once.
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("a", "c").
+		AddEdge("b", "d").AddEdge("c", "d").Build()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	eff1 := a.OnCrash("b")
+	if !hasMonitor(eff1, "d") {
+		t.Fatal("first crash should subscribe to d")
+	}
+	eff2 := a.OnCrash("c")
+	if hasMonitor(eff2, "d") {
+		t.Error("second crash must not re-subscribe to d")
+	}
+}
+
+func TestProposalsStrictlyMonotonic(t *testing.T) {
+	// Path a-b-c-d: a detects b, proposes {b}; c rejects (it knows more);
+	// a learns c crashed too and proposes {b,c}: strictly higher.
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnCrash("b")
+	first := a.CurrentView()
+	a.OnMessage("c", Message{Round: 1, View: first, Border: first.Border(),
+		Opinions: Vector{"c": {Kind: Reject}}})
+	if a.HasProposed() {
+		t.Fatal("reset expected")
+	}
+	eff := a.OnCrash("c")
+	if len(eff.Proposed) != 1 {
+		t.Fatalf("expected re-proposal, got %+v", eff)
+	}
+	second := eff.Proposed[0]
+	if !region.Less(first, second) {
+		t.Errorf("proposals must be strictly increasing: %s then %s", first, second)
+	}
+	if len(a.Violations()) != 0 {
+		t.Errorf("violations: %v", a.Violations())
+	}
+}
+
+func TestForeignPayloadRecorded(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnMessage("c", badPayload{})
+	if len(a.Violations()) != 1 {
+		t.Errorf("foreign payload should be recorded as violation, got %v", a.Violations())
+	}
+}
+
+type badPayload struct{}
+
+func (badPayload) WireSize() int { return 1 }
+func (badPayload) Kind() string  { return "bad" }
+
+func TestCloneIndependence(t *testing.T) {
+	g := lineABC()
+	a := mkNode(t, g, "a", "va")
+	a.Start()
+	a.OnCrash("b")
+	c := a.Clone()
+
+	// Mutate the original: c's round-1 and round-2 accepts complete the
+	// two-party instance.
+	view := region.New(g, []graph.NodeID{"b"})
+	a.OnMessage("c", Message{Round: 1, View: view, Border: view.Border(),
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+	a.OnMessage("c", Message{Round: 2, View: view, Border: view.Border(),
+		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}, "a": {Kind: Accept, Value: "va"}}})
+	if a.Decided() == nil {
+		t.Fatal("original should have decided")
+	}
+	if c.Decided() != nil {
+		t.Fatal("clone must not observe the original's decision")
+	}
+	// And the clone can take its own path.
+	eff := c.OnMessage("c", Message{Round: 1, View: view, Border: view.Border(),
+		Opinions: Vector{"c": {Kind: Reject}}})
+	if eff.Resets != 1 {
+		t.Errorf("clone should reset independently, got %+v", eff)
+	}
+}
+
+func TestNewPanicsOnMissingConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic without ID/Graph")
+		}
+	}()
+	New(Config{})
+}
+
+func TestDefaultPick(t *testing.T) {
+	if DefaultPick(nil) != "" {
+		t.Error("empty pick should be zero value")
+	}
+	if DefaultPick([]proto.Value{"b", "a", "c"}) != "a" {
+		t.Error("DefaultPick should return the minimum")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := Vector{"a": {Kind: Accept, Value: "x"}, "b": {Kind: Reject}}
+	if _, ok := v.allAccept([]graph.NodeID{"a", "b"}); ok {
+		t.Error("allAccept must fail on a reject")
+	}
+	if vals, ok := v.allAccept([]graph.NodeID{"a"}); !ok || len(vals) != 1 || vals[0] != "x" {
+		t.Error("allAccept over accepting subset failed")
+	}
+	if _, ok := v.allAccept([]graph.NodeID{"a", "z"}); ok {
+		t.Error("missing slot is ⊥, not accept")
+	}
+	s := v.String()
+	if s == "" || s[0] != '[' {
+		t.Errorf("Vector.String format: %q", s)
+	}
+}
+
+func TestMessageWireSizeAndString(t *testing.T) {
+	g := lineABC()
+	view := region.New(g, []graph.NodeID{"b"})
+	m := Message{Round: 1, View: view, Border: view.Border(),
+		Opinions: Vector{"a": {Kind: Accept, Value: "va"}}}
+	if m.WireSize() <= 0 {
+		t.Error("WireSize should be positive")
+	}
+	bigger := Message{Round: 1, View: view, Border: view.Border(),
+		Opinions: Vector{"a": {Kind: Accept, Value: "va"}, "c": {Kind: Accept, Value: "vc"}}}
+	if bigger.WireSize() <= m.WireSize() {
+		t.Error("more opinions should cost more bytes")
+	}
+	if m.String() == "" || m.Kind() != "cliffedge" {
+		t.Error("String/Kind broken")
+	}
+	if k, r := m.TraceView(); k != "b" || r != 1 {
+		t.Errorf("TraceView = %q,%d", k, r)
+	}
+}
+
+func TestOpinionKindString(t *testing.T) {
+	if Unknown.String() != "⊥" || Accept.String() != "accept" || Reject.String() != "reject" {
+		t.Error("OpinionKind.String broken")
+	}
+	if OpinionKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,232 @@
+// Package graph implements the undirected knowledge graph G = (Π, E) that
+// underpins cliff-edge consensus (paper §2.2): nodes only know their
+// immediate neighbours, and a region's border is the set of outside nodes
+// adjacent to it.
+//
+// Graphs are immutable once built (the paper's G is fixed for a run; crashes
+// remove processes, not edges), which lets every layer above share a single
+// Graph value without locking.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a process in Π. IDs are ordered lexicographically; the
+// ranking relation of §3.1 only needs *some* strict total order on node
+// sets, and string order is convenient for human-readable examples
+// (paris, london, …) as well as generated topologies (n0042…).
+type NodeID string
+
+// Graph is an immutable undirected graph. The zero value is an empty graph.
+type Graph struct {
+	adj   map[NodeID][]NodeID // sorted adjacency lists
+	nodes []NodeID            // sorted
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+type Builder struct {
+	adj map[NodeID]map[NodeID]bool
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{adj: make(map[NodeID]map[NodeID]bool)}
+}
+
+// AddNode ensures n is present (isolated nodes are allowed: a node with no
+// neighbours simply never participates in any protocol run).
+func (b *Builder) AddNode(n NodeID) *Builder {
+	if _, ok := b.adj[n]; !ok {
+		b.adj[n] = make(map[NodeID]bool)
+	}
+	return b
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored:
+// knowledge of oneself is implicit and a self-edge would corrupt border
+// computations.
+func (b *Builder) AddEdge(u, v NodeID) *Builder {
+	if u == v {
+		return b
+	}
+	b.AddNode(u)
+	b.AddNode(v)
+	b.adj[u][v] = true
+	b.adj[v][u] = true
+	return b
+}
+
+// Build freezes the builder into an immutable Graph. The builder may be
+// reused afterwards; the Graph does not alias its maps.
+func (b *Builder) Build() *Graph {
+	g := &Graph{adj: make(map[NodeID][]NodeID, len(b.adj))}
+	for n, nbrs := range b.adj {
+		list := make([]NodeID, 0, len(nbrs))
+		for m := range nbrs {
+			list = append(list, m)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		g.adj[n] = list
+		g.nodes = append(g.nodes, n)
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+	return g
+}
+
+// Nodes returns all nodes in sorted order. The slice is shared; callers must
+// not mutate it.
+func (g *Graph) Nodes() []NodeID { return g.nodes }
+
+// Len returns |Π|.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Has reports whether n ∈ Π.
+func (g *Graph) Has(n NodeID) bool {
+	_, ok := g.adj[n]
+	return ok
+}
+
+// Neighbors returns border(n): the sorted adjacency list of n. The slice is
+// shared; callers must not mutate it. Unknown nodes have no neighbours.
+func (g *Graph) Neighbors(n NodeID) []NodeID { return g.adj[n] }
+
+// Degree returns |border(n)|.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// HasEdge reports whether {u, v} ∈ E.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	nbrs := g.adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Border returns border(S) = {q ∈ Π\S | ∃p ∈ S : (p,q) ∈ E} in sorted
+// order (paper §2.2). S is given as a set.
+func (g *Graph) Border(s map[NodeID]bool) []NodeID {
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	for p := range s {
+		for _, q := range g.adj[p] {
+			if !s[q] && !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BorderOfSlice is Border for a slice-typed set.
+func (g *Graph) BorderOfSlice(s []NodeID) []NodeID {
+	set := make(map[NodeID]bool, len(s))
+	for _, n := range s {
+		set[n] = true
+	}
+	return g.Border(set)
+}
+
+// ConnectedComponents returns the vertex sets of the connected components of
+// the subgraph G[S] induced by S (paper §3.1, connectedComponents). Each
+// component is sorted; components are ordered by their smallest node.
+func (g *Graph) ConnectedComponents(s map[NodeID]bool) [][]NodeID {
+	visited := make(map[NodeID]bool, len(s))
+	members := make([]NodeID, 0, len(s))
+	for n := range s {
+		members = append(members, n)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	var comps [][]NodeID
+	for _, start := range members {
+		if visited[start] {
+			continue
+		}
+		comp := []NodeID{}
+		stack := []NodeID{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, m := range g.adj[n] {
+				if s[m] && !visited[m] {
+					visited[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnectedSubset reports whether the induced subgraph G[S] is connected
+// (a "region" per §2.2 is a connected subgraph). The empty set is not a
+// region.
+func (g *Graph) IsConnectedSubset(s map[NodeID]bool) bool {
+	if len(s) == 0 {
+		return false
+	}
+	return len(g.ConnectedComponents(s)) == 1
+}
+
+// DOT renders the graph in Graphviz DOT format. Nodes listed in crashed are
+// filled grey — handy for visualising scenarios.
+func (g *Graph) DOT(name string, crashed map[NodeID]bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n  node [shape=circle];\n", name)
+	for _, n := range g.nodes {
+		if crashed[n] {
+			fmt.Fprintf(&sb, "  %q [style=filled, fillcolor=gray70];\n", string(n))
+		} else {
+			fmt.Fprintf(&sb, "  %q;\n", string(n))
+		}
+	}
+	for _, u := range g.nodes {
+		for _, v := range g.adj[u] {
+			if u < v {
+				fmt.Fprintf(&sb, "  %q -- %q;\n", string(u), string(v))
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// SortIDs sorts a slice of node IDs in place and returns it.
+func SortIDs(ids []NodeID) []NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ToSet converts a slice of node IDs to a set.
+func ToSet(ids []NodeID) map[NodeID]bool {
+	s := make(map[NodeID]bool, len(ids))
+	for _, n := range ids {
+		s[n] = true
+	}
+	return s
+}
+
+// SetToSlice converts a set to a sorted slice.
+func SetToSlice(s map[NodeID]bool) []NodeID {
+	out := make([]NodeID, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	return SortIDs(out)
+}

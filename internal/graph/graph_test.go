@@ -1,0 +1,455 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	g := NewBuilder().
+		AddEdge("a", "b").
+		AddEdge("b", "c").
+		AddNode("d").
+		Build()
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("edge a-b missing or not symmetric")
+	}
+	if g.HasEdge("a", "c") {
+		t.Error("phantom edge a-c")
+	}
+	if g.Degree("b") != 2 {
+		t.Errorf("Degree(b) = %d, want 2", g.Degree("b"))
+	}
+	if g.Degree("d") != 0 {
+		t.Errorf("Degree(d) = %d, want 0", g.Degree("d"))
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := NewBuilder().AddEdge("a", "a").Build()
+	if g.Degree("a") != 0 {
+		t.Errorf("self-loop created an edge: degree %d", g.Degree("a"))
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	g := NewBuilder().AddEdge("a", "b").AddEdge("b", "a").AddEdge("a", "b").Build()
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	g := NewBuilder().AddEdge("z", "m").AddEdge("m", "a").Build()
+	nodes := g.Nodes()
+	if !sort.SliceIsSorted(nodes, func(i, j int) bool { return nodes[i] < nodes[j] }) {
+		t.Errorf("Nodes() not sorted: %v", nodes)
+	}
+	for _, n := range nodes {
+		nbrs := g.Neighbors(n)
+		if !sort.SliceIsSorted(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] }) {
+			t.Errorf("Neighbors(%s) not sorted: %v", n, nbrs)
+		}
+	}
+}
+
+func TestBorder(t *testing.T) {
+	// a-b-c-d path; border({b,c}) = {a,d}.
+	g := Line(4)
+	s := map[NodeID]bool{RingID(1): true, RingID(2): true}
+	got := g.Border(s)
+	want := []NodeID{RingID(0), RingID(3)}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Border = %v, want %v", got, want)
+	}
+}
+
+func TestBorderDisjointFromSet(t *testing.T) {
+	g := Grid(5, 5)
+	rng := rand.New(rand.NewSource(1))
+	nodes := g.Nodes()
+	for trial := 0; trial < 100; trial++ {
+		s := map[NodeID]bool{}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			s[nodes[rng.Intn(len(nodes))]] = true
+		}
+		for _, b := range g.Border(s) {
+			if s[b] {
+				t.Fatalf("border node %s is inside the set %v", b, s)
+			}
+			// Every border node must have a neighbour in s.
+			found := false
+			for _, n := range g.Neighbors(b) {
+				if s[n] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("border node %s has no neighbour in the set", b)
+			}
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := Grid(4, 4)
+	s := ToSet([]NodeID{
+		GridID(0, 0), GridID(0, 1), // component 1
+		GridID(2, 2), // component 2
+		GridID(3, 0), // component 3
+	})
+	comps := g.ConnectedComponents(s)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 2 {
+		t.Errorf("first component should be the pair, got %v", comps[0])
+	}
+}
+
+func TestConnectedComponentsPartitionProperty(t *testing.T) {
+	g := ErdosRenyi(40, 0.05, 99)
+	rng := rand.New(rand.NewSource(2))
+	nodes := g.Nodes()
+	for trial := 0; trial < 50; trial++ {
+		s := map[NodeID]bool{}
+		for i := 0; i < rng.Intn(15); i++ {
+			s[nodes[rng.Intn(len(nodes))]] = true
+		}
+		comps := g.ConnectedComponents(s)
+		seen := map[NodeID]int{}
+		total := 0
+		for ci, comp := range comps {
+			if !g.IsConnectedSubset(ToSet(comp)) {
+				t.Fatalf("component %v not connected", comp)
+			}
+			for _, n := range comp {
+				if prev, dup := seen[n]; dup {
+					t.Fatalf("node %s in components %d and %d", n, prev, ci)
+				}
+				seen[n] = ci
+				if !s[n] {
+					t.Fatalf("node %s not in input set", n)
+				}
+				total++
+			}
+		}
+		if total != len(s) {
+			t.Fatalf("components cover %d nodes, set has %d", total, len(s))
+		}
+		// Maximality: no edge between two distinct components.
+		for u, cu := range seen {
+			for _, v := range g.Neighbors(u) {
+				if cv, ok := seen[v]; ok && cv != cu {
+					t.Fatalf("edge %s-%s crosses components", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4)
+	if g.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", g.Len())
+	}
+	// Interior node has 4 neighbours, corner 2.
+	if d := g.Degree(GridID(1, 1)); d != 4 {
+		t.Errorf("interior degree = %d, want 4", d)
+	}
+	if d := g.Degree(GridID(0, 0)); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+	if g.NumEdges() != 3*3+2*4 {
+		t.Errorf("NumEdges = %d, want 17", g.NumEdges())
+	}
+}
+
+func TestTorusIsRegular(t *testing.T) {
+	g := Torus(4, 5)
+	for _, n := range g.Nodes() {
+		if g.Degree(n) != 4 {
+			t.Fatalf("torus node %s has degree %d, want 4", n, g.Degree(n))
+		}
+	}
+}
+
+func TestRingAndLine(t *testing.T) {
+	r := Ring(6)
+	for _, n := range r.Nodes() {
+		if r.Degree(n) != 2 {
+			t.Fatalf("ring degree %d", r.Degree(n))
+		}
+	}
+	l := Line(6)
+	deg1 := 0
+	for _, n := range l.Nodes() {
+		if l.Degree(n) == 1 {
+			deg1++
+		}
+	}
+	if deg1 != 2 {
+		t.Errorf("line should have exactly 2 endpoints, got %d", deg1)
+	}
+}
+
+func TestCompleteAndStar(t *testing.T) {
+	k := Complete(5)
+	if k.NumEdges() != 10 {
+		t.Errorf("K5 edges = %d, want 10", k.NumEdges())
+	}
+	s := Star(5)
+	if s.Degree(RingID(0)) != 4 {
+		t.Errorf("hub degree = %d, want 4", s.Degree(RingID(0)))
+	}
+}
+
+func TestTreeConnectedAcyclic(t *testing.T) {
+	g := Tree(15, 2)
+	if g.NumEdges() != 14 {
+		t.Errorf("tree edges = %d, want n-1 = 14", g.NumEdges())
+	}
+	if !g.IsConnectedSubset(ToSet(g.Nodes())) {
+		t.Error("tree not connected")
+	}
+}
+
+func TestRandomGraphsConnected(t *testing.T) {
+	cases := []*Graph{
+		ErdosRenyi(50, 0.02, 1),
+		SmallWorld(50, 4, 0.3, 2),
+		RandomGeometric(50, 0.15, 3),
+		Clustered(3, 10, 2, 0.3, 4),
+		Chord(32),
+	}
+	for i, g := range cases {
+		if !g.IsConnectedSubset(ToSet(g.Nodes())) {
+			t.Errorf("case %d: generated graph not connected", i)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := ErdosRenyi(30, 0.1, 7)
+	b := ErdosRenyi(30, 0.1, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different graphs: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	for _, n := range a.Nodes() {
+		na, nb := a.Neighbors(n), b.Neighbors(n)
+		if len(na) != len(nb) {
+			t.Fatalf("node %s: %v vs %v", n, na, nb)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %s: %v vs %v", n, na, nb)
+			}
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	g, f1, f2 := Fig1()
+	b1 := g.BorderOfSlice(f1)
+	want1 := []NodeID{"london", "madrid", "paris", "roma"}
+	if strings.Join(idStrings(b1), ",") != strings.Join(idStrings(want1), ",") {
+		t.Errorf("border(F1) = %v, want %v", b1, want1)
+	}
+	b2 := g.BorderOfSlice(f2)
+	want2 := []NodeID{"beijing", "portland", "sydney", "tokyo", "vancouver"}
+	if strings.Join(idStrings(b2), ",") != strings.Join(idStrings(want2), ",") {
+		t.Errorf("border(F2) = %v, want %v", b2, want2)
+	}
+	// F3 = F1 ∪ {paris} is bordered by berlin but F1 is not.
+	f3 := append(append([]NodeID{}, f1...), "paris")
+	b3 := g.BorderOfSlice(f3)
+	if !contains(b3, "berlin") {
+		t.Errorf("border(F3) = %v should contain berlin", b3)
+	}
+	if contains(b1, "berlin") {
+		t.Errorf("border(F1) = %v should not contain berlin", b1)
+	}
+	if !g.IsConnectedSubset(ToSet(g.Nodes())) {
+		t.Error("Fig1 world graph should be connected")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	g, domains := Fig2()
+	if len(domains) != 4 {
+		t.Fatalf("want 4 domains")
+	}
+	var all []NodeID
+	for _, d := range domains {
+		all = append(all, d...)
+		if !g.IsConnectedSubset(ToSet(d)) {
+			t.Errorf("domain %v not connected", d)
+		}
+	}
+	// Domains are pairwise disjoint and consecutive ones share a border
+	// node (adjacent in the paper's sense).
+	comps := g.ConnectedComponents(ToSet(all))
+	if len(comps) != 4 {
+		t.Fatalf("domains are not 4 disjoint regions: %d components", len(comps))
+	}
+	for i := 0; i+1 < len(domains); i++ {
+		bi := ToSet(g.BorderOfSlice(domains[i]))
+		bj := g.BorderOfSlice(domains[i+1])
+		adjacent := false
+		for _, n := range bj {
+			if bi[n] {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Errorf("domains %d and %d not adjacent", i, i+1)
+		}
+	}
+	// All survivors form a connected graph so borders can coordinate.
+	crashed := ToSet(all)
+	survivors := map[NodeID]bool{}
+	for _, n := range g.Nodes() {
+		if !crashed[n] {
+			survivors[n] = true
+		}
+	}
+	if !g.IsConnectedSubset(survivors) {
+		t.Error("Fig2 survivors should be connected")
+	}
+}
+
+func TestGridBlockAndCenterBlock(t *testing.T) {
+	b := GridBlock(1, 2, 2)
+	want := []NodeID{GridID(1, 2), GridID(1, 3), GridID(2, 2), GridID(2, 3)}
+	if len(b) != 4 {
+		t.Fatalf("block size %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("block[%d] = %s, want %s", i, b[i], want[i])
+		}
+	}
+	g := Grid(9, 9)
+	cb := CenterBlock(9, 9, 3)
+	if !g.IsConnectedSubset(ToSet(cb)) {
+		t.Error("centre block not connected")
+	}
+}
+
+func TestDiameterAndDegreeStats(t *testing.T) {
+	l := Line(5)
+	if d := l.Diameter(); d != 4 {
+		t.Errorf("line diameter = %d, want 4", d)
+	}
+	k := Complete(6)
+	if d := k.Diameter(); d != 1 {
+		t.Errorf("K6 diameter = %d, want 1", d)
+	}
+	if k.MaxDegree() != 5 {
+		t.Errorf("K6 max degree = %d", k.MaxDegree())
+	}
+	if avg := k.AvgDegree(); avg != 5 {
+		t.Errorf("K6 avg degree = %f", avg)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := NewBuilder().AddEdge("a", "b").Build()
+	dot := g.DOT("test", map[NodeID]bool{"a": true})
+	for _, frag := range []string{`graph "test"`, `"a" [style=filled`, `"a" -- "b"`} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// TestBorderQuick cross-checks Border against a brute-force definition.
+func TestBorderQuick(t *testing.T) {
+	g := ErdosRenyi(25, 0.15, 5)
+	nodes := g.Nodes()
+	f := func(picks []uint8) bool {
+		s := map[NodeID]bool{}
+		for _, p := range picks {
+			s[nodes[int(p)%len(nodes)]] = true
+		}
+		got := ToSet(g.Border(s))
+		// Brute force: q ∈ border(S) iff q ∉ S and ∃p ∈ S adjacent.
+		for _, q := range nodes {
+			want := false
+			if !s[q] {
+				for _, p := range g.Neighbors(q) {
+					if s[p] {
+						want = true
+					}
+				}
+			}
+			if got[q] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func idStrings(ids []NodeID) []string {
+	out := make([]string, len(ids))
+	for i, n := range ids {
+		out[i] = string(n)
+	}
+	return out
+}
+
+func contains(ids []NodeID, n NodeID) bool {
+	for _, id := range ids {
+		if id == n {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(60, 2, 7)
+	if g.Len() != 60 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.IsConnectedSubset(ToSet(g.Nodes())) {
+		t.Error("BA graph should be connected")
+	}
+	// Preferential attachment yields hubs: max degree well above m.
+	if g.MaxDegree() < 5 {
+		t.Errorf("expected hubs, max degree %d", g.MaxDegree())
+	}
+	// Determinism.
+	h := BarabasiAlbert(60, 2, 7)
+	if g.NumEdges() != h.NumEdges() {
+		t.Error("same seed, different graphs")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", g.Len())
+	}
+	for _, n := range g.Nodes() {
+		if g.Degree(n) != 4 {
+			t.Fatalf("node %s degree %d, want 4", n, g.Degree(n))
+		}
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+}

@@ -1,0 +1,363 @@
+// Package livenet executes protocol automata with real concurrency: one
+// goroutine per node, unbounded FIFO mailboxes as channels, and a
+// registry-based perfect failure detector. It implements the same system
+// contract as the deterministic simulator (asynchronous reliable FIFO
+// channels, strong-accuracy/strong-completeness crash notifications,
+// subscribe-after-crash delivery) but with scheduling decided by the Go
+// runtime — demonstrating that the protocol's correctness is not an
+// artifact of deterministic event ordering. The race detector is the
+// intended companion of this package's tests.
+package livenet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/trace"
+)
+
+// envelope is one unit of work queued at a node: a message delivery or a
+// crash notification.
+type envelope struct {
+	crashNotify bool
+	from        graph.NodeID // sender (message) or crashed node (notify)
+	payload     proto.Payload
+}
+
+// mailbox is an unbounded FIFO queue. Unboundedness matters: with bounded
+// channels two nodes flooding each other could deadlock on full buffers,
+// which the paper's asynchronous reliable channels rule out.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// get blocks until an envelope is available or the mailbox closes.
+func (m *mailbox) get() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return envelope{}, false
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Runtime is a live cluster execution. Create with New, drive crashes with
+// Crash/CrashAll, synchronise with WaitIdle, finish with Stop.
+type Runtime struct {
+	g       *graph.Graph
+	log     *trace.Log
+	clock   atomic.Int64 // logical time for trace events
+	pending atomic.Int64 // queued envelopes + in-progress handlers
+	idle    chan struct{}
+
+	mu       sync.Mutex
+	automata map[graph.NodeID]proto.Automaton // guarded by each node's goroutine after start
+	boxes    map[graph.NodeID]*mailbox
+	crashed  map[graph.NodeID]bool
+	subs     map[graph.NodeID]map[graph.NodeID]bool // target → subscribers
+	wg       sync.WaitGroup
+	stopped  bool
+}
+
+// New builds and starts a live cluster: every automaton is instantiated
+// and its Start effects applied before New returns.
+func New(g *graph.Graph, factory proto.Factory) *Runtime {
+	rt := &Runtime{
+		g:        g,
+		log:      &trace.Log{},
+		idle:     make(chan struct{}, 1),
+		automata: make(map[graph.NodeID]proto.Automaton, g.Len()),
+		boxes:    make(map[graph.NodeID]*mailbox, g.Len()),
+		crashed:  make(map[graph.NodeID]bool),
+		subs:     make(map[graph.NodeID]map[graph.NodeID]bool),
+	}
+	for _, id := range g.Nodes() {
+		rt.automata[id] = factory(id)
+		rt.boxes[id] = newMailbox()
+	}
+	// Apply 〈init〉 effects before spawning the node loops: an automaton
+	// must never observe a message ahead of its own Start. Effects only
+	// enqueue into mailboxes, which buffer until the loops run.
+	for _, id := range g.Nodes() {
+		rt.trackEnter()
+		rt.applyEffects(id, rt.automata[id].Start())
+		rt.trackExit()
+	}
+	for _, id := range g.Nodes() {
+		rt.wg.Add(1)
+		go rt.nodeLoop(id)
+	}
+	return rt
+}
+
+func (rt *Runtime) now() int64 { return rt.clock.Add(1) }
+
+func (rt *Runtime) emit(e trace.Event) {
+	e.Time = rt.now()
+	rt.log.Append(e)
+}
+
+// trackEnter/trackExit maintain the in-flight work counter used by
+// WaitIdle's quiescence detection.
+func (rt *Runtime) trackEnter() { rt.pending.Add(1) }
+
+func (rt *Runtime) trackExit() {
+	if rt.pending.Add(-1) == 0 {
+		select {
+		case rt.idle <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (rt *Runtime) nodeLoop(id graph.NodeID) {
+	defer rt.wg.Done()
+	box := rt.boxes[id]
+	for {
+		env, ok := box.get()
+		if !ok {
+			return
+		}
+		rt.process(id, env)
+		rt.trackExit() // matches the trackEnter done at enqueue time
+	}
+}
+
+func (rt *Runtime) process(id graph.NodeID, env envelope) {
+	rt.mu.Lock()
+	dead := rt.crashed[id]
+	rt.mu.Unlock()
+	if dead {
+		if !env.crashNotify {
+			rt.emit(trace.Event{Kind: trace.KindDrop, Node: id, Peer: env.from,
+				Bytes: env.payload.WireSize()})
+		}
+		return
+	}
+	a := rt.automata[id]
+	if env.crashNotify {
+		rt.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: env.from})
+		rt.applyEffects(id, a.OnCrash(env.from))
+		return
+	}
+	var view string
+	var round int
+	if m, ok := env.payload.(interface{ TraceView() (string, int) }); ok {
+		view, round = m.TraceView()
+	}
+	rt.emit(trace.Event{Kind: trace.KindDeliver, Node: id, Peer: env.from,
+		View: view, Round: round, Bytes: env.payload.WireSize()})
+	rt.applyEffects(id, a.OnMessage(env.from, env.payload))
+}
+
+func (rt *Runtime) applyEffects(id graph.NodeID, eff proto.Effects) {
+	for _, q := range eff.Monitor {
+		rt.subscribe(id, q)
+	}
+	for _, v := range eff.Proposed {
+		rt.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()})
+	}
+	for _, v := range eff.Rejected {
+		rt.emit(trace.Event{Kind: trace.KindReject, Node: id, View: v.Key()})
+	}
+	for i := 0; i < eff.Resets; i++ {
+		rt.emit(trace.Event{Kind: trace.KindReset, Node: id})
+	}
+	for _, s := range eff.Sends {
+		size := s.Payload.WireSize()
+		var view string
+		var round int
+		if m, ok := s.Payload.(interface{ TraceView() (string, int) }); ok {
+			view, round = m.TraceView()
+		}
+		for _, to := range s.To {
+			rt.emit(trace.Event{Kind: trace.KindSend, Node: id, Peer: to,
+				View: view, Round: round, Bytes: size})
+			rt.trackEnter()
+			rt.boxes[to].put(envelope{from: id, payload: s.Payload})
+		}
+	}
+	if eff.Decision != nil {
+		rt.emit(trace.Event{Kind: trace.KindDecide, Node: id,
+			View: eff.Decision.View.Key(), Value: string(eff.Decision.Value)})
+	}
+}
+
+// subscribe registers p for crash notifications about q, delivering
+// immediately if q already crashed (subscribe-after-crash).
+func (rt *Runtime) subscribe(p, q graph.NodeID) {
+	rt.mu.Lock()
+	set := rt.subs[q]
+	if set == nil {
+		set = make(map[graph.NodeID]bool)
+		rt.subs[q] = set
+	}
+	already := set[p]
+	set[p] = true
+	deadAlready := rt.crashed[q]
+	rt.mu.Unlock()
+	if !already && deadAlready {
+		rt.trackEnter()
+		rt.boxes[p].put(envelope{crashNotify: true, from: q})
+	}
+}
+
+// Crash kills node n: it stops processing, its queued messages are
+// dropped, and every subscriber is notified (strong completeness).
+func (rt *Runtime) Crash(n graph.NodeID) {
+	rt.trackEnter()
+	defer rt.trackExit()
+	rt.mu.Lock()
+	if rt.crashed[n] {
+		rt.mu.Unlock()
+		return
+	}
+	rt.crashed[n] = true
+	subscribers := make([]graph.NodeID, 0, len(rt.subs[n]))
+	for p := range rt.subs[n] {
+		subscribers = append(subscribers, p)
+	}
+	rt.mu.Unlock()
+	graph.SortIDs(subscribers)
+	rt.emit(trace.Event{Kind: trace.KindCrash, Node: n})
+	for _, p := range subscribers {
+		rt.trackEnter()
+		rt.boxes[p].put(envelope{crashNotify: true, from: n})
+	}
+}
+
+// CrashAll kills a wave of nodes.
+func (rt *Runtime) CrashAll(ns ...graph.NodeID) {
+	for _, n := range ns {
+		rt.Crash(n)
+	}
+}
+
+// Inject delivers payload to n as a message from itself — the live
+// counterpart of sim.InjectAt, used e.g. to mark nodes in the
+// stable-predicate extension.
+func (rt *Runtime) Inject(n graph.NodeID, payload proto.Payload) {
+	rt.trackEnter()
+	rt.boxes[n].put(envelope{from: n, payload: payload})
+}
+
+// WaitIdle blocks until no envelope is queued or being processed, i.e. the
+// cluster is quiescent, or the timeout elapses.
+func (rt *Runtime) WaitIdle(timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if rt.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-rt.idle:
+			// Re-check: a new envelope may have been enqueued since.
+		case <-deadline.C:
+			return fmt.Errorf("livenet: not idle after %v (%d in flight)",
+				timeout, rt.pending.Load())
+		}
+	}
+}
+
+// Stop shuts the cluster down and waits for every node goroutine to exit.
+// The runtime must be idle; automata may be inspected afterwards.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	rt.mu.Unlock()
+	for _, b := range rt.boxes {
+		b.close()
+	}
+	rt.wg.Wait()
+}
+
+// Result summarises a stopped runtime.
+type Result struct {
+	Events    []trace.Event
+	Stats     trace.Stats
+	Decisions map[graph.NodeID]*proto.Decision
+	Automata  map[graph.NodeID]proto.Automaton
+	Crashed   map[graph.NodeID]bool
+}
+
+// Result gathers the trace and final automaton states. Call only after
+// Stop.
+func (rt *Runtime) Result() *Result {
+	events := rt.log.Events()
+	decisions := make(map[graph.NodeID]*proto.Decision)
+	crashed := make(map[graph.NodeID]bool, len(rt.crashed))
+	for n := range rt.crashed {
+		crashed[n] = true
+	}
+	for id, a := range rt.automata {
+		if d := a.Decided(); d != nil && !crashed[id] {
+			decisions[id] = d
+		}
+	}
+	return &Result{
+		Events:    events,
+		Stats:     trace.Summarize(events),
+		Decisions: decisions,
+		Automata:  rt.automata,
+		Crashed:   crashed,
+	}
+}
+
+// Run executes crash waves against a fresh live cluster: each wave is
+// injected after the previous one went quiescent, and the cluster is
+// stopped once fully quiescent. This is the convenience entry point used
+// by tests and examples.
+func Run(g *graph.Graph, factory proto.Factory, waves [][]graph.NodeID, timeout time.Duration) (*Result, error) {
+	rt := New(g, factory)
+	defer rt.Stop()
+	if err := rt.WaitIdle(timeout); err != nil {
+		return nil, err
+	}
+	for _, wave := range waves {
+		rt.CrashAll(wave...)
+		if err := rt.WaitIdle(timeout); err != nil {
+			return nil, err
+		}
+	}
+	rt.Stop()
+	return rt.Result(), nil
+}

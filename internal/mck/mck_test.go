@@ -1,0 +1,178 @@
+package mck
+
+import (
+	"testing"
+
+	"cliffedge/internal/graph"
+)
+
+func explore(t *testing.T, g *graph.Graph, crashes []graph.NodeID, maxStates int) *Outcome {
+	t.Helper()
+	out, err := Explore(Config{Graph: g, Crashes: crashes, MaxStates: maxStates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("states=%d runs=%d maxDepth=%d truncated=%v decidedViews=%v",
+		out.StatesExplored, out.RunsCompleted, out.MaxDepth, out.Truncated, out.DecidedViews)
+	if !out.Ok() {
+		for _, v := range out.Violations {
+			t.Error(v)
+		}
+	}
+	return out
+}
+
+// TestPathSingleCrash exhaustively checks the smallest interesting
+// scenario: a path a-b-c with b crashing; a and c must agree on {b}.
+func TestPathSingleCrash(t *testing.T) {
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").Build()
+	out := explore(t, g, []graph.NodeID{"b"}, 0)
+	if out.Truncated {
+		t.Fatal("tiny scenario should be fully explored")
+	}
+	if !out.DecidedViews["b"] {
+		t.Error("no explored run decided {b}")
+	}
+	if out.RunsCompleted == 0 {
+		t.Fatal("no terminal states reached")
+	}
+}
+
+// TestTriangleBorderThree covers a 3-participant instance (two rounds of
+// flooding) under all interleavings.
+func TestTriangleBorderThree(t *testing.T) {
+	g := graph.NewBuilder().
+		AddEdge("a", "x").AddEdge("b", "x").AddEdge("c", "x").
+		AddEdge("a", "b").AddEdge("b", "c").
+		Build()
+	out := explore(t, g, []graph.NodeID{"x"}, 0)
+	if out.Truncated {
+		t.Fatal("should be fully explored")
+	}
+	if !out.DecidedViews["x"] {
+		t.Error("no run decided {x}")
+	}
+}
+
+// TestGrowingRegion is the Fig. 1(b) pattern in miniature: the second
+// crash can land at every possible point of the first agreement, including
+// mid-flood. All safety properties must hold in every interleaving.
+func TestGrowingRegion(t *testing.T) {
+	// Path a - b - c - d: crash b and c. Depending on timing, views {b},
+	// {c} and {b,c} all get proposed; only compatible decisions may stand.
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
+	out := explore(t, g, []graph.NodeID{"b", "c"}, 0)
+	if out.Truncated {
+		t.Fatal("should be fully explored")
+	}
+	if !out.DecidedViews["b,c"] {
+		t.Error("some interleaving must decide the full region {b,c}")
+	}
+}
+
+// TestAdjacentDomains is Fig. 2 in miniature: two crashed singletons
+// sharing a border node, which can only join one instance; arbitration
+// must keep every interleaving safe.
+func TestAdjacentDomains(t *testing.T) {
+	// a - b - s - c - d with extra borders: b and c crash; s borders both.
+	g := graph.NewBuilder().
+		AddEdge("a", "b").AddEdge("b", "s").AddEdge("s", "c").AddEdge("c", "d").
+		Build()
+	out := explore(t, g, []graph.NodeID{"b", "c"}, 0)
+	if out.Truncated {
+		t.Fatal("should be fully explored")
+	}
+	// The two singletons are separate faulty domains; the ranking forces s
+	// to pick one, and CD7 (checked at every terminal state) demands each
+	// cluster decides — both are their own cluster here (borders {a,s} and
+	// {s,d} intersect at s, so actually one cluster).
+	if len(out.DecidedViews) == 0 {
+		t.Error("no decisions anywhere")
+	}
+}
+
+// TestSquareBlockCrash explores a 2-crash correlated failure on a cycle.
+func TestSquareBlockCrash(t *testing.T) {
+	// Cycle a-b-c-d-a plus chord edges to give the region a 2-node border.
+	g := graph.NewBuilder().
+		AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").AddEdge("d", "a").
+		Build()
+	out := explore(t, g, []graph.NodeID{"b", "c"}, 0)
+	if out.Truncated {
+		t.Fatal("should be fully explored")
+	}
+	if !out.DecidedViews["b,c"] {
+		t.Error("no run decided the full region")
+	}
+}
+
+// TestStarLeafEdgeCase: hub-only border (1-participant instances) under
+// every interleaving of two leaf crashes.
+func TestStarLeafEdgeCase(t *testing.T) {
+	g := graph.Star(4) // hub r0, leaves r1..r3
+	out := explore(t, g, []graph.NodeID{graph.RingID(1), graph.RingID(2)}, 0)
+	if out.Truncated {
+		t.Fatal("should be fully explored")
+	}
+	if out.RunsCompleted == 0 {
+		t.Fatal("no terminal states")
+	}
+}
+
+// TestLiteralRoundsViolateUniformCD5 demonstrates the flaw the checker
+// found in Algorithm 1 as printed: with |B|−1 flooding rounds, a node can
+// decide a view on an all-accept vector and crash, while a surviving
+// border node completes the same instance through crash detection (the
+// accept still in flight), resets, and decides a different, larger view —
+// violating uniform border agreement (CD5) and the paper's Lemma 3. The
+// corrected |B|-round version (the default, TestGrowingRegion above)
+// explores the same scenario with zero violations.
+func TestLiteralRoundsViolateUniformCD5(t *testing.T) {
+	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
+	out, err := Explore(Config{
+		Graph:              g,
+		Crashes:            []graph.NodeID{"b", "c"},
+		LiteralPaperRounds: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("states=%d runs=%d violations=%d", out.StatesExplored, out.RunsCompleted, len(out.Violations))
+	if out.Truncated {
+		t.Fatal("should be fully explored")
+	}
+	foundCD5 := false
+	for _, v := range out.Violations {
+		if len(v) >= 3 && v[:3] == "CD5" {
+			foundCD5 = true
+			t.Logf("counterexample: %s", v)
+			break
+		}
+	}
+	if !foundCD5 {
+		t.Error("expected the literal |B|−1 round count to violate uniform CD5")
+	}
+}
+
+func TestExploreValidatesConfig(t *testing.T) {
+	if _, err := Explore(Config{}); err == nil {
+		t.Error("nil graph must be rejected")
+	}
+	g := graph.Line(2)
+	if _, err := Explore(Config{Graph: g, Crashes: []graph.NodeID{"nope"}}); err == nil {
+		t.Error("unknown crash node must be rejected")
+	}
+}
+
+func TestTruncationReported(t *testing.T) {
+	g := graph.Grid(3, 3)
+	out, err := Explore(Config{Graph: g,
+		Crashes:   []graph.NodeID{graph.GridID(1, 1), graph.GridID(0, 1)},
+		MaxStates: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Truncated {
+		t.Error("expected truncation at 500 states")
+	}
+}

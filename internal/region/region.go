@@ -1,0 +1,257 @@
+// Package region implements the region algebra of cliff-edge consensus:
+// canonical connected node sets, their borders, and the strict total
+// ranking relation ≺ of the paper's §3.1 that arbitrates between
+// conflicting proposed views.
+package region
+
+import (
+	"sort"
+	"strings"
+
+	"cliffedge/internal/graph"
+)
+
+// Region is a canonical set of nodes together with its border in the
+// underlying graph. The paper's views are regions: connected subgraphs whose
+// nodes have all crashed. Regions are immutable once built.
+//
+// The zero Region is the empty region ∅ — never a valid view, but a useful
+// sentinel: the protocol's maxView starts at ∅ and every non-empty region
+// ranks strictly above it.
+type Region struct {
+	nodes  []graph.NodeID // sorted, deduplicated
+	border []graph.NodeID // sorted; border(nodes) in the graph used to build
+	key    string         // canonical identity: nodes joined by ','
+}
+
+// Empty is the ∅ region.
+var Empty = Region{}
+
+// New builds a Region from the given nodes, computing its border in g.
+// Input may be unsorted and contain duplicates; it is not aliased.
+func New(g *graph.Graph, nodes []graph.NodeID) Region {
+	if len(nodes) == 0 {
+		return Empty
+	}
+	sorted := make([]graph.NodeID, len(nodes))
+	copy(sorted, nodes)
+	graph.SortIDs(sorted)
+	dedup := sorted[:1]
+	for _, n := range sorted[1:] {
+		if n != dedup[len(dedup)-1] {
+			dedup = append(dedup, n)
+		}
+	}
+	return Region{
+		nodes:  dedup,
+		border: g.BorderOfSlice(dedup),
+		key:    joinIDs(dedup),
+	}
+}
+
+func joinIDs(ids []graph.NodeID) string {
+	parts := make([]string, len(ids))
+	for i, n := range ids {
+		parts[i] = string(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Nodes returns the sorted member nodes. Callers must not mutate the slice.
+func (r Region) Nodes() []graph.NodeID { return r.nodes }
+
+// Border returns the sorted border nodes. Callers must not mutate the slice.
+func (r Region) Border() []graph.NodeID { return r.border }
+
+// Key returns the canonical identity of the region, suitable as a map key.
+// Two regions built from the same node set over any graph share a key (the
+// key identifies the *set*, not the border, matching the paper where a view
+// is identified by the region it covers).
+func (r Region) Key() string { return r.key }
+
+// Len returns |R|.
+func (r Region) Len() int { return len(r.nodes) }
+
+// BorderLen returns |border(R)|.
+func (r Region) BorderLen() int { return len(r.border) }
+
+// IsEmpty reports whether R = ∅.
+func (r Region) IsEmpty() bool { return len(r.nodes) == 0 }
+
+// Contains reports whether n ∈ R.
+func (r Region) Contains(n graph.NodeID) bool {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i] >= n })
+	return i < len(r.nodes) && r.nodes[i] == n
+}
+
+// OnBorder reports whether n ∈ border(R).
+func (r Region) OnBorder(n graph.NodeID) bool {
+	i := sort.Search(len(r.border), func(i int) bool { return r.border[i] >= n })
+	return i < len(r.border) && r.border[i] == n
+}
+
+// Equal reports whether two regions cover the same node set.
+func (r Region) Equal(s Region) bool { return r.key == s.key }
+
+// Intersects reports whether R ∩ S ≠ ∅ — the premise of View Convergence
+// (CD6). Linear merge over the two sorted slices.
+func (r Region) Intersects(s Region) bool {
+	i, j := 0, 0
+	for i < len(r.nodes) && j < len(s.nodes) {
+		switch {
+		case r.nodes[i] == s.nodes[j]:
+			return true
+		case r.nodes[i] < s.nodes[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Subset reports whether R ⊆ S.
+func (r Region) Subset(s Region) bool {
+	if len(r.nodes) > len(s.nodes) {
+		return false
+	}
+	j := 0
+	for _, n := range r.nodes {
+		for j < len(s.nodes) && s.nodes[j] < n {
+			j++
+		}
+		if j >= len(s.nodes) || s.nodes[j] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the region as {a,b,c}.
+func (r Region) String() string {
+	if r.IsEmpty() {
+		return "{}"
+	}
+	return "{" + r.key + "}"
+}
+
+// Less implements the strict total ranking ≺ of §3.1: R ≺ S iff
+//
+//  1. |R| < |S|, or
+//  2. |R| = |S| and |border(R)| < |border(S)|, or
+//  3. sizes and border sizes are equal and R's node set is lexicographically
+//     smaller than S's.
+//
+// Rule 3 instantiates the paper's "some strict total order ⊏ on sets of
+// nodes" with lexicographic order on the sorted node-ID sequence; the paper
+// notes the particular choice does not matter. Because rule 1 compares
+// cardinality first, ≺ subsumes strict set inclusion (R ⊊ S ⇒ R ≺ S), a
+// fact the Progress proof (Thm 4) relies on.
+func Less(r, s Region) bool {
+	switch {
+	case len(r.nodes) != len(s.nodes):
+		return len(r.nodes) < len(s.nodes)
+	case len(r.border) != len(s.border):
+		return len(r.border) < len(s.border)
+	default:
+		return r.key < s.key
+	}
+}
+
+// Compare returns -1, 0, +1 as r ≺ s, r = s, r ≻ s.
+func Compare(r, s Region) int {
+	if Less(r, s) {
+		return -1
+	}
+	if Less(s, r) {
+		return 1
+	}
+	return 0
+}
+
+// MaxRanked returns the highest-ranked region of the given non-empty set
+// (the paper's maxRankedRegion). Returns Empty for an empty input.
+func MaxRanked(regions []Region) Region {
+	best := Empty
+	for _, r := range regions {
+		if Less(best, r) {
+			best = r
+		}
+	}
+	return best
+}
+
+// FromKey rebuilds a Region over g from a canonical key produced by Key().
+// The empty key yields Empty.
+func FromKey(g *graph.Graph, key string) Region {
+	if key == "" {
+		return Empty
+	}
+	parts := strings.Split(key, ",")
+	ids := make([]graph.NodeID, len(parts))
+	for i, p := range parts {
+		ids[i] = graph.NodeID(p)
+	}
+	return New(g, ids)
+}
+
+// FromComponents converts the output of graph.ConnectedComponents into
+// regions over g.
+func FromComponents(g *graph.Graph, comps [][]graph.NodeID) []Region {
+	out := make([]Region, len(comps))
+	for i, c := range comps {
+		out[i] = New(g, c)
+	}
+	return out
+}
+
+// Set is a collection of regions indexed by canonical key, preserving
+// deterministic iteration via sorted keys.
+type Set struct {
+	byKey map[string]Region
+}
+
+// NewSet returns an empty region set.
+func NewSet() *Set { return &Set{byKey: make(map[string]Region)} }
+
+// Add inserts r; returns true if it was not already present. Adding ∅ is a
+// no-op returning false.
+func (s *Set) Add(r Region) bool {
+	if r.IsEmpty() {
+		return false
+	}
+	if _, ok := s.byKey[r.key]; ok {
+		return false
+	}
+	s.byKey[r.key] = r
+	return true
+}
+
+// Remove deletes r; returns true if it was present.
+func (s *Set) Remove(r Region) bool {
+	if _, ok := s.byKey[r.key]; !ok {
+		return false
+	}
+	delete(s.byKey, r.key)
+	return true
+}
+
+// Has reports membership.
+func (s *Set) Has(r Region) bool {
+	_, ok := s.byKey[r.key]
+	return ok
+}
+
+// Len returns the number of regions held.
+func (s *Set) Len() int { return len(s.byKey) }
+
+// All returns the member regions sorted by rank (lowest first), giving
+// deterministic iteration order.
+func (s *Set) All() []Region {
+	out := make([]Region, 0, len(s.byKey))
+	for _, r := range s.byKey {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}

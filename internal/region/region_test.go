@@ -1,0 +1,245 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cliffedge/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	return graph.Grid(5, 5)
+}
+
+func TestNewCanonicalises(t *testing.T) {
+	g := testGraph()
+	a := New(g, []graph.NodeID{graph.GridID(1, 1), graph.GridID(0, 1), graph.GridID(1, 1)})
+	b := New(g, []graph.NodeID{graph.GridID(0, 1), graph.GridID(1, 1)})
+	if !a.Equal(b) {
+		t.Errorf("duplicate/unsorted input changed identity: %s vs %s", a, b)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d, want 2 after dedup", a.Len())
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestEmptyRegion(t *testing.T) {
+	g := testGraph()
+	e := New(g, nil)
+	if !e.IsEmpty() || !e.Equal(Empty) {
+		t.Error("nil input should yield Empty")
+	}
+	if e.String() != "{}" {
+		t.Errorf("Empty.String() = %q", e.String())
+	}
+	if Less(New(g, []graph.NodeID{graph.GridID(0, 0)}), Empty) {
+		t.Error("no region ranks below ∅")
+	}
+	if !Less(Empty, New(g, []graph.NodeID{graph.GridID(0, 0)})) {
+		t.Error("∅ must rank below every non-empty region")
+	}
+}
+
+func TestBorderComputation(t *testing.T) {
+	g := testGraph()
+	r := New(g, []graph.NodeID{graph.GridID(2, 2)})
+	if r.BorderLen() != 4 {
+		t.Fatalf("interior singleton border = %d, want 4", r.BorderLen())
+	}
+	if !r.OnBorder(graph.GridID(1, 2)) || r.OnBorder(graph.GridID(0, 0)) {
+		t.Error("OnBorder misclassifies")
+	}
+	if r.Contains(graph.GridID(1, 2)) || !r.Contains(graph.GridID(2, 2)) {
+		t.Error("Contains misclassifies")
+	}
+}
+
+func TestIntersectsAndSubset(t *testing.T) {
+	g := testGraph()
+	a := New(g, graph.GridBlock(0, 0, 2))
+	b := New(g, graph.GridBlock(1, 1, 2))
+	c := New(g, graph.GridBlock(3, 3, 2))
+	if !a.Intersects(b) {
+		t.Error("a and b overlap at (1,1)")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c are disjoint")
+	}
+	sub := New(g, []graph.NodeID{graph.GridID(0, 0), graph.GridID(0, 1)})
+	if !sub.Subset(a) {
+		t.Error("sub ⊆ a")
+	}
+	if a.Subset(sub) {
+		t.Error("a ⊄ sub")
+	}
+	if !a.Subset(a) {
+		t.Error("a ⊆ a")
+	}
+}
+
+func TestRankingSubsumesInclusion(t *testing.T) {
+	g := testGraph()
+	rng := rand.New(rand.NewSource(1))
+	nodes := g.Nodes()
+	for trial := 0; trial < 200; trial++ {
+		var big []graph.NodeID
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			big = append(big, nodes[rng.Intn(len(nodes))])
+		}
+		r := New(g, big)
+		if r.Len() < 2 {
+			continue
+		}
+		sub := New(g, r.Nodes()[:r.Len()-1])
+		if !Less(sub, r) {
+			t.Fatalf("strict subset %s should rank below %s", sub, r)
+		}
+	}
+}
+
+// TestRankingStrictTotalOrder verifies irreflexivity, antisymmetry,
+// transitivity and totality of ≺ on random regions via testing/quick.
+func TestRankingStrictTotalOrder(t *testing.T) {
+	g := testGraph()
+	nodes := g.Nodes()
+	mk := func(picks []uint8) Region {
+		ids := make([]graph.NodeID, 0, len(picks))
+		for _, p := range picks {
+			ids = append(ids, nodes[int(p)%len(nodes)])
+		}
+		return New(g, ids)
+	}
+	f := func(p1, p2, p3 []uint8) bool {
+		a, b, c := mk(p1), mk(p2), mk(p3)
+		// Irreflexive.
+		if Less(a, a) {
+			return false
+		}
+		// Antisymmetric + total: exactly one of a≺b, b≺a, a=b.
+		n := 0
+		if Less(a, b) {
+			n++
+		}
+		if Less(b, a) {
+			n++
+		}
+		if a.Equal(b) {
+			n++
+		}
+		if n != 1 {
+			return false
+		}
+		// Transitive.
+		if Less(a, b) && Less(b, c) && !Less(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	g := testGraph()
+	a := New(g, []graph.NodeID{graph.GridID(0, 0)})
+	b := New(g, graph.GridBlock(1, 1, 2))
+	if Compare(a, b) != -1 || Compare(b, a) != 1 || Compare(a, a) != 0 {
+		t.Error("Compare disagrees with Less")
+	}
+}
+
+func TestRankingTieBreakers(t *testing.T) {
+	// Ring: every singleton has border size 2, so equal size and border
+	// fall through to the lexicographic rule.
+	g := graph.Ring(6)
+	a := New(g, []graph.NodeID{graph.RingID(0)})
+	b := New(g, []graph.NodeID{graph.RingID(1)})
+	if !Less(a, b) {
+		t.Error("lexicographic tie-break failed")
+	}
+	// Grid: corner singleton (border 2) vs interior singleton (border 4):
+	// same size, border decides.
+	gg := testGraph()
+	corner := New(gg, []graph.NodeID{graph.GridID(0, 0)})
+	inner := New(gg, []graph.NodeID{graph.GridID(2, 2)})
+	if !Less(corner, inner) {
+		t.Error("border-size tie-break failed")
+	}
+	// Size dominates border size: a 2-node region beats any singleton.
+	pair := New(gg, []graph.NodeID{graph.GridID(0, 0), graph.GridID(0, 1)})
+	if !Less(inner, pair) {
+		t.Error("size must dominate border size")
+	}
+}
+
+func TestMaxRanked(t *testing.T) {
+	g := testGraph()
+	a := New(g, []graph.NodeID{graph.GridID(0, 0)})
+	b := New(g, graph.GridBlock(1, 1, 2))
+	c := New(g, []graph.NodeID{graph.GridID(4, 4)})
+	if got := MaxRanked([]Region{a, b, c}); !got.Equal(b) {
+		t.Errorf("MaxRanked = %s, want %s", got, b)
+	}
+	if got := MaxRanked(nil); !got.IsEmpty() {
+		t.Errorf("MaxRanked(nil) = %s, want ∅", got)
+	}
+}
+
+func TestFromKeyRoundTrip(t *testing.T) {
+	g := testGraph()
+	r := New(g, graph.GridBlock(1, 2, 2))
+	back := FromKey(g, r.Key())
+	if !back.Equal(r) || back.BorderLen() != r.BorderLen() {
+		t.Errorf("round-trip changed region: %s vs %s", back, r)
+	}
+	if !FromKey(g, "").IsEmpty() {
+		t.Error("FromKey(\"\") should be Empty")
+	}
+}
+
+func TestFromComponents(t *testing.T) {
+	g := testGraph()
+	s := graph.ToSet([]graph.NodeID{graph.GridID(0, 0), graph.GridID(4, 4)})
+	regions := FromComponents(g, g.ConnectedComponents(s))
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regions))
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	g := testGraph()
+	s := NewSet()
+	a := New(g, []graph.NodeID{graph.GridID(0, 0)})
+	b := New(g, graph.GridBlock(1, 1, 2))
+	if !s.Add(a) || s.Add(a) {
+		t.Error("Add should report first insertion only")
+	}
+	if s.Add(Empty) {
+		t.Error("adding ∅ should be refused")
+	}
+	s.Add(b)
+	if s.Len() != 2 || !s.Has(a) || !s.Has(b) {
+		t.Error("membership broken")
+	}
+	all := s.All()
+	if len(all) != 2 || !all[0].Equal(a) || !all[1].Equal(b) {
+		t.Errorf("All() should be rank-sorted: %v", all)
+	}
+	if !s.Remove(a) || s.Remove(a) || s.Has(a) {
+		t.Error("Remove broken")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	g := testGraph()
+	r := New(g, []graph.NodeID{graph.GridID(0, 1), graph.GridID(0, 0)})
+	want := "{n0000-0000,n0000-0001}"
+	if r.String() != want {
+		t.Errorf("String = %q, want %q", r.String(), want)
+	}
+}

@@ -1,0 +1,249 @@
+// Package scenario assembles runnable failure scenarios: a topology, a
+// crash schedule (timed and/or trigger-based), latency models and an
+// automaton factory. It provides the paper's figure scenarios (Fig. 1(a),
+// Fig. 1(b), Fig. 2), randomized correlated-failure generators for
+// property-based testing, and the parameter sweeps behind the experiment
+// tables in EXPERIMENTS.md.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cliffedge/internal/check"
+	"cliffedge/internal/core"
+	"cliffedge/internal/graph"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/sim"
+	"cliffedge/internal/trace"
+)
+
+// Spec is a fully specified runnable scenario.
+type Spec struct {
+	Name     string
+	Graph    *graph.Graph
+	Crashes  []sim.CrashAt
+	Triggers []sim.Trigger
+	Seed     int64
+	// NetLatency and FDLatency default to sim.Uniform{1, 10}.
+	NetLatency sim.LatencyModel
+	FDLatency  sim.LatencyModel
+	// Factory defaults to the cliff-edge core protocol.
+	Factory proto.Factory
+	// DisableArbitration runs the core without the ranking/reject
+	// mechanism (T4 ablation). Ignored when Factory is set.
+	DisableArbitration bool
+	// MaxEvents optionally caps kernel events (ablation runs livelock by
+	// design and need a budget to terminate).
+	MaxEvents int
+}
+
+// CoreFactory builds the standard cliff-edge automaton factory for g.
+func CoreFactory(g *graph.Graph) proto.Factory {
+	return func(id graph.NodeID) proto.Automaton {
+		return core.New(core.Config{ID: id, Graph: g})
+	}
+}
+
+func (s Spec) factory() proto.Factory {
+	if s.Factory != nil {
+		return s.Factory
+	}
+	g := s.Graph
+	disable := s.DisableArbitration
+	return func(id graph.NodeID) proto.Automaton {
+		return core.New(core.Config{ID: id, Graph: g, DisableArbitration: disable})
+	}
+}
+
+// Run executes the scenario to quiescence.
+func (s Spec) Run() (*sim.Result, error) {
+	r, err := sim.NewRunner(sim.Config{
+		Graph:      s.Graph,
+		Factory:    s.factory(),
+		Seed:       s.Seed,
+		NetLatency: s.NetLatency,
+		FDLatency:  s.FDLatency,
+		Crashes:    s.Crashes,
+		Triggers:   s.Triggers,
+		MaxEvents:  s.MaxEvents,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return res, nil
+}
+
+// RunChecked executes the scenario and verifies CD1–CD7 plus internal
+// automaton invariants over the resulting trace.
+func (s Spec) RunChecked() (*sim.Result, check.Report, error) {
+	res, err := s.Run()
+	if err != nil {
+		return nil, check.Report{}, err
+	}
+	rep := check.Run(s.Graph, res.Events)
+	rep.Violations = append(rep.Violations, check.AutomataViolations(res.Automata)...)
+	return res, rep, nil
+}
+
+// CrashAll schedules every node in nodes to crash at time t — the
+// simultaneous correlated failure that guarantees full convergence on the
+// whole region (no proper sub-region can assemble an all-accept vector).
+func CrashAll(nodes []graph.NodeID, t int64) []sim.CrashAt {
+	out := make([]sim.CrashAt, len(nodes))
+	for i, n := range nodes {
+		out[i] = sim.CrashAt{Time: t, Node: n}
+	}
+	return out
+}
+
+// CrashStaggered schedules nodes to crash one after another, gap ticks
+// apart — the cascading pattern under which the protocol may legitimately
+// settle on intermediate sub-regions.
+func CrashStaggered(nodes []graph.NodeID, start, gap int64) []sim.CrashAt {
+	out := make([]sim.CrashAt, len(nodes))
+	for i, n := range nodes {
+		out[i] = sim.CrashAt{Time: start + int64(i)*gap, Node: n}
+	}
+	return out
+}
+
+// Fig1a is the paper's Fig. 1(a): the European region F1 and the Pacific
+// region F2 crash independently; their borders must reach two independent
+// local agreements with no cross-region traffic.
+func Fig1a(seed int64) Spec {
+	g, f1, f2 := graph.Fig1()
+	crashes := append(CrashAll(f1, 10), CrashAll(f2, 10)...)
+	return Spec{Name: "fig1a", Graph: g, Crashes: crashes, Seed: seed}
+}
+
+// Fig1b is the paper's Fig. 1(b): F1 crashes, and paris — a border node of
+// F1 — crashes right after madrid proposes F1, growing the region into
+// F3 = F1 ∪ {paris} and forcing the conflicting views of §2.1 to converge.
+func Fig1b(seed int64) Spec {
+	g, f1, _ := graph.Fig1()
+	return Spec{
+		Name:    "fig1b",
+		Graph:   g,
+		Crashes: CrashAll(f1, 10),
+		Triggers: []sim.Trigger{{
+			Node:  "paris",
+			Delay: 1,
+			When: func(e trace.Event) bool {
+				return e.Kind == trace.KindPropose && e.Node == "madrid"
+			},
+		}},
+		Seed: seed,
+	}
+}
+
+// Fig2 is the paper's Fig. 2: a cluster of four transitively adjacent
+// faulty domains F1 ‖ F2 ‖ F3 ‖ F4 crashing together. Progress (CD7)
+// guarantees at least one decision per cluster; view convergence (CD6)
+// keeps the overlapping borders consistent.
+func Fig2(seed int64) Spec {
+	g, domains := graph.Fig2()
+	var crashes []sim.CrashAt
+	for _, d := range domains {
+		crashes = append(crashes, CrashAll(d, 10)...)
+	}
+	return Spec{Name: "fig2", Graph: g, Crashes: crashes, Seed: seed}
+}
+
+// RandomConnectedRegion grows a random connected region of the requested
+// size from a random start node, by repeatedly annexing a random neighbour
+// of the region. Returns fewer nodes if the component is exhausted.
+func RandomConnectedRegion(g *graph.Graph, rng *rand.Rand, size int) []graph.NodeID {
+	nodes := g.Nodes()
+	if len(nodes) == 0 || size <= 0 {
+		return nil
+	}
+	start := nodes[rng.Intn(len(nodes))]
+	in := map[graph.NodeID]bool{start: true}
+	frontier := append([]graph.NodeID(nil), g.Neighbors(start)...)
+	out := []graph.NodeID{start}
+	for len(out) < size && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		n := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if in[n] {
+			continue
+		}
+		in[n] = true
+		out = append(out, n)
+		frontier = append(frontier, g.Neighbors(n)...)
+	}
+	return out
+}
+
+// Randomized builds a stress scenario: `regions` random connected regions
+// of up to maxSize nodes each crash at random times within [start,
+// start+window). Regions may overlap, merge and grow mid-protocol — the
+// Fig. 3 / Theorem 3 stress for view convergence.
+func Randomized(g *graph.Graph, seed int64, regions, maxSize int, start, window int64) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[graph.NodeID]bool)
+	var crashes []sim.CrashAt
+	for i := 0; i < regions; i++ {
+		size := 1 + rng.Intn(maxSize)
+		for _, n := range RandomConnectedRegion(g, rng, size) {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			t := start
+			if window > 0 {
+				t += rng.Int63n(window)
+			}
+			crashes = append(crashes, sim.CrashAt{Time: t, Node: n})
+		}
+	}
+	return Spec{
+		Name:    fmt.Sprintf("randomized(seed=%d,regions=%d,maxSize=%d)", seed, regions, maxSize),
+		Graph:   g,
+		Crashes: crashes,
+		Seed:    seed,
+	}
+}
+
+// GridBlockSpec crashes the k×k centre block of a rows×cols grid at time
+// t, simultaneously — the workload of the locality experiments (T1, T2).
+func GridBlockSpec(rows, cols, k int, seed int64) Spec {
+	g := graph.Grid(rows, cols)
+	return Spec{
+		Name:    fmt.Sprintf("grid%dx%d-block%d", rows, cols, k),
+		Graph:   g,
+		Crashes: CrashAll(graph.CenterBlock(rows, cols, k), 10),
+		Seed:    seed,
+	}
+}
+
+// CascadeSpec crashes a base block simultaneously, then a chain of `depth`
+// additional nodes adjacent to the previous region one by one, each
+// triggered by the first decision-free proposal activity it can observe —
+// modelling regions that keep growing while agreement is underway (T5).
+func CascadeSpec(rows, cols, k, depth int, gap int64, seed int64) Spec {
+	g := graph.Grid(rows, cols)
+	block := graph.CenterBlock(rows, cols, k)
+	crashes := CrashAll(block, 10)
+	// Extend the region rightwards from the block's east flank, one node
+	// per `gap` ticks, starting after the first proposals are out.
+	r0 := (rows - k) / 2
+	c0 := (cols-k)/2 + k
+	t := int64(40)
+	for d := 0; d < depth && c0+d < cols; d++ {
+		crashes = append(crashes, sim.CrashAt{Time: t, Node: graph.GridID(r0, c0+d)})
+		t += gap
+	}
+	return Spec{
+		Name:    fmt.Sprintf("cascade-grid%dx%d-block%d-depth%d", rows, cols, k, depth),
+		Graph:   g,
+		Crashes: crashes,
+		Seed:    seed,
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math/rand"
+
+	"cliffedge/internal/graph"
+)
+
+// LatencyModel produces per-message (or per-detection) delays in virtual
+// time ticks. Implementations must be deterministic given the rng stream.
+// Channels are asynchronous but reliable (§2.2), so latencies are finite;
+// the network layer additionally enforces per-channel FIFO by never
+// scheduling a delivery before an earlier one on the same channel.
+type LatencyModel interface {
+	Latency(from, to graph.NodeID, rng *rand.Rand) int64
+}
+
+// Constant delays every message by exactly D ticks.
+type Constant struct{ D int64 }
+
+// Latency implements LatencyModel.
+func (c Constant) Latency(_, _ graph.NodeID, _ *rand.Rand) int64 { return c.D }
+
+// Uniform delays messages uniformly in [Min, Max].
+type Uniform struct{ Min, Max int64 }
+
+// Latency implements LatencyModel.
+func (u Uniform) Latency(_, _ graph.NodeID, rng *rand.Rand) int64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Int63n(u.Max-u.Min+1)
+}
+
+// Distance delays messages proportionally to the hop distance between the
+// endpoints in a coordinate embedding — modelling topologies that mirror
+// physical proximity (§2.1): neighbours are fast, far pairs slow.
+// Unembedded endpoints fall back to Far.
+type Distance struct {
+	Coords map[graph.NodeID][2]int
+	Base   int64 // fixed per-message cost
+	PerHop int64 // added per Manhattan-distance unit
+	Far    int64 // latency when an endpoint has no coordinates
+}
+
+// Latency implements LatencyModel.
+func (d Distance) Latency(from, to graph.NodeID, _ *rand.Rand) int64 {
+	a, okA := d.Coords[from]
+	b, okB := d.Coords[to]
+	if !okA || !okB {
+		return d.Far
+	}
+	dist := abs(a[0]-b[0]) + abs(a[1]-b[1])
+	return d.Base + d.PerHop*int64(dist)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// GridCoords embeds a graph.Grid/Torus node set for the Distance model.
+func GridCoords(rows, cols int) map[graph.NodeID][2]int {
+	out := make(map[graph.NodeID][2]int, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out[graph.GridID(r, c)] = [2]int{r, c}
+		}
+	}
+	return out
+}
+
+// Exponential delays messages with an exponential distribution of the given
+// mean (capped at 100× the mean so the virtual clock cannot run away) —
+// a standard stand-in for heavy-tailed WAN latency.
+type Exponential struct{ Mean float64 }
+
+// Latency implements LatencyModel.
+func (e Exponential) Latency(_, _ graph.NodeID, rng *rand.Rand) int64 {
+	d := rng.ExpFloat64() * e.Mean
+	if d > 100*e.Mean {
+		d = 100 * e.Mean
+	}
+	if d < 1 {
+		return 1
+	}
+	return int64(d)
+}

@@ -1,0 +1,437 @@
+// Package sim is the deterministic discrete-event runtime for protocol
+// automata. It implements the system model of the paper's §2.2 exactly:
+//
+//   - asynchronous, reliable, FIFO point-to-point channels between any two
+//     nodes, with pluggable latency models;
+//   - a perfect failure detector offered as a subscription service
+//     (〈monitorCrash | S〉 → 〈crash | q〉) satisfying strong accuracy and
+//     strong completeness, including subscriptions issued after the target
+//     already crashed;
+//   - crash injection, either at fixed virtual times or triggered by trace
+//     events (e.g. "crash paris right after madrid's first proposal", the
+//     Fig. 1(b) scenario).
+//
+// Runs are reproducible bit for bit from (graph, schedule, seed): the event
+// queue is ordered by (virtual time, sequence number) and all iteration is
+// over sorted data.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/trace"
+)
+
+// CrashAt schedules a crash of Node at virtual time Time.
+type CrashAt struct {
+	Time int64
+	Node graph.NodeID
+}
+
+// Trigger schedules a crash of Node `Delay` ticks after the first trace
+// event matching When. Triggers fire at most once.
+type Trigger struct {
+	Node  graph.NodeID
+	When  func(trace.Event) bool
+	Delay int64
+}
+
+// InjectAt delivers Payload to Node at virtual time Time, as a message
+// from the node itself. Injections model external commands to an automaton
+// (e.g. "your stable predicate now holds" in the predicate extension).
+type InjectAt struct {
+	Time    int64
+	Node    graph.NodeID
+	Payload proto.Payload
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Graph is the system topology G = (Π, E). Required.
+	Graph *graph.Graph
+	// Factory instantiates the automaton for each node. Required.
+	Factory proto.Factory
+	// Seed drives all randomised latencies. Same seed → same run.
+	Seed int64
+	// NetLatency delays messages; defaults to Uniform{1, 10}.
+	NetLatency LatencyModel
+	// FDLatency delays failure detections; defaults to Uniform{1, 10}.
+	FDLatency LatencyModel
+	// Crashes are the scheduled failures.
+	Crashes []CrashAt
+	// Triggers are the event-triggered failures.
+	Triggers []Trigger
+	// Injections are externally scheduled payload deliveries.
+	Injections []InjectAt
+	// MaxEvents aborts runaway runs; defaults to 50 million kernel events.
+	MaxEvents int
+	// Quiet counts send/deliver/drop events instead of logging them,
+	// bounding memory on message-heavy runs (the whole-system baseline
+	// floods millions of messages). Decisions, crashes, detections and
+	// protocol annotations are still logged; Triggers cannot match
+	// send/deliver events in quiet mode.
+	Quiet bool
+}
+
+// Result is a finished (quiescent) run.
+type Result struct {
+	// Events is the full trace in delivery order.
+	Events []trace.Event
+	// Stats aggregates the trace.
+	Stats trace.Stats
+	// Decisions maps each decided node to its decision.
+	Decisions map[graph.NodeID]*proto.Decision
+	// Automata exposes the final per-node state for inspection.
+	Automata map[graph.NodeID]proto.Automaton
+	// Crashed is the set of nodes that crashed during the run.
+	Crashed map[graph.NodeID]bool
+	// EndTime is the virtual time of quiescence.
+	EndTime int64
+}
+
+type evKind uint8
+
+const (
+	evCrash evKind = iota
+	evDetect
+	evDeliver
+)
+
+type event struct {
+	time    int64
+	seq     int64 // tiebreaker; also preserves FIFO among equal times
+	kind    evKind
+	node    graph.NodeID // crash target / detecting subscriber / recipient
+	peer    graph.NodeID // crashed node (detect) / sender (deliver)
+	payload proto.Payload
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+type channelKey struct{ from, to graph.NodeID }
+
+// Runner executes one simulation. Create with NewRunner, execute with Run.
+type Runner struct {
+	cfg      Config
+	rng      *rand.Rand
+	queue    eventQueue
+	seq      int64
+	now      int64
+	log      *trace.Log
+	automata map[graph.NodeID]proto.Automaton
+	crashed  map[graph.NodeID]bool
+	// subs[q] = sorted subscribers to 〈crash | q〉 notifications.
+	subs map[graph.NodeID]map[graph.NodeID]bool
+	// fifoFloor[ch] = latest delivery time scheduled on ch, enforcing FIFO.
+	fifoFloor map[channelKey]int64
+	triggers  []Trigger
+	fired     []bool
+	processed int
+
+	// Quiet-mode counters (see Config.Quiet).
+	qMsgs, qDeliveries, qDrops, qBytes, qMaxRound int
+	qParticipants                                 map[graph.NodeID]bool
+}
+
+// NewRunner validates cfg and builds a Runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: Config.Graph is required")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("sim: Config.Factory is required")
+	}
+	if cfg.NetLatency == nil {
+		cfg.NetLatency = Uniform{Min: 1, Max: 10}
+	}
+	if cfg.FDLatency == nil {
+		cfg.FDLatency = Uniform{Min: 1, Max: 10}
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 50_000_000
+	}
+	for _, c := range cfg.Crashes {
+		if !cfg.Graph.Has(c.Node) {
+			return nil, fmt.Errorf("sim: scheduled crash of unknown node %q", c.Node)
+		}
+	}
+	return &Runner{
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		log:           &trace.Log{},
+		automata:      make(map[graph.NodeID]proto.Automaton, cfg.Graph.Len()),
+		crashed:       make(map[graph.NodeID]bool),
+		subs:          make(map[graph.NodeID]map[graph.NodeID]bool),
+		fifoFloor:     make(map[channelKey]int64),
+		triggers:      cfg.Triggers,
+		fired:         make([]bool, len(cfg.Triggers)),
+		qParticipants: make(map[graph.NodeID]bool),
+	}, nil
+}
+
+// Run executes the simulation to quiescence (empty event queue) and
+// returns the result. It errors if the kernel event budget is exhausted,
+// which indicates a livelock bug in the automaton under test.
+func (r *Runner) Run() (*Result, error) {
+	// 〈init〉 on every node, in sorted order.
+	for _, id := range r.cfg.Graph.Nodes() {
+		a := r.cfg.Factory(id)
+		r.automata[id] = a
+		r.applyEffects(id, a.Start())
+	}
+	for _, c := range r.cfg.Crashes {
+		r.schedule(&event{time: c.Time, kind: evCrash, node: c.Node})
+	}
+	for _, inj := range r.cfg.Injections {
+		r.schedule(&event{time: inj.Time, kind: evDeliver, node: inj.Node,
+			peer: inj.Node, payload: inj.Payload})
+	}
+
+	for r.queue.Len() > 0 {
+		if r.processed++; r.processed > r.cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: event budget %d exhausted at t=%d (livelock?)",
+				r.cfg.MaxEvents, r.now)
+		}
+		ev := heap.Pop(&r.queue).(*event)
+		r.now = ev.time
+		switch ev.kind {
+		case evCrash:
+			r.handleCrash(ev)
+		case evDetect:
+			r.handleDetect(ev)
+		case evDeliver:
+			r.handleDeliver(ev)
+		}
+	}
+
+	decisions := make(map[graph.NodeID]*proto.Decision)
+	for id, a := range r.automata {
+		if d := a.Decided(); d != nil && !r.crashed[id] {
+			decisions[id] = d
+		}
+	}
+	events := r.log.Events()
+	stats := trace.Summarize(events)
+	if r.cfg.Quiet {
+		stats.Messages += r.qMsgs
+		stats.Deliveries += r.qDeliveries
+		stats.Drops += r.qDrops
+		stats.Bytes += r.qBytes
+		if r.qMaxRound > stats.MaxRound {
+			stats.MaxRound = r.qMaxRound
+		}
+		for n := range r.qParticipants {
+			if !r.crashed[n] {
+				stats.Participants++
+			}
+		}
+		if r.now > stats.EndTime {
+			stats.EndTime = r.now
+		}
+	}
+	return &Result{
+		Events:    events,
+		Stats:     stats,
+		Decisions: decisions,
+		Automata:  r.automata,
+		Crashed:   r.crashed,
+		EndTime:   r.now,
+	}, nil
+}
+
+func (r *Runner) schedule(ev *event) {
+	ev.seq = r.seq
+	r.seq++
+	heap.Push(&r.queue, ev)
+}
+
+// emit appends a trace event and evaluates crash triggers against it.
+func (r *Runner) emit(e trace.Event) {
+	e.Time = r.now
+	e = r.log.Append(e)
+	for i := range r.triggers {
+		if !r.fired[i] && r.triggers[i].When(e) {
+			r.fired[i] = true
+			r.schedule(&event{time: r.now + r.triggers[i].Delay, kind: evCrash, node: r.triggers[i].Node})
+		}
+	}
+}
+
+func (r *Runner) handleCrash(ev *event) {
+	if r.crashed[ev.node] {
+		return
+	}
+	r.crashed[ev.node] = true
+	r.emit(trace.Event{Kind: trace.KindCrash, Node: ev.node})
+	// Strong completeness: notify every subscriber (unless it crashes
+	// first, in which case its detect event is dropped on delivery).
+	subscribers := make([]graph.NodeID, 0, len(r.subs[ev.node]))
+	for p := range r.subs[ev.node] {
+		subscribers = append(subscribers, p)
+	}
+	graph.SortIDs(subscribers)
+	for _, p := range subscribers {
+		lat := r.cfg.FDLatency.Latency(p, ev.node, r.rng)
+		r.schedule(&event{time: r.now + lat, kind: evDetect, node: p, peer: ev.node})
+	}
+}
+
+func (r *Runner) handleDetect(ev *event) {
+	if r.crashed[ev.node] {
+		return // the subscriber itself crashed; nothing to notify
+	}
+	r.emit(trace.Event{Kind: trace.KindDetect, Node: ev.node, Peer: ev.peer})
+	r.applyEffects(ev.node, r.automata[ev.node].OnCrash(ev.peer))
+}
+
+func (r *Runner) handleDeliver(ev *event) {
+	if r.crashed[ev.node] {
+		if r.cfg.Quiet {
+			r.qDrops++
+		} else {
+			r.emit(trace.Event{Kind: trace.KindDrop, Node: ev.node, Peer: ev.peer,
+				Bytes: ev.payload.WireSize()})
+		}
+		return
+	}
+	if r.cfg.Quiet {
+		r.qDeliveries++
+		r.qParticipants[ev.node] = true
+	} else {
+		var view string
+		var round int
+		if m, ok := ev.payload.(interface {
+			TraceView() (string, int)
+		}); ok {
+			view, round = m.TraceView()
+		}
+		r.emit(trace.Event{Kind: trace.KindDeliver, Node: ev.node, Peer: ev.peer,
+			View: view, Round: round, Bytes: ev.payload.WireSize()})
+	}
+	r.applyEffects(ev.node, r.automata[ev.node].OnMessage(ev.peer, ev.payload))
+}
+
+// applyEffects realises an automaton's effects: subscriptions first, then
+// sends (scheduled on the FIFO channels), then trace annotations and the
+// decision.
+func (r *Runner) applyEffects(id graph.NodeID, eff proto.Effects) {
+	for _, q := range eff.Monitor {
+		r.subscribe(id, q)
+	}
+	for _, v := range eff.Proposed {
+		r.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()})
+	}
+	for _, v := range eff.Rejected {
+		r.emit(trace.Event{Kind: trace.KindReject, Node: id, View: v.Key()})
+	}
+	for i := 0; i < eff.Resets; i++ {
+		r.emit(trace.Event{Kind: trace.KindReset, Node: id})
+	}
+	for _, send := range eff.Sends {
+		r.send(id, send)
+	}
+	if eff.Decision != nil {
+		r.emit(trace.Event{Kind: trace.KindDecide, Node: id,
+			View: eff.Decision.View.Key(), Value: string(eff.Decision.Value)})
+	}
+}
+
+// subscribe registers p for 〈crash | q〉. Idempotent; if q already crashed
+// the notification is scheduled immediately (subscribe-after-crash,
+// required by line 7 of Algorithm 1).
+func (r *Runner) subscribe(p, q graph.NodeID) {
+	set := r.subs[q]
+	if set == nil {
+		set = make(map[graph.NodeID]bool)
+		r.subs[q] = set
+	}
+	if set[p] {
+		return
+	}
+	set[p] = true
+	if r.crashed[q] {
+		lat := r.cfg.FDLatency.Latency(p, q, r.rng)
+		r.schedule(&event{time: r.now + lat, kind: evDetect, node: p, peer: q})
+	}
+}
+
+// send schedules one delivery per recipient, preserving per-channel FIFO:
+// a message may never overtake an earlier one on the same (from, to)
+// channel.
+func (r *Runner) send(from graph.NodeID, s proto.Send) {
+	size := s.Payload.WireSize()
+	var view string
+	var round int
+	if m, ok := s.Payload.(interface {
+		TraceView() (string, int)
+	}); ok {
+		view, round = m.TraceView()
+	}
+	if r.cfg.Quiet {
+		r.qParticipants[from] = true
+		if round > r.qMaxRound {
+			r.qMaxRound = round
+		}
+	}
+	for _, to := range s.To {
+		lat := r.cfg.NetLatency.Latency(from, to, r.rng)
+		at := r.now + lat
+		ch := channelKey{from, to}
+		if floor := r.fifoFloor[ch]; at < floor {
+			at = floor
+		}
+		r.fifoFloor[ch] = at
+		if r.cfg.Quiet {
+			r.qMsgs++
+			r.qBytes += size
+		} else {
+			r.emit(trace.Event{Kind: trace.KindSend, Node: from, Peer: to,
+				View: view, Round: round, Bytes: size})
+		}
+		r.schedule(&event{time: at, kind: evDeliver, node: to, peer: from, payload: s.Payload})
+	}
+}
+
+// SortedDecisions returns the run's decisions as a deterministic slice of
+// (node, decision) pairs.
+func (res *Result) SortedDecisions() []struct {
+	Node     graph.NodeID
+	Decision *proto.Decision
+} {
+	ids := make([]graph.NodeID, 0, len(res.Decisions))
+	for id := range res.Decisions {
+		ids = append(ids, id)
+	}
+	graph.SortIDs(ids)
+	out := make([]struct {
+		Node     graph.NodeID
+		Decision *proto.Decision
+	}, len(ids))
+	for i, id := range ids {
+		out[i].Node = id
+		out[i].Decision = res.Decisions[id]
+	}
+	return out
+}

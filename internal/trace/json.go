@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cliffedge/internal/graph"
+)
+
+// jsonEvent is the wire form of an Event: kinds as readable strings,
+// empty fields omitted, so traces diff and grep well.
+type jsonEvent struct {
+	Seq   int    `json:"seq"`
+	Time  int64  `json:"t"`
+	Kind  string `json:"kind"`
+	Node  string `json:"node"`
+	Peer  string `json:"peer,omitempty"`
+	View  string `json:"view,omitempty"`
+	Round int    `json:"round,omitempty"`
+	Value string `json:"value,omitempty"`
+	Bytes int    `json:"bytes,omitempty"`
+}
+
+// WriteJSONL streams events as JSON Lines — one event per line — the
+// interchange format for external analysis of runs.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		je := jsonEvent{
+			Seq: e.Seq, Time: e.Time, Kind: e.Kind.String(),
+			Node: string(e.Node), Peer: string(e.Peer),
+			View: e.View, Round: e.Round, Value: e.Value, Bytes: e.Bytes,
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", e.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// kindByName inverts Kind.String for parsing.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = Kind(k)
+	}
+	return m
+}()
+
+// ReadJSONL parses a JSON Lines trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode event %d: %w", len(out), err)
+		}
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q at event %d", je.Kind, len(out))
+		}
+		out = append(out, Event{
+			Seq: je.Seq, Time: je.Time, Kind: kind,
+			Node: graph.NodeID(je.Node), Peer: graph.NodeID(je.Peer),
+			View: je.View, Round: je.Round, Value: je.Value, Bytes: je.Bytes,
+		})
+	}
+}

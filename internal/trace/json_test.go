@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Seq: 0, Time: 5, Kind: KindCrash, Node: "b"},
+		{Seq: 1, Time: 7, Kind: KindDetect, Node: "a", Peer: "b"},
+		{Seq: 2, Time: 8, Kind: KindPropose, Node: "a", View: "b"},
+		{Seq: 3, Time: 8, Kind: KindSend, Node: "a", Peer: "c", View: "b", Round: 1, Bytes: 42},
+		{Seq: 4, Time: 12, Kind: KindDecide, Node: "a", View: "b", Value: "repair(b)"},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEvents()
+	if len(back) != len(want) {
+		t.Fatalf("got %d events, want %d", len(back), len(want))
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestJSONLFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want one line per event, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"crash"`) {
+		t.Errorf("kinds must serialise as names: %s", lines[0])
+	}
+	if strings.Contains(lines[0], `"peer"`) {
+		t.Errorf("empty fields must be omitted: %s", lines[0])
+	}
+}
+
+func TestJSONLRejectsUnknownKind(t *testing.T) {
+	r := strings.NewReader(`{"seq":0,"t":1,"kind":"nonsense","node":"a"}` + "\n")
+	if _, err := ReadJSONL(r); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestJSONLEmpty(t *testing.T) {
+	events, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("empty input: %v, %d events", err, len(events))
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace provides the structured event log shared by the
+// deterministic simulator, the goroutine runtime, the CD1–CD7 property
+// checkers and the experiment harness. Every observable step of a run —
+// sends, deliveries, crashes, failure detections, proposals, rejections,
+// resets and decisions — is appended as an Event; checkers and metrics are
+// pure functions over the finished log.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"cliffedge/internal/graph"
+)
+
+// Kind enumerates the observable event types of a run.
+type Kind uint8
+
+// Event kinds, in rough causal order of a protocol run.
+const (
+	KindCrash   Kind = iota // Node crashed at Time
+	KindDetect              // Node's failure detector reported Peer crashed
+	KindSend                // Node sent a message to Peer (View/Round/Bytes set)
+	KindDeliver             // Node received a message from Peer
+	KindDrop                // message to a crashed Node discarded by the network
+	KindPropose             // Node proposed View (started a consensus instance)
+	KindReject              // Node rejected View (arbitration, line 26–31)
+	KindReset               // Node's consensus attempt on View failed (line 37)
+	KindDecide              // Node decided (View, Value)
+)
+
+var kindNames = [...]string{
+	KindCrash:   "crash",
+	KindDetect:  "detect",
+	KindSend:    "send",
+	KindDeliver: "deliver",
+	KindDrop:    "drop",
+	KindPropose: "propose",
+	KindReject:  "reject",
+	KindReset:   "reset",
+	KindDecide:  "decide",
+}
+
+// String returns the lowercase event-kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one observable step. Fields beyond Kind/Node are populated as
+// relevant for the kind (see the Kind constants).
+type Event struct {
+	Seq   int          // global sequence number, unique and monotonically increasing
+	Time  int64        // virtual time (simulator) or wall-clock nanos (livenet)
+	Kind  Kind         //
+	Node  graph.NodeID // acting node
+	Peer  graph.NodeID // counterpart (send/deliver/detect)
+	View  string       // region key (propose/reject/reset/decide/send/deliver)
+	Round int          // protocol round for send/deliver
+	Value string       // decision value (decide)
+	Bytes int          // payload wire size (send/deliver)
+}
+
+// String renders a compact single-line form used by the CLI narrative mode.
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%-6d #%-5d %-7s %s", e.Time, e.Seq, e.Kind, e.Node)
+	if e.Peer != "" {
+		s += fmt.Sprintf(" peer=%s", e.Peer)
+	}
+	if e.View != "" {
+		s += fmt.Sprintf(" view={%s}", e.View)
+	}
+	if e.Kind == KindSend || e.Kind == KindDeliver {
+		s += fmt.Sprintf(" r=%d b=%d", e.Round, e.Bytes)
+	}
+	if e.Value != "" {
+		s += fmt.Sprintf(" val=%q", e.Value)
+	}
+	return s
+}
+
+// Log is an append-only, concurrency-safe event log. The zero value is
+// ready to use. The simulator appends single-threaded; the goroutine
+// runtime appends from many goroutines, hence the mutex.
+type Log struct {
+	mu      sync.Mutex
+	events  []Event
+	nextSeq int
+}
+
+// Append stamps e with the next sequence number and stores it.
+func (l *Log) Append(e Event) Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.events = append(l.events, e)
+	return e
+}
+
+// Events returns a snapshot copy of the log.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of events appended so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Stats aggregates a finished log into the counters the experiment tables
+// report.
+type Stats struct {
+	Messages     int // KindSend count
+	Deliveries   int // KindDeliver count
+	Drops        int // messages discarded because the target crashed
+	Bytes        int // sum of sent payload sizes
+	Crashes      int
+	Detections   int
+	Proposals    int
+	Rejections   int
+	Resets       int
+	Decisions    int
+	Participants int   // distinct correct nodes that sent or received ≥1 message
+	MaxRound     int   // highest protocol round observed
+	EndTime      int64 // time of the last event
+	DecideTime   int64 // time of the last decision (0 if none)
+}
+
+// Summarize computes Stats over a finished event log.
+func Summarize(events []Event) Stats {
+	var s Stats
+	crashed := make(map[graph.NodeID]bool)
+	participants := make(map[graph.NodeID]bool)
+	for _, e := range events {
+		if e.Time > s.EndTime {
+			s.EndTime = e.Time
+		}
+		switch e.Kind {
+		case KindSend:
+			s.Messages++
+			s.Bytes += e.Bytes
+			participants[e.Node] = true
+		case KindDeliver:
+			s.Deliveries++
+			participants[e.Node] = true
+		case KindDrop:
+			s.Drops++
+		case KindCrash:
+			s.Crashes++
+			crashed[e.Node] = true
+		case KindDetect:
+			s.Detections++
+		case KindPropose:
+			s.Proposals++
+		case KindReject:
+			s.Rejections++
+		case KindReset:
+			s.Resets++
+		case KindDecide:
+			s.Decisions++
+			if e.Time > s.DecideTime {
+				s.DecideTime = e.Time
+			}
+		}
+		if e.Round > s.MaxRound {
+			s.MaxRound = e.Round
+		}
+	}
+	for n := range participants {
+		if !crashed[n] {
+			s.Participants++
+		}
+	}
+	return s
+}
+
+// Decisions extracts the KindDecide events in log order.
+func Decisions(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == KindDecide {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByNode groups events by acting node.
+func ByNode(events []Event) map[graph.NodeID][]Event {
+	out := make(map[graph.NodeID][]Event)
+	for _, e := range events {
+		out[e.Node] = append(out[e.Node], e)
+	}
+	return out
+}
