@@ -14,32 +14,48 @@
 //
 //	topo := cliffedge.Grid(8, 8)
 //	victims := cliffedge.CenterBlock(8, 8, 2)
-//	res, err := cliffedge.RunChecked(
-//		cliffedge.Config{Topology: topo, Seed: 1},
-//		cliffedge.CrashAll(victims, 10),
-//	)
+//	c, err := cliffedge.New(topo, cliffedge.WithSeed(1), cliffedge.WithChecker())
+//	if err != nil { ... }
+//	res, err := c.Run(context.Background(),
+//		cliffedge.NewPlan().At(10).Crash(victims...))
 //	// res.Decisions: every border node of the 2×2 block decided the same
 //	// (region, repair-plan) pair.
 //
-// Run executes a deterministic discrete-event simulation (same seed, same
-// run, bit for bit). RunLive executes the same protocol with one goroutine
-// per node on the Go scheduler. RunChecked additionally verifies the seven
-// properties CD1–CD7 from the paper over the finished trace and fails if
-// any is violated.
+// # Architecture
+//
+// The API is three composable concepts:
+//
+//   - A [Cluster] (built with [New] and functional options) describes the
+//     system under test: topology, seed, latency bands, proposal/pick
+//     functions, instrumentation. It holds no run state and is reusable.
+//   - A [Plan] (built with [NewPlan]) describes the faults of one run:
+//     timed crashes, event-conditioned triggers and stable-predicate
+//     marks, through one builder.
+//   - An [Engine] executes a Plan against a Cluster. [Sim] is the
+//     deterministic discrete-event simulator (same seed, same run, bit
+//     for bit); [Live] runs one goroutine per node on the Go scheduler.
+//     Both honour context cancellation.
+//
+// Instrumentation streams: [WithObserver] delivers every trace event as
+// it happens, [WithChecker] verifies the paper's seven properties CD1–CD7
+// online, and [WithoutTraceBuffer] drops the in-memory trace so that runs
+// over huge topologies use memory proportional to the system, not to its
+// history.
+//
+// The original one-shot entry points ([Run], [RunChecked], [RunLive],
+// [RunPredicate]) remain as thin deprecated wrappers over Cluster + Plan +
+// Engine.
 package cliffedge
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
-	"cliffedge/internal/check"
-	"cliffedge/internal/core"
 	"cliffedge/internal/graph"
-	"cliffedge/internal/livenet"
 	"cliffedge/internal/proto"
 	"cliffedge/internal/region"
-	"cliffedge/internal/sim"
 	"cliffedge/internal/trace"
 )
 
@@ -134,6 +150,9 @@ func NewRegion(t *Topology, nodes []NodeID) Region { return region.New(t, nodes)
 type LatencyRange struct{ Min, Max int64 }
 
 // Config parameterises a cluster run.
+//
+// Deprecated: build a [Cluster] with [New] and functional options instead;
+// Config remains only as the parameter block of the legacy entry points.
 type Config struct {
 	// Topology is required.
 	Topology *Topology
@@ -157,6 +176,8 @@ type Config struct {
 }
 
 // Crash schedules Node to fail at virtual time Time.
+//
+// Deprecated: use [Plan.Crash] under a [Plan.At] cursor.
 type Crash struct {
 	Time int64
 	Node NodeID
@@ -165,6 +186,8 @@ type Crash struct {
 // Trigger schedules a crash of Node `Delay` ticks after the first trace
 // event matching When — e.g. "crash paris right after madrid's first
 // proposal", the paper's Fig. 1(b) scenario. Triggers fire at most once.
+//
+// Deprecated: use [Plan.Crash] under a [Plan.OnEvent] cursor.
 type Trigger struct {
 	Node  NodeID
 	When  func(Event) bool
@@ -173,6 +196,8 @@ type Trigger struct {
 
 // CrashAll schedules all nodes to fail at time t (a correlated region
 // failure).
+//
+// Deprecated: use NewPlan().At(t).Crash(nodes...).
 func CrashAll(nodes []NodeID, t int64) []Crash {
 	out := make([]Crash, len(nodes))
 	for i, n := range nodes {
@@ -224,106 +249,83 @@ func (r *Result) DecisionByNode(n NodeID) *Decision {
 	return nil
 }
 
-func (c Config) factory() proto.Factory {
-	t := c.Topology
-	propose := c.Propose
-	pick := c.Pick
-	return func(id NodeID) proto.Automaton {
-		return core.New(core.Config{ID: id, Graph: t, Propose: propose, Pick: pick})
+// options translates the legacy parameter block into functional options.
+func (c Config) options(extra ...Option) []Option {
+	opts := []Option{WithSeed(c.Seed)}
+	if c.NetLatency != (LatencyRange{}) {
+		opts = append(opts, WithNetLatency(c.NetLatency.Min, c.NetLatency.Max))
 	}
+	if c.DetectLatency != (LatencyRange{}) {
+		opts = append(opts, WithDetectLatency(c.DetectLatency.Min, c.DetectLatency.Max))
+	}
+	if c.Propose != nil {
+		opts = append(opts, WithPropose(c.Propose))
+	}
+	if c.Pick != nil {
+		opts = append(opts, WithPick(c.Pick))
+	}
+	return append(opts, extra...)
 }
 
-func (c Config) netModel() sim.LatencyModel {
-	if c.NetLatency == (LatencyRange{}) {
-		return sim.Uniform{Min: 1, Max: 10}
+// run builds the one-shot Cluster behind a legacy entry point and executes
+// plan on it.
+func (c Config) run(plan *Plan, extra ...Option) (*Result, error) {
+	cl, err := New(c.Topology, c.options(extra...)...)
+	if err != nil {
+		return nil, err
 	}
-	return sim.Uniform{Min: c.NetLatency.Min, Max: c.NetLatency.Max}
+	return cl.Run(context.Background(), plan)
 }
 
-func (c Config) fdModel() sim.LatencyModel {
-	if c.DetectLatency == (LatencyRange{}) {
-		return sim.Uniform{Min: 1, Max: 10}
+// plan translates a legacy crash schedule plus the Config's triggers into
+// a Plan, preserving order (and hence the bit-exact trace).
+func (c Config) plan(crashes []Crash) *Plan {
+	p := NewPlan()
+	for _, cr := range crashes {
+		p.At(cr.Time).Crash(cr.Node)
 	}
-	return sim.Uniform{Min: c.DetectLatency.Min, Max: c.DetectLatency.Max}
+	for _, t := range c.Triggers {
+		p.OnEvent(t.When, t.Delay).Crash(t.Node)
+	}
+	return p
+}
+
+// wavePlan translates legacy live crash waves into a Plan: wave i becomes
+// the timed step at t=i+1, which the live engine turns back into
+// quiescence-separated waves in that order.
+func wavePlan(waves [][]NodeID) *Plan {
+	p := NewPlan()
+	for i, w := range waves {
+		p.At(int64(i + 1)).Crash(w...)
+	}
+	return p
 }
 
 // Run executes the scenario on the deterministic simulator until
 // quiescence.
+//
+// Deprecated: use [New] and [Cluster.Run] with a [Plan].
 func Run(cfg Config, crashes []Crash) (*Result, error) {
-	if cfg.Topology == nil {
-		return nil, fmt.Errorf("cliffedge: Config.Topology is required")
-	}
-	simCrashes := make([]sim.CrashAt, len(crashes))
-	for i, c := range crashes {
-		simCrashes[i] = sim.CrashAt{Time: c.Time, Node: c.Node}
-	}
-	simTriggers := make([]sim.Trigger, len(cfg.Triggers))
-	for i, t := range cfg.Triggers {
-		simTriggers[i] = sim.Trigger{Node: t.Node, When: t.When, Delay: t.Delay}
-	}
-	runner, err := sim.NewRunner(sim.Config{
-		Graph:      cfg.Topology,
-		Factory:    cfg.factory(),
-		Seed:       cfg.Seed,
-		NetLatency: cfg.netModel(),
-		FDLatency:  cfg.fdModel(),
-		Crashes:    simCrashes,
-		Triggers:   simTriggers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := runner.Run()
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
-	for _, d := range res.SortedDecisions() {
-		out.Decisions = append(out.Decisions,
-			Decision{Node: d.Node, View: d.Decision.View, Value: d.Decision.Value})
-	}
-	return out, nil
+	return cfg.run(cfg.plan(crashes))
 }
 
 // RunChecked is Run plus verification: the seven properties CD1–CD7 of
-// convergent detection of crashed regions are checked over the finished
-// trace, and any violation is returned as an error.
+// convergent detection of crashed regions are checked online as the run's
+// events stream by, and any violation is returned as an error.
+//
+// Deprecated: use [New] with [WithChecker] and [Cluster.Run].
 func RunChecked(cfg Config, crashes []Crash) (*Result, error) {
-	res, err := Run(cfg, crashes)
-	if err != nil {
-		return nil, err
-	}
-	rep := check.Run(cfg.Topology, res.events)
-	if !rep.Ok() {
-		return res, fmt.Errorf("cliffedge: property violations:\n%s", rep)
-	}
-	return res, nil
+	return cfg.run(cfg.plan(crashes), WithChecker())
 }
 
 // RunLive executes the protocol with one goroutine per node. Crash waves
 // are injected in order, each after the cluster went quiescent; timeout
 // bounds each quiescence wait. Outcomes are scheduler-dependent but always
 // satisfy CD1–CD7 (use the race detector in tests).
+//
+// Deprecated: use [New] with [WithEngine](Live()) and [Cluster.Run].
 func RunLive(cfg Config, waves [][]NodeID, timeout time.Duration) (*Result, error) {
-	if cfg.Topology == nil {
-		return nil, fmt.Errorf("cliffedge: Config.Topology is required")
-	}
-	res, err := livenet.Run(cfg.Topology, cfg.factory(), waves, timeout)
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
-	ids := make([]NodeID, 0, len(res.Decisions))
-	for id := range res.Decisions {
-		ids = append(ids, id)
-	}
-	graph.SortIDs(ids)
-	for _, id := range ids {
-		d := res.Decisions[id]
-		out.Decisions = append(out.Decisions,
-			Decision{Node: id, View: d.View, Value: d.Value})
-	}
-	return out, nil
+	return cfg.run(wavePlan(waves), WithEngine(Live()), WithLiveTimeout(timeout))
 }
 
 // DOT renders the topology in Graphviz format, shading the given crashed

@@ -1,0 +1,244 @@
+package cliffedge
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cliffedge/internal/check"
+	"cliffedge/internal/core"
+	"cliffedge/internal/predicate"
+	"cliffedge/internal/proto"
+	"cliffedge/internal/trace"
+)
+
+// Observer receives every trace event of a run as it happens, in sequence
+// order. Observers are the streaming half of the API: paired with
+// WithoutTraceBuffer they let arbitrarily large runs execute in memory
+// bounded by the topology, not the trace. An observer runs on the engine's
+// hot path (under the log lock in the live engine): keep it fast and never
+// start another run from inside one.
+type Observer func(Event)
+
+// Cluster is an immutable description of a system under test: a topology
+// plus protocol parameters, engine and instrumentation. Build one with
+// New; execute fault Plans against it with Run. A Cluster holds no run
+// state, so the same value can execute any number of plans, sequentially
+// or concurrently.
+type Cluster struct {
+	topo        *Topology
+	seed        int64
+	net, fd     LatencyRange
+	propose     func(Region) Value
+	pick        func([]Value) Value
+	checked     bool
+	observers   []Observer
+	noBuffer    bool
+	engine      Engine
+	liveTimeout time.Duration
+	maxEvents   int
+}
+
+// Option configures a Cluster at construction time.
+type Option func(*Cluster) error
+
+// New builds a Cluster over topo. Defaults: seed 0, both latency bands
+// uniform in [1, 10], the deterministic simulator engine, trace buffering
+// on, property checking off.
+func New(topo *Topology, opts ...Option) (*Cluster, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("cliffedge: topology is required")
+	}
+	c := &Cluster{
+		topo:        topo,
+		net:         LatencyRange{Min: 1, Max: 10},
+		fd:          LatencyRange{Min: 1, Max: 10},
+		liveTimeout: 30 * time.Second,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("cliffedge: nil Option")
+		}
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	if c.engine == nil {
+		c.engine = Sim()
+	}
+	return c, nil
+}
+
+// Run executes plan on the cluster's engine. A nil plan is the empty plan:
+// the cluster simply runs to quiescence. Cancelling ctx (or exceeding its
+// deadline) aborts the run with the context's error.
+func (c *Cluster) Run(ctx context.Context, plan *Plan) (*Result, error) {
+	if plan == nil {
+		plan = NewPlan()
+	}
+	if c.checked && plan.hasMarks() {
+		// The CD1–CD7 checker judges decided views against crash ground
+		// truth reconstructed from the trace; marked nodes emit no crash
+		// events (they stay alive and keep gossiping), so every clean
+		// predicate run would be reported as a violation.
+		return nil, fmt.Errorf("cliffedge: WithChecker supports crash plans only; remove the checker to run Mark steps")
+	}
+	return c.engine.Run(ctx, c, plan)
+}
+
+// WithSeed sets the seed driving all randomised latencies; same seed, same
+// simulator run, bit for bit.
+func WithSeed(seed int64) Option {
+	return func(c *Cluster) error { c.seed = seed; return nil }
+}
+
+// WithNetLatency sets the message-delay band [min, max] in virtual ticks.
+func WithNetLatency(min, max int64) Option {
+	return func(c *Cluster) error {
+		if min < 1 || max < min {
+			return fmt.Errorf("cliffedge: invalid net latency band [%d, %d]", min, max)
+		}
+		c.net = LatencyRange{Min: min, Max: max}
+		return nil
+	}
+}
+
+// WithDetectLatency sets the failure-detection delay band [min, max].
+func WithDetectLatency(min, max int64) Option {
+	return func(c *Cluster) error {
+		if min < 1 || max < min {
+			return fmt.Errorf("cliffedge: invalid detect latency band [%d, %d]", min, max)
+		}
+		c.fd = LatencyRange{Min: min, Max: max}
+		return nil
+	}
+}
+
+// WithPropose sets the view→value proposal function (the paper's
+// selectValueForView). The default derives a deterministic repair-plan
+// label from the view.
+func WithPropose(fn func(Region) Value) Option {
+	return func(c *Cluster) error { c.propose = fn; return nil }
+}
+
+// WithPick sets the deterministic choice among accepted values (the
+// paper's deterministicPick); it must be a pure function of the value
+// multiset. The default is the lexicographic minimum.
+func WithPick(fn func([]Value) Value) Option {
+	return func(c *Cluster) error { c.pick = fn; return nil }
+}
+
+// WithChecker verifies the seven properties CD1–CD7 online, as the run's
+// events stream by, and makes Run return an error describing every
+// violation. The checker's memory is bounded by the topology and the
+// decision count, so it composes with WithoutTraceBuffer. The properties
+// are specified against crash ground truth, so a checked Run rejects
+// plans containing Mark steps.
+func WithChecker() Option {
+	return func(c *Cluster) error { c.checked = true; return nil }
+}
+
+// WithObserver streams every trace event of a run to fn as it happens.
+// Repeating the option registers multiple observers; they run in
+// registration order.
+func WithObserver(fn Observer) Option {
+	return func(c *Cluster) error {
+		if fn == nil {
+			return fmt.Errorf("cliffedge: nil Observer")
+		}
+		c.observers = append(c.observers, fn)
+		return nil
+	}
+}
+
+// WithoutTraceBuffer stops the run from retaining its event trace:
+// Result.Events returns nil while Stats, observers and the online checker
+// still see everything. This is how million-node runs stay in constant
+// memory.
+func WithoutTraceBuffer() Option {
+	return func(c *Cluster) error { c.noBuffer = true; return nil }
+}
+
+// WithEngine selects the execution backend; the default is Sim().
+func WithEngine(e Engine) Option {
+	return func(c *Cluster) error {
+		if e == nil {
+			return fmt.Errorf("cliffedge: nil Engine")
+		}
+		c.engine = e
+		return nil
+	}
+}
+
+// WithLiveTimeout bounds each quiescence wait of the live engine (default
+// 30s). The simulator ignores it — bound simulator runs through ctx.
+func WithLiveTimeout(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d <= 0 {
+			return fmt.Errorf("cliffedge: non-positive live timeout %v", d)
+		}
+		c.liveTimeout = d
+		return nil
+	}
+}
+
+// WithMaxEvents caps the simulator's kernel event budget (default 50
+// million), turning livelocks into errors instead of hangs.
+func WithMaxEvents(n int) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("cliffedge: negative event budget %d", n)
+		}
+		c.maxEvents = n
+		return nil
+	}
+}
+
+// factory instantiates the per-node automaton: the core crash protocol, or
+// its predicate-detection wrapper when the plan marks nodes.
+func (c *Cluster) factory(marks bool) proto.Factory {
+	topo, propose, pick := c.topo, c.propose, c.pick
+	if marks {
+		return func(id NodeID) proto.Automaton {
+			return predicate.New(core.Config{ID: id, Graph: topo, Propose: propose, Pick: pick})
+		}
+	}
+	return func(id NodeID) proto.Automaton {
+		return core.New(core.Config{ID: id, Graph: topo, Propose: propose, Pick: pick})
+	}
+}
+
+// instrument assembles the run's streaming sink: the online CD1–CD7
+// checker (when enabled) followed by the user observers, all fed in
+// sequence order. Both results are nil when nothing listens.
+func (c *Cluster) instrument() (*check.Online, func(trace.Event)) {
+	var online *check.Online
+	if c.checked {
+		online = check.NewOnline(c.topo)
+	}
+	if online == nil && len(c.observers) == 0 {
+		return nil, nil
+	}
+	observers := c.observers
+	return online, func(e trace.Event) {
+		if online != nil {
+			online.Observe(e)
+		}
+		for _, fn := range observers {
+			fn(e)
+		}
+	}
+}
+
+// finish applies the online checker's verdict to a completed run. On
+// violation the result is still returned alongside the error, so callers
+// can inspect what went wrong.
+func finish(res *Result, online *check.Online) (*Result, error) {
+	if online == nil {
+		return res, nil
+	}
+	if rep := online.Report(); !rep.Ok() {
+		return res, fmt.Errorf("cliffedge: property violations:\n%s", rep)
+	}
+	return res, nil
+}

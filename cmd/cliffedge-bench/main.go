@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id: all, F1a, F1b, F2, F3, T1..T7, MC")
+		exp  = flag.String("exp", "all", "experiment id: all, F1a, F1b, F2, F3, T1..T7, MC, STREAM")
 		full = flag.Bool("full", false, "run the large variants (T1 up to N=102400 and a bigger global baseline)")
 		seed = flag.Int64("seed", 1, "base seed")
 	)
@@ -77,6 +77,10 @@ func main() {
 	if run("MC") {
 		ran = true
 		mcTable()
+	}
+	if run("STREAM") {
+		ran = true
+		streamBench(*full, *seed)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "cliffedge-bench: unknown experiment %q\n", *exp)

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"cliffedge"
+)
+
+// streamBench contrasts the two memory postures of the Cluster API on a
+// grid that loses its central quarter: a buffered run retaining the full
+// event trace, and a streaming run (WithoutTraceBuffer + observer + online
+// checker) whose memory stays bounded by the topology. Both must reach the
+// same decisions.
+func streamBench(full bool, seed int64) {
+	sides := []int{32, 48, 64}
+	if full {
+		sides = append(sides, 96, 128)
+	}
+	fmt.Println("## STREAM — Buffered trace vs streaming observers (WithoutTraceBuffer)")
+	fmt.Println()
+	fmt.Println("| grid | crashed | events | retained (buffered) | retained (stream) | heap MB (buffered) | heap MB (stream) | decisions equal |")
+	fmt.Println("|------|--------:|-------:|--------------------:|------------------:|-------------------:|-----------------:|----------------:|")
+	for _, s := range sides {
+		topo := cliffedge.Grid(s, s)
+		victims := cliffedge.CenterBlock(s, s, s/2)
+		plan := cliffedge.NewPlan().At(10).Crash(victims...)
+
+		buffered, err := cliffedge.New(topo, cliffedge.WithSeed(seed))
+		if err != nil {
+			fatal(err)
+		}
+		resB, err := buffered.Run(context.Background(), plan)
+		if err != nil {
+			fatal(err)
+		}
+		heapB := heapAfterGC() // resB (and its trace) still alive
+		decisionsB := resB.Decisions
+		retainedB := len(resB.Events())
+		resB = nil // release the buffered trace before measuring the streaming run
+		_ = resB
+
+		var streamed int
+		streaming, err := cliffedge.New(topo,
+			cliffedge.WithSeed(seed),
+			cliffedge.WithChecker(),
+			cliffedge.WithoutTraceBuffer(),
+			cliffedge.WithObserver(func(cliffedge.Event) { streamed++ }),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		resS, err := streaming.Run(context.Background(), plan)
+		if err != nil {
+			fatal(err)
+		}
+		heapS := heapAfterGC()
+
+		equal := len(decisionsB) == len(resS.Decisions)
+		for i := 0; equal && i < len(decisionsB); i++ {
+			equal = decisionsB[i].Node == resS.Decisions[i].Node &&
+				decisionsB[i].Value == resS.Decisions[i].Value &&
+				decisionsB[i].View.Equal(resS.Decisions[i].View)
+		}
+		fmt.Printf("| %d×%d | %d | %d | %d | %d | %.1f | %.1f | %v |\n",
+			s, s, len(victims), streamed, retainedB, len(resS.Events()),
+			float64(heapB)/(1<<20), float64(heapS)/(1<<20), equal)
+	}
+	fmt.Println()
+}
+
+func heapAfterGC() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}

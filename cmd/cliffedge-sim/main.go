@@ -10,16 +10,17 @@
 //	cliffedge-sim -topo ring:32 -crash nodes:r000007,r000008,r000009
 //	cliffedge-sim -topo er:60,0.06 -crash random:2,8 -seed 7
 //	cliffedge-sim -topo grid:8,8 -crash block:2 -live
+//	cliffedge-sim -topo grid:256,256 -crash block:3 -stream -timeout 2m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"cliffedge"
 	"cliffedge/internal/check"
@@ -62,8 +63,16 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "render an activity timeline of the run")
 		flows     = flag.Int("flows", 0, "show the N most talkative nodes")
 		jsonOut   = flag.String("json", "", "write the trace as JSON Lines to this file")
+		stream    = flag.Bool("stream", false, "print events as they happen and keep no trace in memory (constant-memory runs)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
 	)
 	flag.Parse()
+
+	// Reject flag conflicts before any work: the post-hoc renderers need
+	// the buffered trace that -stream deliberately drops.
+	if *stream && (*jsonOut != "" || *gridMap || *timeline || *flows > 0 || *narrate) {
+		fatal(fmt.Errorf("-stream keeps no trace; drop -narrate/-json/-grid/-timeline/-flows (stream already prints events live)"))
+	}
 
 	topo, err := buildTopo(*topoSpec)
 	if err != nil {
@@ -78,17 +87,39 @@ func main() {
 		return
 	}
 
-	cfg := cliffedge.Config{Topology: topo, Seed: *seed}
-	var res *cliffedge.Result
+	// One Cluster + Plan drives both engines; the checker and the -stream
+	// narrator ride the observer stream, so -stream runs need no buffered
+	// trace at all.
+	opts := []cliffedge.Option{cliffedge.WithSeed(*seed)}
 	if *live {
-		res, err = cliffedge.RunLive(cfg, [][]cliffedge.NodeID{victims}, 30*time.Second)
-	} else {
-		var crashes []cliffedge.Crash
-		for i, n := range victims {
-			crashes = append(crashes, cliffedge.Crash{Time: *at + int64(i)**stagger, Node: n})
-		}
-		res, err = cliffedge.Run(cfg, crashes)
+		opts = append(opts, cliffedge.WithEngine(cliffedge.Live()))
 	}
+	var online *check.Online
+	if !*noCheck {
+		online = check.NewOnline(topo)
+		opts = append(opts, cliffedge.WithObserver(online.Observe))
+	}
+	if *stream {
+		opts = append(opts, cliffedge.WithoutTraceBuffer(),
+			cliffedge.WithObserver(func(e cliffedge.Event) { fmt.Println(e) }))
+	}
+	cluster, err := cliffedge.New(topo, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	plan := cliffedge.NewPlan()
+	for i, n := range victims {
+		plan.At(*at + int64(i)**stagger).Crash(n)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := cluster.Run(ctx, plan)
 	if err != nil {
 		fatal(err)
 	}
@@ -139,8 +170,8 @@ func main() {
 		s.Messages, s.Bytes, s.Participants, s.MaxRound, s.Proposals, s.Rejections, s.Resets)
 	fmt.Printf("time: decided@%d quiescent@%d\n", s.DecideTime, s.EndTime)
 
-	if !*noCheck {
-		rep := check.Run(topo, res.Events())
+	if online != nil {
+		rep := online.Report()
 		fmt.Printf("properties: %s\n", rep)
 		if !rep.Ok() {
 			os.Exit(1)

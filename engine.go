@@ -1,0 +1,110 @@
+package cliffedge
+
+import (
+	"context"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/livenet"
+	"cliffedge/internal/predicate"
+	"cliffedge/internal/sim"
+)
+
+// Engine executes a fault Plan against a Cluster. Two implementations
+// ship with the library — Sim (deterministic discrete-event simulation)
+// and Live (one goroutine per node on the Go scheduler) — and the
+// interface is the extension point for future backends (sharded,
+// distributed, accelerated). Engines are stateless values; all run state
+// lives inside a single Run call.
+type Engine interface {
+	Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, error)
+}
+
+// Sim returns the deterministic discrete-event engine: virtual time,
+// seeded latencies, bit-for-bit reproducible traces. OnEvent plan steps
+// are supported.
+func Sim() Engine { return simEngine{} }
+
+// Live returns the goroutine-per-node engine: real concurrency, unbounded
+// FIFO mailboxes, scheduling decided by the Go runtime. Timed plan steps
+// become quiescence-separated waves in ascending cursor order; OnEvent
+// steps are rejected. Outcomes are scheduler-dependent but always satisfy
+// CD1–CD7.
+func Live() Engine { return liveEngine{} }
+
+type simEngine struct{}
+
+func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, error) {
+	if err := plan.validate(c.topo); err != nil {
+		return nil, err
+	}
+	crashes, triggers, injections := plan.compileSim()
+	online, observer := c.instrument()
+	runner, err := sim.NewRunner(sim.Config{
+		Graph:         c.topo,
+		Factory:       c.factory(plan.hasMarks()),
+		Seed:          c.seed,
+		NetLatency:    sim.Uniform{Min: c.net.Min, Max: c.net.Max},
+		FDLatency:     sim.Uniform{Min: c.fd.Min, Max: c.fd.Max},
+		Crashes:       crashes,
+		Triggers:      triggers,
+		Injections:    injections,
+		MaxEvents:     c.maxEvents,
+		Observer:      observer,
+		DiscardEvents: c.noBuffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
+	for _, d := range res.SortedDecisions() {
+		out.Decisions = append(out.Decisions,
+			Decision{Node: d.Node, View: d.Decision.View, Value: d.Decision.Value})
+	}
+	return finish(out, online)
+}
+
+type liveEngine struct{}
+
+func (liveEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, error) {
+	if err := plan.validate(c.topo); err != nil {
+		return nil, err
+	}
+	waves, err := plan.liveWaves()
+	if err != nil {
+		return nil, err
+	}
+	online, observer := c.instrument()
+	rt := livenet.NewRuntime(c.topo, c.factory(plan.hasMarks()),
+		livenet.Options{Observer: observer, DiscardEvents: c.noBuffer})
+	defer rt.Stop()
+	if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
+		return nil, err
+	}
+	for _, w := range waves {
+		rt.CrashAll(w.crash...)
+		for _, n := range w.mark {
+			rt.Inject(n, predicate.Mark{})
+		}
+		if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
+			return nil, err
+		}
+	}
+	rt.Stop()
+	res := rt.Result()
+	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
+	ids := make([]NodeID, 0, len(res.Decisions))
+	for id := range res.Decisions {
+		ids = append(ids, id)
+	}
+	graph.SortIDs(ids)
+	for _, id := range ids {
+		d := res.Decisions[id]
+		out.Decisions = append(out.Decisions,
+			Decision{Node: id, View: d.View, Value: d.Value})
+	}
+	return finish(out, online)
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -22,17 +23,20 @@ import (
 func main() {
 	topo, f1, _ := cliffedge.Fig1()
 
-	res, err := cliffedge.RunChecked(cliffedge.Config{
-		Topology: topo,
-		Seed:     11,
-		Triggers: []cliffedge.Trigger{{
-			Node:  "paris",
-			Delay: 1,
-			When: func(e cliffedge.Event) bool {
-				return e.Kind == cliffedge.EventPropose && e.Node == "madrid"
-			},
-		}},
-	}, cliffedge.CrashAll(f1, 10))
+	// One Plan expresses both the timed region failure and the
+	// event-conditioned cascade: paris dies one tick after madrid's first
+	// proposal.
+	plan := cliffedge.NewPlan().
+		At(10).Crash(f1...).
+		OnEvent(func(e cliffedge.Event) bool {
+			return e.Kind == cliffedge.EventPropose && e.Node == "madrid"
+		}, 1).Crash("paris")
+
+	c, err := cliffedge.New(topo, cliffedge.WithSeed(11), cliffedge.WithChecker())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -30,17 +31,28 @@ func main() {
 		victims = append(victims, cliffedge.NodeID(fmt.Sprintf("c%03d-%04d", 3, i)))
 	}
 
-	res, err := cliffedge.RunChecked(cliffedge.Config{
-		Topology: topo,
-		Seed:     2026,
+	// Production posture: no trace buffering — events stream through an
+	// observer (here a counter) and the online checker, so memory stays
+	// bounded by the topology no matter how long the run.
+	var eventsSeen int
+	c, err := cliffedge.New(topo,
+		cliffedge.WithSeed(2026),
+		cliffedge.WithChecker(),
+		cliffedge.WithoutTraceBuffer(),
+		cliffedge.WithObserver(func(e cliffedge.Event) { eventsSeen++ }),
 		// The repair plan must be derived from the view (shared data), not
 		// from per-node identity, so deterministicPick converges: shards
 		// of the dead region rehome to the lexicographically first border
 		// rack.
-		Propose: func(view cliffedge.Region) cliffedge.Value {
+		cliffedge.WithPropose(func(view cliffedge.Region) cliffedge.Value {
 			return cliffedge.Value("rehome:" + rackOf(string(view.Border()[0])))
-		},
-	}, cliffedge.CrashAll(victims, 100))
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background(),
+		cliffedge.NewPlan().At(100).Crash(victims...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,6 +60,8 @@ func main() {
 	fmt.Printf("datacenter: %d racks × %d servers = %d nodes\n",
 		racks, serversPerRack, topo.Len())
 	fmt.Printf("power event: %d servers of rack 3 down\n\n", len(victims))
+	fmt.Printf("streamed %d events; retained trace: %d entries\n\n",
+		eventsSeen, len(res.Events()))
 
 	if len(res.Decisions) == 0 {
 		log.Fatal("no decisions reached")

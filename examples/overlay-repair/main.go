@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,16 +33,21 @@ func main() {
 		arc = append(arc, cliffedge.RingID(i))
 	}
 
-	res, err := cliffedge.RunChecked(cliffedge.Config{
-		Topology: topo,
-		Seed:     7,
-		Propose: func(view cliffedge.Region) cliffedge.Value {
+	c, err := cliffedge.New(topo,
+		cliffedge.WithSeed(7),
+		cliffedge.WithChecker(),
+		cliffedge.WithPropose(func(view cliffedge.Region) cliffedge.Value {
 			// The repair plan is fully determined by the view: splice the
 			// two border nodes of the arc together.
 			b := view.Border()
 			return cliffedge.Value(fmt.Sprintf("splice(%s--%s)", b[0], b[len(b)-1]))
-		},
-	}, cliffedge.CrashAll(arc, 50))
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background(),
+		cliffedge.NewPlan().At(50).Crash(arc...))
 	if err != nil {
 		log.Fatal(err)
 	}

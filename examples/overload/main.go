@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,15 +23,21 @@ func main() {
 	topo := cliffedge.Grid(9, 9)
 	hotspot := cliffedge.GridBlock(3, 3, 3) // a 3×3 saturated patch
 
-	res, err := cliffedge.RunPredicate(cliffedge.Config{
-		Topology: topo,
-		Seed:     99,
-		Propose: func(view cliffedge.Region) cliffedge.Value {
+	c, err := cliffedge.New(topo,
+		cliffedge.WithSeed(99),
+		cliffedge.WithPropose(func(view cliffedge.Region) cliffedge.Value {
 			// The plan is derived from the agreed view: shed load away
 			// from the region through its first border gateway.
 			return cliffedge.Value(fmt.Sprintf("shed-via-%s", view.Border()[0]))
-		},
-	}, cliffedge.MarkAll(hotspot, 20))
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Mark steps run every node as a predicate automaton: detection is
+	// cooperative gossip, no failure detector involved.
+	res, err := c.Run(context.Background(),
+		cliffedge.NewPlan().At(20).Mark(hotspot...))
 	if err != nil {
 		log.Fatal(err)
 	}

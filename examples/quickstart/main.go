@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,10 +19,18 @@ func main() {
 	topo := cliffedge.Grid(8, 8)
 	victims := cliffedge.CenterBlock(8, 8, 2)
 
-	res, err := cliffedge.RunChecked(
-		cliffedge.Config{Topology: topo, Seed: 42},
-		cliffedge.CrashAll(victims, 10),
+	// A Cluster describes the system; a Plan describes the faults. The
+	// checker verifies the paper's CD1–CD7 properties online as the run
+	// streams by.
+	c, err := cliffedge.New(topo,
+		cliffedge.WithSeed(42),
+		cliffedge.WithChecker(),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background(),
+		cliffedge.NewPlan().At(10).Crash(victims...))
 	if err != nil {
 		log.Fatal(err)
 	}

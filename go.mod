@@ -1,0 +1,3 @@
+module cliffedge
+
+go 1.24

@@ -68,35 +68,127 @@ type decision struct {
 	time  int64
 }
 
+// sendPair is a distinct (sender, recipient) channel observed in the trace.
+type sendPair struct{ from, to graph.NodeID }
+
+// Online is an incremental CD1–CD7 checker: feed it every trace event as
+// it happens via Observe, then call Report once the run is quiescent. Its
+// memory is bounded by the topology and the number of decisions and
+// proposals — never by the length of the trace — so it pairs with
+// discarded-trace (constant-memory) runs of arbitrary size.
+//
+// Observe is not safe for concurrent use; the runtimes deliver observer
+// events serially, in sequence order, which is exactly what the
+// order-dependent checks (lemma 2, no post-crash activity) require.
+type Online struct {
+	g *graph.Graph
+
+	crashed   map[graph.NodeID]bool
+	crashTime map[graph.NodeID]int64
+	decisions []decision
+
+	// CD3 evidence: distinct send channels in first-use order, with use
+	// counts (bounded by edges of the closure actually exercised).
+	sendOrder []sendPair
+	sendCount map[sendPair]int
+
+	// Streamed sanity state (order-dependent, evaluated as events arrive).
+	lastProposed map[graph.NodeID]region.Region
+	rejectedBy   map[graph.NodeID]map[string]bool
+	sends        int
+	delivered    int
+	streamViol   []Violation
+}
+
+// NewOnline returns an incremental checker over topology g.
+func NewOnline(g *graph.Graph) *Online {
+	return &Online{
+		g:            g,
+		crashed:      make(map[graph.NodeID]bool),
+		crashTime:    make(map[graph.NodeID]int64),
+		sendCount:    make(map[sendPair]int),
+		lastProposed: make(map[graph.NodeID]region.Region),
+		rejectedBy:   make(map[graph.NodeID]map[string]bool),
+	}
+}
+
+// Observe folds one event into the checker's state. Call in trace order.
+func (o *Online) Observe(e trace.Event) {
+	switch e.Kind {
+	case trace.KindCrash:
+		o.crashed[e.Node] = true
+		o.crashTime[e.Node] = e.Time
+	case trace.KindDecide:
+		if o.crashed[e.Node] {
+			o.streamViol = append(o.streamViol, Violation{"SANITY",
+				fmt.Sprintf("crashed node %s decided at t=%d", e.Node, e.Time)})
+		}
+		o.decisions = append(o.decisions,
+			decision{node: e.Node, view: region.FromKey(o.g, e.View), value: e.Value, time: e.Time})
+	case trace.KindSend:
+		o.sends++
+		if o.crashed[e.Node] {
+			o.streamViol = append(o.streamViol, Violation{"SANITY",
+				fmt.Sprintf("crashed node %s sent a message at t=%d", e.Node, e.Time)})
+		}
+		p := sendPair{e.Node, e.Peer}
+		if o.sendCount[p] == 0 {
+			o.sendOrder = append(o.sendOrder, p)
+		}
+		o.sendCount[p]++
+	case trace.KindDeliver, trace.KindDrop:
+		o.delivered++
+	case trace.KindPropose:
+		v := region.FromKey(o.g, e.View)
+		if prev, ok := o.lastProposed[e.Node]; ok && !region.Less(prev, v) {
+			o.streamViol = append(o.streamViol, Violation{"LEMMA2",
+				fmt.Sprintf("node %s proposed %s after %s (not strictly increasing)", e.Node, v, prev)})
+		}
+		o.lastProposed[e.Node] = v
+		if o.rejectedBy[e.Node][e.View] {
+			o.streamViol = append(o.streamViol, Violation{"LEMMA2",
+				fmt.Sprintf("node %s proposed previously rejected view {%s}", e.Node, e.View)})
+		}
+	case trace.KindReject:
+		set := o.rejectedBy[e.Node]
+		if set == nil {
+			set = make(map[string]bool)
+			o.rejectedBy[e.Node] = set
+		}
+		if set[e.View] {
+			o.streamViol = append(o.streamViol, Violation{"LEMMA2",
+				fmt.Sprintf("node %s rejected view {%s} twice", e.Node, e.View)})
+		}
+		set[e.View] = true
+	}
+}
+
 // Run checks a quiescent run. events is the full trace; the ground-truth
 // crash set is reconstructed from the trace's crash events. Progress (CD4,
 // CD7) is judged at quiescence — the trace must come from a run that was
 // executed until no event remained.
 func Run(g *graph.Graph, events []trace.Event) Report {
-	var rep Report
-
-	crashed := make(map[graph.NodeID]bool)
-	crashTime := make(map[graph.NodeID]int64)
+	o := NewOnline(g)
 	for _, e := range events {
-		if e.Kind == trace.KindCrash {
-			crashed[e.Node] = true
-			crashTime[e.Node] = e.Time
-		}
+		o.Observe(e)
 	}
+	return o.Report()
+}
 
-	// Collect decisions; CD1 (integrity): at most one decide per node.
+// Report evaluates every property against the accumulated state and
+// returns the verdict. Call it once, after the run reached quiescence.
+func (o *Online) Report() Report {
+	var rep Report
+	g, crashed, crashTime := o.g, o.crashed, o.crashTime
+
+	// CD1 (integrity): at most one decide per node.
 	decisionsByNode := make(map[graph.NodeID][]decision)
-	var decisions []decision
-	for _, e := range events {
-		if e.Kind != trace.KindDecide {
-			continue
+	decisions := o.decisions
+	for _, d := range decisions {
+		if prev := decisionsByNode[d.node]; len(prev) > 0 {
+			rep.violatef("CD1", "node %s decided twice: %s then %s", d.node, prev[0].view, d.view)
 		}
-		d := decision{node: e.Node, view: region.FromKey(g, e.View), value: e.Value, time: e.Time}
-		if prev := decisionsByNode[e.Node]; len(prev) > 0 {
-			rep.violatef("CD1", "node %s decided twice: %s then %s", e.Node, prev[0].view, d.view)
-		}
-		decisionsByNode[e.Node] = append(decisionsByNode[e.Node], d)
-		decisions = append(decisions, d)
+		decisionsByNode[d.node] = append(decisionsByNode[d.node], d)
 	}
 	rep.Decisions = len(decisions)
 
@@ -150,20 +242,20 @@ func Run(g *graph.Graph, events []trace.Event) Report {
 		}
 		return false
 	}
-	cd3Reported := 0
-	for _, e := range events {
-		if e.Kind != trace.KindSend {
+	cd3Total, cd3Reported := 0, 0
+	for _, p := range o.sendOrder {
+		if shareDomain(p.from, p.to) {
 			continue
 		}
-		if !shareDomain(e.Node, e.Peer) {
-			if cd3Reported < 10 { // cap noise; one violation proves the breach
-				rep.violatef("CD3", "message %s→%s outside any faulty domain ∪ border", e.Node, e.Peer)
-			}
+		n := o.sendCount[p]
+		cd3Total += n
+		for ; n > 0 && cd3Reported < 10; n-- { // cap noise; one violation proves the breach
+			rep.violatef("CD3", "message %s→%s outside any faulty domain ∪ border", p.from, p.to)
 			cd3Reported++
 		}
 	}
-	if cd3Reported > 10 {
-		rep.violatef("CD3", "… and %d more locality breaches", cd3Reported-10)
+	if cd3Total > 10 {
+		rep.violatef("CD3", "… and %d more locality breaches", cd3Total-10)
 	}
 
 	// CD4 (border termination): if p decided (V, ·), every correct node in
@@ -259,7 +351,13 @@ func Run(g *graph.Graph, events []trace.Event) Report {
 		}
 	}
 
-	checkSanity(g, events, crashed, &rep)
+	// Sanity and lemma-2 breaches were detected in stream order as the
+	// events arrived; message conservation is judged now, at quiescence.
+	rep.Violations = append(rep.Violations, o.streamViol...)
+	if o.sends != o.delivered {
+		rep.violatef("SANITY", "message conservation broken: %d sends vs %d deliveries+drops",
+			o.sends, o.delivered)
+	}
 	return rep
 }
 
@@ -271,59 +369,6 @@ func bordersIntersect(a, b region.Region) bool {
 		}
 	}
 	return false
-}
-
-// checkSanity verifies run-mechanics invariants that are not CD properties
-// but would invalidate the experiment if broken: lemma 2 (strictly
-// monotonic proposals; never re-proposing a rejected view), conservation
-// of messages (every send delivered or dropped by quiescence), and no
-// activity by crashed nodes.
-func checkSanity(g *graph.Graph, events []trace.Event, crashed map[graph.NodeID]bool, rep *Report) {
-	lastProposed := make(map[graph.NodeID]region.Region)
-	rejectedBy := make(map[graph.NodeID]map[string]bool)
-	crashedSoFar := make(map[graph.NodeID]bool)
-	sends, delivered := 0, 0
-	for _, e := range events {
-		switch e.Kind {
-		case trace.KindCrash:
-			crashedSoFar[e.Node] = true
-		case trace.KindPropose:
-			v := region.FromKey(g, e.View)
-			if prev, ok := lastProposed[e.Node]; ok && !region.Less(prev, v) {
-				rep.violatef("LEMMA2", "node %s proposed %s after %s (not strictly increasing)",
-					e.Node, v, prev)
-			}
-			lastProposed[e.Node] = v
-			if rejectedBy[e.Node][e.View] {
-				rep.violatef("LEMMA2", "node %s proposed previously rejected view {%s}", e.Node, e.View)
-			}
-		case trace.KindReject:
-			set := rejectedBy[e.Node]
-			if set == nil {
-				set = make(map[string]bool)
-				rejectedBy[e.Node] = set
-			}
-			if set[e.View] {
-				rep.violatef("LEMMA2", "node %s rejected view {%s} twice", e.Node, e.View)
-			}
-			set[e.View] = true
-		case trace.KindSend:
-			sends++
-			if crashedSoFar[e.Node] {
-				rep.violatef("SANITY", "crashed node %s sent a message at t=%d", e.Node, e.Time)
-			}
-		case trace.KindDeliver, trace.KindDrop:
-			delivered++
-		case trace.KindDecide:
-			if crashedSoFar[e.Node] {
-				rep.violatef("SANITY", "crashed node %s decided at t=%d", e.Node, e.Time)
-			}
-		}
-	}
-	if sends != delivered {
-		rep.violatef("SANITY", "message conservation broken: %d sends vs %d deliveries+drops",
-			sends, delivered)
-	}
 }
 
 // AutomataViolations extracts internal invariant breaches recorded by

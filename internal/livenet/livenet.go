@@ -10,6 +10,7 @@
 package livenet
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -93,9 +94,25 @@ type Runtime struct {
 	stopped  bool
 }
 
+// Options configures optional Runtime behaviour.
+type Options struct {
+	// Observer, if non-nil, receives every trace event in sequence order
+	// as it is appended. It runs under the log lock: keep it fast.
+	Observer func(trace.Event)
+	// DiscardEvents stops the trace from being retained; Result.Events is
+	// nil while Stats and Observer still see everything.
+	DiscardEvents bool
+}
+
 // New builds and starts a live cluster: every automaton is instantiated
 // and its Start effects applied before New returns.
 func New(g *graph.Graph, factory proto.Factory) *Runtime {
+	return NewRuntime(g, factory, Options{})
+}
+
+// NewRuntime is New with explicit Options; observers are registered before
+// any Start effect runs, so they see the complete trace.
+func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 	rt := &Runtime{
 		g:        g,
 		log:      &trace.Log{},
@@ -104,6 +121,12 @@ func New(g *graph.Graph, factory proto.Factory) *Runtime {
 		boxes:    make(map[graph.NodeID]*mailbox, g.Len()),
 		crashed:  make(map[graph.NodeID]bool),
 		subs:     make(map[graph.NodeID]map[graph.NodeID]bool),
+	}
+	if opts.Observer != nil {
+		rt.log.Observe(opts.Observer)
+	}
+	if opts.DiscardEvents {
+		rt.log.DiscardEvents()
 	}
 	for _, id := range g.Nodes() {
 		rt.automata[id] = factory(id)
@@ -278,6 +301,12 @@ func (rt *Runtime) Inject(n graph.NodeID, payload proto.Payload) {
 // WaitIdle blocks until no envelope is queued or being processed, i.e. the
 // cluster is quiescent, or the timeout elapses.
 func (rt *Runtime) WaitIdle(timeout time.Duration) error {
+	return rt.WaitIdleContext(context.Background(), timeout)
+}
+
+// WaitIdleContext is WaitIdle with cancellation: it returns early with the
+// context's error if ctx is cancelled or expires before quiescence.
+func (rt *Runtime) WaitIdleContext(ctx context.Context, timeout time.Duration) error {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	for {
@@ -287,6 +316,9 @@ func (rt *Runtime) WaitIdle(timeout time.Duration) error {
 		select {
 		case <-rt.idle:
 			// Re-check: a new envelope may have been enqueued since.
+		case <-ctx.Done():
+			return fmt.Errorf("livenet: wait aborted (%d in flight): %w",
+				rt.pending.Load(), ctx.Err())
 		case <-deadline.C:
 			return fmt.Errorf("livenet: not idle after %v (%d in flight)",
 				timeout, rt.pending.Load())
@@ -335,7 +367,7 @@ func (rt *Runtime) Result() *Result {
 	}
 	return &Result{
 		Events:    events,
-		Stats:     trace.Summarize(events),
+		Stats:     rt.log.Stats(),
 		Decisions: decisions,
 		Automata:  rt.automata,
 		Crashed:   crashed,

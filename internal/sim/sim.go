@@ -18,6 +18,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -32,12 +33,15 @@ type CrashAt struct {
 	Node graph.NodeID
 }
 
-// Trigger schedules a crash of Node `Delay` ticks after the first trace
-// event matching When. Triggers fire at most once.
+// Trigger schedules an action on Node `Delay` ticks after the first trace
+// event matching When: a crash by default, or the delivery of Payload when
+// it is non-nil (an event-conditioned injection, e.g. a predicate mark).
+// Triggers fire at most once.
 type Trigger struct {
-	Node  graph.NodeID
-	When  func(trace.Event) bool
-	Delay int64
+	Node    graph.NodeID
+	When    func(trace.Event) bool
+	Delay   int64
+	Payload proto.Payload
 }
 
 // InjectAt delivers Payload to Node at virtual time Time, as a message
@@ -75,6 +79,15 @@ type Config struct {
 	// protocol annotations are still logged; Triggers cannot match
 	// send/deliver events in quiet mode.
 	Quiet bool
+	// Observer, if non-nil, receives every trace event as it is emitted,
+	// in sequence order (an online sink for checkers, metrics, streaming
+	// encoders, …).
+	Observer func(trace.Event)
+	// DiscardEvents stops the trace from being retained in memory:
+	// Result.Events is nil, while Stats, Observer and Triggers still see
+	// every event. Combined with Observer this bounds a run's memory by
+	// the topology, not the trace length.
+	DiscardEvents bool
 }
 
 // Result is a finished (quiescent) run.
@@ -177,7 +190,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, fmt.Errorf("sim: scheduled crash of unknown node %q", c.Node)
 		}
 	}
-	return &Runner{
+	for _, t := range cfg.Triggers {
+		if !cfg.Graph.Has(t.Node) {
+			return nil, fmt.Errorf("sim: trigger on unknown node %q", t.Node)
+		}
+	}
+	for _, inj := range cfg.Injections {
+		if !cfg.Graph.Has(inj.Node) {
+			return nil, fmt.Errorf("sim: injection into unknown node %q", inj.Node)
+		}
+	}
+	r := &Runner{
 		cfg:           cfg,
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		log:           &trace.Log{},
@@ -188,13 +211,25 @@ func NewRunner(cfg Config) (*Runner, error) {
 		triggers:      cfg.Triggers,
 		fired:         make([]bool, len(cfg.Triggers)),
 		qParticipants: make(map[graph.NodeID]bool),
-	}, nil
+	}
+	if cfg.Observer != nil {
+		r.log.Observe(cfg.Observer)
+	}
+	if cfg.DiscardEvents {
+		r.log.DiscardEvents()
+	}
+	return r, nil
 }
 
 // Run executes the simulation to quiescence (empty event queue) and
 // returns the result. It errors if the kernel event budget is exhausted,
 // which indicates a livelock bug in the automaton under test.
-func (r *Runner) Run() (*Result, error) {
+func (r *Runner) Run() (*Result, error) { return r.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: the context is polled every few
+// hundred kernel events, and a cancelled or expired context aborts the run
+// with the context's error.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	// 〈init〉 on every node, in sorted order.
 	for _, id := range r.cfg.Graph.Nodes() {
 		a := r.cfg.Factory(id)
@@ -210,6 +245,9 @@ func (r *Runner) Run() (*Result, error) {
 	}
 
 	for r.queue.Len() > 0 {
+		if r.processed&0x1FF == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("sim: run aborted at t=%d: %w", r.now, ctx.Err())
+		}
 		if r.processed++; r.processed > r.cfg.MaxEvents {
 			return nil, fmt.Errorf("sim: event budget %d exhausted at t=%d (livelock?)",
 				r.cfg.MaxEvents, r.now)
@@ -233,7 +271,7 @@ func (r *Runner) Run() (*Result, error) {
 		}
 	}
 	events := r.log.Events()
-	stats := trace.Summarize(events)
+	stats := r.log.Stats()
 	if r.cfg.Quiet {
 		stats.Messages += r.qMsgs
 		stats.Deliveries += r.qDeliveries
@@ -274,7 +312,13 @@ func (r *Runner) emit(e trace.Event) {
 	for i := range r.triggers {
 		if !r.fired[i] && r.triggers[i].When(e) {
 			r.fired[i] = true
-			r.schedule(&event{time: r.now + r.triggers[i].Delay, kind: evCrash, node: r.triggers[i].Node})
+			t := r.triggers[i]
+			if t.Payload != nil {
+				r.schedule(&event{time: r.now + t.Delay, kind: evDeliver,
+					node: t.Node, peer: t.Node, payload: t.Payload})
+			} else {
+				r.schedule(&event{time: r.now + t.Delay, kind: evCrash, node: t.Node})
+			}
 		}
 	}
 }

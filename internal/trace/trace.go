@@ -84,36 +84,84 @@ func (e Event) String() string {
 // Log is an append-only, concurrency-safe event log. The zero value is
 // ready to use. The simulator appends single-threaded; the goroutine
 // runtime appends from many goroutines, hence the mutex.
+//
+// Beyond buffering, a Log can stream: observers registered with Observe
+// receive every event in sequence order as it is appended, and
+// DiscardEvents turns off buffering entirely so that arbitrarily long runs
+// need constant memory — running Stats and observers keep working.
 type Log struct {
-	mu      sync.Mutex
-	events  []Event
-	nextSeq int
+	mu        sync.Mutex
+	events    []Event
+	nextSeq   int
+	discard   bool
+	observers []func(Event)
+	acc       Accumulator
 }
 
-// Append stamps e with the next sequence number and stores it.
+// Observe registers fn to receive every subsequently appended event,
+// stamped with its sequence number, in order. Observers run under the log
+// lock so that concurrent appenders cannot reorder deliveries: keep them
+// fast, and never append to the same log from inside one.
+func (l *Log) Observe(fn func(Event)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observers = append(l.observers, fn)
+}
+
+// DiscardEvents stops the log from retaining events: Events returns nil
+// afterwards, while Append, Stats, Len and observers keep working. Use it
+// to run huge scenarios in constant memory.
+func (l *Log) DiscardEvents() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.discard = true
+	l.events = nil
+}
+
+// Append stamps e with the next sequence number, stores it (unless
+// discarding), folds it into the running Stats and streams it to the
+// observers.
 func (l *Log) Append(e Event) Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = l.nextSeq
 	l.nextSeq++
-	l.events = append(l.events, e)
+	l.acc.Add(e)
+	if !l.discard {
+		l.events = append(l.events, e)
+	}
+	for _, fn := range l.observers {
+		fn(e)
+	}
 	return e
 }
 
-// Events returns a snapshot copy of the log.
+// Events returns a snapshot copy of the log (nil after DiscardEvents).
 func (l *Log) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.discard {
+		return nil
+	}
 	out := make([]Event, len(l.events))
 	copy(out, l.events)
 	return out
 }
 
-// Len returns the number of events appended so far.
+// Len returns the number of events appended so far, whether or not they
+// were retained.
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.events)
+	return l.nextSeq
+}
+
+// Stats returns the running aggregate over everything appended so far. It
+// equals Summarize(l.Events()) but also works on a discarding log.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acc.Stats()
 }
 
 // Stats aggregates a finished log into the counters the experiment tables
@@ -135,52 +183,76 @@ type Stats struct {
 	DecideTime   int64 // time of the last decision (0 if none)
 }
 
-// Summarize computes Stats over a finished event log.
-func Summarize(events []Event) Stats {
-	var s Stats
-	crashed := make(map[graph.NodeID]bool)
-	participants := make(map[graph.NodeID]bool)
-	for _, e := range events {
-		if e.Time > s.EndTime {
-			s.EndTime = e.Time
-		}
-		switch e.Kind {
-		case KindSend:
-			s.Messages++
-			s.Bytes += e.Bytes
-			participants[e.Node] = true
-		case KindDeliver:
-			s.Deliveries++
-			participants[e.Node] = true
-		case KindDrop:
-			s.Drops++
-		case KindCrash:
-			s.Crashes++
-			crashed[e.Node] = true
-		case KindDetect:
-			s.Detections++
-		case KindPropose:
-			s.Proposals++
-		case KindReject:
-			s.Rejections++
-		case KindReset:
-			s.Resets++
-		case KindDecide:
-			s.Decisions++
-			if e.Time > s.DecideTime {
-				s.DecideTime = e.Time
-			}
-		}
-		if e.Round > s.MaxRound {
-			s.MaxRound = e.Round
+// Accumulator folds a stream of events into Stats one event at a time,
+// using memory proportional to the number of distinct nodes seen rather
+// than the length of the trace. The zero value is ready to use.
+type Accumulator struct {
+	s            Stats
+	crashed      map[graph.NodeID]bool
+	participants map[graph.NodeID]bool
+}
+
+// Add folds one event into the aggregate.
+func (a *Accumulator) Add(e Event) {
+	if a.crashed == nil {
+		a.crashed = make(map[graph.NodeID]bool)
+		a.participants = make(map[graph.NodeID]bool)
+	}
+	if e.Time > a.s.EndTime {
+		a.s.EndTime = e.Time
+	}
+	switch e.Kind {
+	case KindSend:
+		a.s.Messages++
+		a.s.Bytes += e.Bytes
+		a.participants[e.Node] = true
+	case KindDeliver:
+		a.s.Deliveries++
+		a.participants[e.Node] = true
+	case KindDrop:
+		a.s.Drops++
+	case KindCrash:
+		a.s.Crashes++
+		a.crashed[e.Node] = true
+	case KindDetect:
+		a.s.Detections++
+	case KindPropose:
+		a.s.Proposals++
+	case KindReject:
+		a.s.Rejections++
+	case KindReset:
+		a.s.Resets++
+	case KindDecide:
+		a.s.Decisions++
+		if e.Time > a.s.DecideTime {
+			a.s.DecideTime = e.Time
 		}
 	}
-	for n := range participants {
-		if !crashed[n] {
+	if e.Round > a.s.MaxRound {
+		a.s.MaxRound = e.Round
+	}
+}
+
+// Stats returns the aggregate so far. Participants counts distinct nodes
+// that sent or received and are not (yet) crashed, so call it after the
+// stream is complete for the quiescence-time value.
+func (a *Accumulator) Stats() Stats {
+	s := a.s
+	for n := range a.participants {
+		if !a.crashed[n] {
 			s.Participants++
 		}
 	}
 	return s
+}
+
+// Summarize computes Stats over a finished event log.
+func Summarize(events []Event) Stats {
+	var a Accumulator
+	for _, e := range events {
+		a.Add(e)
+	}
+	return a.Stats()
 }
 
 // Decisions extracts the KindDecide events in log order.

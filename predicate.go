@@ -1,14 +1,5 @@
 package cliffedge
 
-import (
-	"fmt"
-
-	"cliffedge/internal/core"
-	"cliffedge/internal/predicate"
-	"cliffedge/internal/proto"
-	"cliffedge/internal/sim"
-)
-
 // This file exposes the stable-predicate extension (the paper's §5 future
 // work): agreement on connected regions of nodes sharing a stable
 // predicate — "crashed" being the special case the main protocol handles.
@@ -18,12 +9,16 @@ import (
 
 // Mark schedules Node's stable predicate to start holding at virtual time
 // Time (the node is "marked": saturated, draining, quarantined, …).
+//
+// Deprecated: use [Plan.Mark] under a [Plan.At] cursor.
 type Mark struct {
 	Time int64
 	Node NodeID
 }
 
 // MarkAll schedules all nodes to be marked at time t.
+//
+// Deprecated: use NewPlan().At(t).Mark(nodes...).
 func MarkAll(nodes []NodeID, t int64) []Mark {
 	out := make([]Mark, len(nodes))
 	for i, n := range nodes {
@@ -32,49 +27,25 @@ func MarkAll(nodes []NodeID, t int64) []Mark {
 	return out
 }
 
+// markPlan translates a legacy mark schedule into a Plan.
+func markPlan(marks []Mark) *Plan {
+	p := NewPlan()
+	for _, m := range marks {
+		p.At(m.Time).Mark(m.Node)
+	}
+	return p
+}
+
 // RunPredicate executes the stable-predicate variant on the deterministic
 // simulator: marked regions are detected cooperatively and their borders
 // agree on (region, value) with the same guarantees and locality as the
 // crash protocol. Config.Triggers are ignored (they crash nodes; this
 // variant marks them).
+//
+// Deprecated: use [New] and [Cluster.Run] with a [Plan] containing
+// [Plan.Mark] steps; a marking plan runs the predicate automaton on every
+// node automatically, and may additionally crash or trigger.
 func RunPredicate(cfg Config, marks []Mark) (*Result, error) {
-	if cfg.Topology == nil {
-		return nil, fmt.Errorf("cliffedge: Config.Topology is required")
-	}
-	injections := make([]sim.InjectAt, len(marks))
-	for i, m := range marks {
-		if !cfg.Topology.Has(m.Node) {
-			return nil, fmt.Errorf("cliffedge: mark of unknown node %q", m.Node)
-		}
-		injections[i] = sim.InjectAt{Time: m.Time, Node: m.Node, Payload: predicate.Mark{}}
-	}
-	topo := cfg.Topology
-	factory := func(id NodeID) proto.Automaton {
-		return predicate.New(core.Config{
-			ID: id, Graph: topo, Propose: cfg.Propose, Pick: cfg.Pick,
-		})
-	}
-	runner, err := sim.NewRunner(sim.Config{
-		Graph:      topo,
-		Factory:    factory,
-		Seed:       cfg.Seed,
-		NetLatency: cfg.netModel(),
-		FDLatency:  cfg.fdModel(),
-		Injections: injections,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := runner.Run()
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
-	// Marked nodes are alive; expose them through Crashed's sibling:
-	// decisions only, plus the Marked helper below via events.
-	for _, d := range res.SortedDecisions() {
-		out.Decisions = append(out.Decisions,
-			Decision{Node: d.Node, View: d.Decision.View, Value: d.Decision.Value})
-	}
-	return out, nil
+	return Config{Topology: cfg.Topology, Seed: cfg.Seed, NetLatency: cfg.NetLatency,
+		DetectLatency: cfg.DetectLatency, Propose: cfg.Propose, Pick: cfg.Pick}.run(markPlan(marks))
 }
