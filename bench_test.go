@@ -30,6 +30,7 @@ func runSpec(b *testing.B, spec scenario.Spec) *sim.Result {
 }
 
 func BenchmarkFig1aDisjointRegions(b *testing.B) {
+	b.ReportAllocs()
 	msgs := 0
 	for i := 0; i < b.N; i++ {
 		res := runSpec(b, scenario.Fig1a(int64(i)))
@@ -39,6 +40,7 @@ func BenchmarkFig1aDisjointRegions(b *testing.B) {
 }
 
 func BenchmarkFig1bCascade(b *testing.B) {
+	b.ReportAllocs()
 	rejections := 0
 	for i := 0; i < b.N; i++ {
 		res := runSpec(b, scenario.Fig1b(int64(i)))
@@ -48,6 +50,7 @@ func BenchmarkFig1bCascade(b *testing.B) {
 }
 
 func BenchmarkFig2AdjacentDomains(b *testing.B) {
+	b.ReportAllocs()
 	decisions := 0
 	for i := 0; i < b.N; i++ {
 		res := runSpec(b, scenario.Fig2(int64(i)))
@@ -57,6 +60,7 @@ func BenchmarkFig2AdjacentDomains(b *testing.B) {
 }
 
 func BenchmarkFig3OverlapStress(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(10, 10)
 	for i := 0; i < b.N; i++ {
 		runSpec(b, scenario.Randomized(g, int64(i), 3, 6, 10, 80))
@@ -67,8 +71,10 @@ func BenchmarkFig3OverlapStress(b *testing.B) {
 // 3×3 block while the system grows: msgs/op must stay flat across
 // sub-benchmarks.
 func BenchmarkT1LocalityCliff(b *testing.B) {
+	b.ReportAllocs()
 	for _, side := range []int{10, 20, 40, 80} {
 		b.Run(fmt.Sprintf("N=%d", side*side), func(b *testing.B) {
+			b.ReportAllocs()
 			g := graph.Grid(side, side)
 			crashes := scenario.CrashAll(graph.CenterBlock(side, side, 3), 10)
 			b.ResetTimer()
@@ -87,8 +93,10 @@ func BenchmarkT1LocalityCliff(b *testing.B) {
 // BenchmarkT1LocalityGlobal is the whole-system baseline on the same
 // workload: msgs/op grows ~quadratically with N.
 func BenchmarkT1LocalityGlobal(b *testing.B) {
+	b.ReportAllocs()
 	for _, side := range []int{10, 15, 20} {
 		b.Run(fmt.Sprintf("N=%d", side*side), func(b *testing.B) {
+			b.ReportAllocs()
 			g := graph.Grid(side, side)
 			var crashes []sim.CrashAt
 			for _, n := range graph.CenterBlock(side, side, 3) {
@@ -116,8 +124,10 @@ func BenchmarkT1LocalityGlobal(b *testing.B) {
 }
 
 func BenchmarkT2RegionCost(b *testing.B) {
+	b.ReportAllocs()
 	for _, k := range []int{1, 2, 3, 4} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			msgs := 0
 			for i := 0; i < b.N; i++ {
 				spec := scenario.GridBlockSpec(16, 16, k, int64(i))
@@ -130,8 +140,10 @@ func BenchmarkT2RegionCost(b *testing.B) {
 }
 
 func BenchmarkT3Latency(b *testing.B) {
+	b.ReportAllocs()
 	for _, lat := range []int64{2, 50} {
 		b.Run(fmt.Sprintf("net=%d", lat), func(b *testing.B) {
+			b.ReportAllocs()
 			g := graph.Grid(12, 12)
 			var decide int64
 			for i := 0; i < b.N; i++ {
@@ -149,8 +161,10 @@ func BenchmarkT3Latency(b *testing.B) {
 }
 
 func BenchmarkT4ArbitrationAblation(b *testing.B) {
+	b.ReportAllocs()
 	for _, arb := range []bool{true, false} {
 		b.Run(fmt.Sprintf("arbitration=%v", arb), func(b *testing.B) {
+			b.ReportAllocs()
 			decisions := 0
 			for i := 0; i < b.N; i++ {
 				spec := scenario.Fig2(int64(i))
@@ -164,8 +178,10 @@ func BenchmarkT4ArbitrationAblation(b *testing.B) {
 }
 
 func BenchmarkT5CascadeDepth(b *testing.B) {
+	b.ReportAllocs()
 	for _, depth := range []int{0, 2, 4} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			resets := 0
 			for i := 0; i < b.N; i++ {
 				res := runSpec(b, scenario.CascadeSpec(9, 9, 2, depth, 30, int64(i)))
@@ -177,8 +193,10 @@ func BenchmarkT5CascadeDepth(b *testing.B) {
 }
 
 func BenchmarkT6Predicate(b *testing.B) {
+	b.ReportAllocs()
 	for _, k := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			rows, err := scenario.ExperimentT6(12, []int{k}, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -199,8 +217,10 @@ func BenchmarkT6Predicate(b *testing.B) {
 }
 
 func BenchmarkT7RoundsAblation(b *testing.B) {
+	b.ReportAllocs()
 	for _, literal := range []bool{false, true} {
 		b.Run(fmt.Sprintf("literal=%v", literal), func(b *testing.B) {
+			b.ReportAllocs()
 			g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
 			for i := 0; i < b.N; i++ {
 				lit := literal
@@ -220,6 +240,7 @@ func BenchmarkT7RoundsAblation(b *testing.B) {
 }
 
 func BenchmarkMCExhaustive(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").AddEdge("c", "d").Build()
 	states := 0
 	for i := 0; i < b.N; i++ {
@@ -235,11 +256,43 @@ func BenchmarkMCExhaustive(b *testing.B) {
 	b.ReportMetric(float64(states)/float64(b.N), "states/op")
 }
 
+// BenchmarkKernelCascade64 is the headline kernel benchmark: a 64×64 grid
+// loses its centre 16×16 block at once and then eight more nodes one by
+// one while agreement is underway. The trace is discarded (streaming
+// posture), so time and allocations measure the simulator kernel and the
+// protocol automata, not trace retention. BENCH_kernel.json tracks this
+// benchmark across PRs.
+func BenchmarkKernelCascade64(b *testing.B) {
+	b.ReportAllocs()
+	spec := scenario.CascadeSpec(64, 64, 16, 8, 25, 1)
+	b.ResetTimer()
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		r, err := sim.NewRunner(sim.Config{
+			Graph:         spec.Graph,
+			Factory:       scenario.CoreFactory(spec.Graph),
+			Seed:          spec.Seed,
+			Crashes:       spec.Crashes,
+			DiscardEvents: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += res.Stats.Messages
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
 // --- micro-benchmarks -------------------------------------------------
 
 // BenchmarkCoreOnMessage measures one protocol message through the
 // automaton's merge + guard pipeline.
 func BenchmarkCoreOnMessage(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(8, 8)
 	victim := graph.GridID(3, 3)
 	view := region.New(g, []graph.NodeID{victim})
@@ -257,6 +310,7 @@ func BenchmarkCoreOnMessage(b *testing.B) {
 // BenchmarkCoreFullInstance measures a complete single-crash agreement
 // (4 participants, 4 uniform rounds) through the simulator.
 func BenchmarkCoreFullInstance(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(8, 8)
 	crashes := []sim.CrashAt{{Time: 10, Node: graph.GridID(3, 3)}}
 	for i := 0; i < b.N; i++ {
@@ -272,6 +326,7 @@ func BenchmarkCoreFullInstance(b *testing.B) {
 }
 
 func BenchmarkRegionRanking(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(16, 16)
 	r1 := region.New(g, graph.CenterBlock(16, 16, 3))
 	r2 := region.New(g, graph.GridBlock(1, 1, 3))
@@ -282,6 +337,7 @@ func BenchmarkRegionRanking(b *testing.B) {
 }
 
 func BenchmarkRegionConstruction(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(32, 32)
 	block := graph.CenterBlock(32, 32, 5)
 	b.ResetTimer()
@@ -291,6 +347,7 @@ func BenchmarkRegionConstruction(b *testing.B) {
 }
 
 func BenchmarkConnectedComponents(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(32, 32)
 	crashed := graph.ToSet(graph.CenterBlock(32, 32, 6))
 	b.ResetTimer()
@@ -300,6 +357,7 @@ func BenchmarkConnectedComponents(b *testing.B) {
 }
 
 func BenchmarkNodeClone(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(8, 8)
 	n := core.New(core.Config{ID: graph.GridID(2, 3), Graph: g})
 	n.Start()
@@ -311,6 +369,7 @@ func BenchmarkNodeClone(b *testing.B) {
 }
 
 func BenchmarkGraphGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		graph.Grid(32, 32)
 	}

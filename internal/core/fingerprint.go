@@ -23,9 +23,9 @@ func (n *Node) Fingerprint() string {
 		n.hasProposed, n.proposedValue, n.round,
 		n.vp.Key(), n.maxView.Key(), n.candidateView.Key())
 	sb.WriteString("lc=")
-	writeIDSet(&sb, n.locallyCrashed)
+	writeIndexSet(&sb, n.cfg.Graph, n.locallyCrashed)
 	sb.WriteString("|mon=")
-	writeIDSet(&sb, n.monitored)
+	writeIndexSet(&sb, n.cfg.Graph, n.monitored)
 	sb.WriteString("|rej=")
 	writeStringSet(&sb, n.rejected)
 	sb.WriteString("|rcv=")
@@ -38,8 +38,18 @@ func (n *Node) Fingerprint() string {
 		inst := n.received[k]
 		fmt.Fprintf(&sb, "{%s;B=%v;L=%d", k, inst.border, inst.lastRound)
 		for r := 1; r <= inst.lastRound; r++ {
-			fmt.Fprintf(&sb, ";r%d=%s;w%d=", r, inst.opinions[r], r)
-			writeIDSet(&sb, inst.waiting[r])
+			fmt.Fprintf(&sb, ";r%d=%s;w%d=", r, inst.vector(r), r)
+			first := true
+			for j, q := range inst.border {
+				if !inst.waitingFor(r, j) {
+					continue
+				}
+				if !first {
+					sb.WriteByte(',')
+				}
+				first = false
+				sb.WriteString(string(q))
+			}
 		}
 		sb.WriteByte('}')
 	}
@@ -50,18 +60,18 @@ func (n *Node) Fingerprint() string {
 	return sb.String()
 }
 
-func writeIDSet(sb *strings.Builder, set map[graph.NodeID]bool) {
-	ids := make([]graph.NodeID, 0, len(set))
-	for q := range set {
-		ids = append(ids, q)
-	}
-	graph.SortIDs(ids)
-	for i, q := range ids {
-		if i > 0 {
+// writeIndexSet renders a bitset of graph indices as a sorted
+// comma-joined NodeID list (index order is NodeID order), keeping
+// fingerprints byte-identical to the historical map-of-NodeID rendering.
+func writeIndexSet(sb *strings.Builder, g *graph.Graph, set graph.Bitset) {
+	first := true
+	set.ForEach(func(i int32) {
+		if !first {
 			sb.WriteByte(',')
 		}
-		sb.WriteString(string(q))
-	}
+		first = false
+		sb.WriteString(string(g.ID(i)))
+	})
 }
 
 func writeStringSet(sb *strings.Builder, set map[string]bool) {

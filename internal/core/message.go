@@ -70,12 +70,11 @@ func (v Vector) Clone() Vector {
 // Get returns the opinion for q, defaulting to ⊥.
 func (v Vector) Get(q graph.NodeID) Opinion { return v[q] }
 
-// allAccept reports whether every node of border has an Accept opinion
+// allAccept reports whether every slot of an opinion row is an Accept
 // (line 34's condition), returning the accepted values in border order.
-func (v Vector) allAccept(border []graph.NodeID) ([]proto.Value, bool) {
-	values := make([]proto.Value, 0, len(border))
-	for _, q := range border {
-		op := v[q]
+func allAccept(row []Opinion) ([]proto.Value, bool) {
+	values := make([]proto.Value, 0, len(row))
+	for _, op := range row {
 		if op.Kind != Accept {
 			return nil, false
 		}
@@ -167,31 +166,51 @@ var _ proto.Payload = Message{}
 // CD5 and the paper's Lemma 3. We therefore run |B| rounds by default and
 // keep the printed behaviour behind Config.LiteralPaperRounds for
 // demonstration and ablation.
+// The bookkeeping is flat and position-indexed: column j of every matrix
+// is border[j]. This costs four slice allocations per instance instead of
+// two maps per round, which dominated the allocation profile of large
+// cascades (an instance over a border of b nodes used to allocate 2b maps
+// holding b entries each).
 type instance struct {
 	view      region.Region
 	border    []graph.NodeID // B from the first message received for the view
-	lastRound int            // |B| (default) or |B|−1 (LiteralPaperRounds)
-	opinions  []Vector       // index r ∈ 1..lastRound
-	waiting   []map[graph.NodeID]bool
+	borderIdx []int32        // dense graph indices of border (-1 if unknown)
+	borderPos map[graph.NodeID]int
+	lastRound int // |B| (default) or |B|−1 (LiteralPaperRounds)
+	// opinions is a (lastRound+1)×|B| matrix, row r = round r (row 0
+	// unused), column j = border[j]'s opinion for that round.
+	opinions []Opinion
+	// waiting is a (lastRound+1)×waitWords bitset matrix over border
+	// positions: bit j of row r set ⇔ still waiting for border[j] in
+	// round r.
+	waiting   []uint64
+	waitWords int
 }
 
-func newInstance(view region.Region, border []graph.NodeID, literalRounds bool) *instance {
+func newInstance(g *graph.Graph, view region.Region, border []graph.NodeID, literalRounds bool) *instance {
 	last := len(border)
 	if literalRounds {
 		last = len(border) - 1
 	}
+	words := (len(border) + 63) / 64
 	inst := &instance{
 		view:      view,
 		border:    append([]graph.NodeID(nil), border...),
+		borderIdx: make([]int32, len(border)),
+		borderPos: make(map[graph.NodeID]int, len(border)),
 		lastRound: last,
-		opinions:  make([]Vector, last+1),
-		waiting:   make([]map[graph.NodeID]bool, last+1),
+		opinions:  make([]Opinion, (last+1)*len(border)),
+		waiting:   make([]uint64, (last+1)*words),
+		waitWords: words,
+	}
+	for j, q := range border {
+		inst.borderIdx[j] = g.Index(q)
+		inst.borderPos[q] = j
 	}
 	for r := 1; r <= last; r++ {
-		inst.opinions[r] = make(Vector, len(border))
-		inst.waiting[r] = make(map[graph.NodeID]bool, len(border))
-		for _, q := range border {
-			inst.waiting[r][q] = true
+		row := inst.waiting[r*words : (r+1)*words]
+		for j := range border {
+			row[j>>6] |= 1 << uint(j&63)
 		}
 	}
 	return inst
@@ -200,21 +219,54 @@ func newInstance(view region.Region, border []graph.NodeID, literalRounds bool) 
 // validRound reports whether r indexes an allocated round slot.
 func (inst *instance) validRound(r int) bool { return r >= 1 && r <= inst.lastRound }
 
-// clone deep-copies the instance (used by the model checker).
-func (inst *instance) clone() *instance {
-	out := &instance{
-		view:      inst.view,
-		border:    append([]graph.NodeID(nil), inst.border...),
-		lastRound: inst.lastRound,
-		opinions:  make([]Vector, len(inst.opinions)),
-		waiting:   make([]map[graph.NodeID]bool, len(inst.waiting)),
+// round returns the opinion row of round r (column j = border[j]).
+func (inst *instance) round(r int) []Opinion {
+	return inst.opinions[r*len(inst.border) : (r+1)*len(inst.border)]
+}
+
+// pos returns the border position of q, or -1.
+func (inst *instance) pos(q graph.NodeID) int {
+	if j, ok := inst.borderPos[q]; ok {
+		return j
 	}
-	for r := 1; r < len(inst.opinions); r++ {
-		out.opinions[r] = inst.opinions[r].Clone()
-		out.waiting[r] = make(map[graph.NodeID]bool, len(inst.waiting[r]))
-		for q := range inst.waiting[r] {
-			out.waiting[r][q] = true
+	return -1
+}
+
+// stopWaiting clears border position j from round r's waiting set.
+func (inst *instance) stopWaiting(r, j int) {
+	inst.waiting[r*inst.waitWords+j>>6] &^= 1 << uint(j&63)
+}
+
+// waitingFor reports whether round r still waits for border position j.
+func (inst *instance) waitingFor(r, j int) bool {
+	return inst.waiting[r*inst.waitWords+j>>6]&(1<<uint(j&63)) != 0
+}
+
+// vector materialises round r's opinions as a wire Vector, containing
+// only the non-⊥ slots (matching the map-based bookkeeping, which never
+// stored ⊥ — WireSize and fingerprints depend on that).
+func (inst *instance) vector(r int) Vector {
+	row := inst.round(r)
+	out := make(Vector, len(inst.border))
+	for j, q := range inst.border {
+		if row[j].Kind != Unknown {
+			out[q] = row[j]
 		}
 	}
 	return out
+}
+
+// clone deep-copies the instance (used by the model checker). borderPos
+// is immutable after newInstance and can be shared.
+func (inst *instance) clone() *instance {
+	return &instance{
+		view:      inst.view,
+		border:    append([]graph.NodeID(nil), inst.border...),
+		borderIdx: append([]int32(nil), inst.borderIdx...),
+		borderPos: inst.borderPos,
+		lastRound: inst.lastRound,
+		opinions:  append([]Opinion(nil), inst.opinions...),
+		waiting:   append([]uint64(nil), inst.waiting...),
+		waitWords: inst.waitWords,
+	}
 }

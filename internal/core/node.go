@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"cliffedge/internal/graph"
 	"cliffedge/internal/proto"
@@ -68,6 +67,9 @@ func DefaultPick(values []proto.Value) proto.Value {
 // events per node.
 type Node struct {
 	cfg Config
+	// selfIdx is the dense graph index of cfg.ID (-1 if the node is not a
+	// graph member, which only happens in synthetic tests).
+	selfIdx int32
 
 	// decided is the protocol outcome (line 2: decided ← ⊥).
 	decided *proto.Decision
@@ -76,11 +78,24 @@ type Node struct {
 	hasProposed   bool
 	proposedValue proto.Value
 
-	// locallyCrashed is the set of nodes p has detected as crashed (line 6).
-	locallyCrashed map[graph.NodeID]bool
+	// locallyCrashed is the set of nodes p has detected as crashed
+	// (line 6), as a bitset over dense graph indices.
+	locallyCrashed graph.Bitset
 	// monitored tracks issued 〈monitorCrash〉 subscriptions so they are
 	// not re-issued; semantically idempotent either way.
-	monitored map[graph.NodeID]bool
+	monitored graph.Bitset
+
+	// ufParent/ufSize are a union-find over locallyCrashed, maintained
+	// incrementally: when q crashes it is united with its already-crashed
+	// neighbours, so the connected components of the locally known crashed
+	// set (line 8) cost amortised near-O(1) per detection instead of a
+	// whole-set recomputation. Allocated on the first crash detection —
+	// most nodes of a large system never witness one.
+	ufParent []int32
+	ufSize   []int32
+	// compScratch is the reusable buffer for gathering the members of the
+	// component that q's crash grew or merged.
+	compScratch []int32
 
 	// maxView and candidateView implement the view construction of
 	// lines 8–11; vp is V_p, the currently (or last) proposed view.
@@ -121,8 +136,9 @@ func New(cfg Config) *Node {
 	}
 	return &Node{
 		cfg:            cfg,
-		locallyCrashed: make(map[graph.NodeID]bool),
-		monitored:      make(map[graph.NodeID]bool),
+		selfIdx:        cfg.Graph.Index(cfg.ID),
+		locallyCrashed: graph.NewBitset(cfg.Graph.Len()),
+		monitored:      graph.NewBitset(cfg.Graph.Len()),
 		received:       make(map[string]*instance),
 		rejected:       make(map[string]bool),
 	}
@@ -146,7 +162,11 @@ func (n *Node) Round() int { return n.round }
 
 // LocallyCrashed returns the sorted set of nodes detected as crashed.
 func (n *Node) LocallyCrashed() []graph.NodeID {
-	return graph.SetToSlice(n.locallyCrashed)
+	out := make([]graph.NodeID, 0, n.locallyCrashed.Count())
+	n.locallyCrashed.ForEach(func(i int32) {
+		out = append(out, n.cfg.Graph.ID(i))
+	})
+	return out
 }
 
 // MaxView returns the highest-ranked crashed region known locally.
@@ -173,34 +193,93 @@ func (n *Node) Start() proto.Effects {
 // crashed nodes (the \locallyCrashed of line 7).
 func (n *Node) subscribe(nodes []graph.NodeID, eff *proto.Effects) {
 	for _, q := range nodes {
-		if q == n.cfg.ID || n.monitored[q] || n.locallyCrashed[q] {
+		qi := n.cfg.Graph.Index(q)
+		if qi < 0 || qi == n.selfIdx || n.monitored.Has(qi) || n.locallyCrashed.Has(qi) {
 			continue
 		}
-		n.monitored[q] = true
+		n.monitored.Set(qi)
 		eff.Monitor = append(eff.Monitor, q)
 	}
 }
 
 // OnCrash handles 〈crash | q〉 (lines 5–11): extend locallyCrashed, widen
-// the failure-detector subscription to border(q), recompute the connected
-// components of the locally known crashed set, and promote the
-// highest-ranked component to candidateView if it outranks every view
-// built so far. Then run the guard loop.
+// the failure-detector subscription to border(q), fold q into the
+// incremental union-find over the locally known crashed set, and promote
+// the component q joined to candidateView if it outranks every view built
+// so far. Then run the guard loop.
+//
+// Only the component containing q needs rebuilding: every other connected
+// component of locallyCrashed is unchanged since the previous detection,
+// and maxView already ranks at or above all of them (it was updated
+// against the full component set when they formed). Comparing maxView
+// against q's component alone is therefore equivalent to the paper's
+// whole-set connectedComponents recomputation (line 8), at amortised
+// near-O(1) union-find cost per detection plus one sweep of the crashed
+// bitset.
 func (n *Node) OnCrash(q graph.NodeID) proto.Effects {
 	var eff proto.Effects
-	if n.locallyCrashed[q] {
+	qi := n.cfg.Graph.Index(q)
+	if qi < 0 {
+		// The perfect failure detector only reports graph members; anything
+		// else is a harness bug.
+		n.violatef("crash notification for unknown node %s", q)
+		return eff
+	}
+	if n.locallyCrashed.Has(qi) {
 		return eff // duplicate notification; idempotent
 	}
-	n.locallyCrashed[q] = true                                 // line 6
-	n.subscribe(n.cfg.Graph.Neighbors(q), &eff)                // line 7
-	comps := n.cfg.Graph.ConnectedComponents(n.locallyCrashed) // line 8
-	maxRanked := region.MaxRanked(region.FromComponents(n.cfg.Graph, comps))
-	if region.Less(n.maxView, maxRanked) { // line 9
-		n.maxView = maxRanked       // line 10
-		n.candidateView = maxRanked // line 11
+	n.locallyCrashed.Set(qi)                    // line 6
+	n.subscribe(n.cfg.Graph.Neighbors(q), &eff) // line 7
+	if n.ufParent == nil {
+		n.ufParent = make([]int32, n.cfg.Graph.Len())
+		n.ufSize = make([]int32, n.cfg.Graph.Len())
+		for i := range n.ufParent {
+			n.ufParent[i] = int32(i)
+		}
+	}
+	n.ufSize[qi] = 1
+	for _, m := range n.cfg.Graph.NeighborIndices(qi) {
+		if n.locallyCrashed.Has(m) {
+			n.union(qi, m)
+		}
+	}
+	root := n.find(qi)
+	members := n.compScratch[:0]
+	n.locallyCrashed.ForEach(func(i int32) {
+		if n.find(i) == root {
+			members = append(members, i)
+		}
+	})
+	n.compScratch = members
+	comp := region.NewFromIndices(n.cfg.Graph, members, n.locallyCrashed)
+	if region.Less(n.maxView, comp) { // line 9
+		n.maxView = comp       // line 10
+		n.candidateView = comp // line 11
 	}
 	n.runGuards(&eff)
 	return eff
+}
+
+// find returns the union-find root of i, with path halving.
+func (n *Node) find(i int32) int32 {
+	for n.ufParent[i] != i {
+		n.ufParent[i] = n.ufParent[n.ufParent[i]]
+		i = n.ufParent[i]
+	}
+	return i
+}
+
+// union merges the components of a and b, by size.
+func (n *Node) union(a, b int32) {
+	ra, rb := n.find(a), n.find(b)
+	if ra == rb {
+		return
+	}
+	if n.ufSize[ra] < n.ufSize[rb] {
+		ra, rb = rb, ra
+	}
+	n.ufParent[rb] = ra
+	n.ufSize[ra] += n.ufSize[rb]
 }
 
 // OnMessage handles 〈mDeliver | from, payload〉 (lines 18–25), then runs
@@ -225,7 +304,7 @@ func (n *Node) deliver(from graph.NodeID, m Message) {
 	}
 	inst, ok := n.received[key]
 	if !ok { // lines 19–22: initialise data structures for V
-		inst = newInstance(m.View, m.Border, n.cfg.LiteralPaperRounds)
+		inst = newInstance(n.cfg.Graph, m.View, m.Border, n.cfg.LiteralPaperRounds)
 		n.received[key] = inst
 	}
 	if !inst.validRound(m.Round) {
@@ -233,19 +312,23 @@ func (n *Node) deliver(from graph.NodeID, m Message) {
 			m.Round, m.View, len(inst.border))
 		return
 	}
-	ops := inst.opinions[m.Round]
-	for _, pk := range inst.border { // lines 23–24: fill ⊥ slots only
-		if ops[pk].Kind == Unknown {
+	row := inst.round(m.Round)
+	for j, pk := range inst.border { // lines 23–24: fill ⊥ slots only
+		if row[j].Kind == Unknown {
 			if op := m.Opinions[pk]; op.Kind != Unknown {
-				ops[pk] = op
+				row[j] = op
 			}
 		}
 	}
 	// line 25: stop waiting for the sender and for every known rejector.
-	delete(inst.waiting[m.Round], from)
+	if j := inst.pos(from); j >= 0 {
+		inst.stopWaiting(m.Round, j)
+	}
 	for pk, op := range m.Opinions {
 		if op.Kind == Reject {
-			delete(inst.waiting[m.Round], pk)
+			if j := inst.pos(pk); j >= 0 {
+				inst.stopWaiting(m.Round, j)
+			}
 		}
 	}
 }
@@ -291,7 +374,7 @@ func (n *Node) guardPropose(eff *proto.Effects) bool {
 		// Lemma 2 guarantees this cannot happen; record it if it does.
 		n.violatef("proposing previously rejected view %s", n.vp)
 	}
-	if !n.vp.OnBorder(n.cfg.ID) {
+	if !n.vp.OnBorderIndex(n.selfIdx) {
 		n.violatef("proposing view %s not bordered by self", n.vp)
 	}
 	eff.Proposed = append(eff.Proposed, n.vp)
@@ -320,17 +403,20 @@ func (n *Node) guardReject(eff *proto.Effects) bool {
 		// so a node keeps rejecting lower-ranked views between proposals.
 		return false
 	}
-	var lower []region.Region
+	// Single linear scan for the lowest-ranked view strictly below V_p
+	// (map iteration order does not matter: ≺ is a strict total order, so
+	// the minimum is unique).
+	var l region.Region
+	found := false
 	for _, inst := range n.received {
-		if region.Less(inst.view, n.vp) {
-			lower = append(lower, inst.view)
+		if region.Less(inst.view, n.vp) && (!found || region.Less(inst.view, l)) {
+			l = inst.view
+			found = true
 		}
 	}
-	if len(lower) == 0 {
+	if !found {
 		return false
 	}
-	sort.Slice(lower, func(i, j int) bool { return region.Less(lower[i], lower[j]) })
-	l := lower[0]
 	inst := n.received[l.Key()]
 	delete(n.received, l.Key())                   // line 30: received ← received\{L}
 	n.rejected[l.Key()] = true                    //          rejected ← rejected ∪ {L}
@@ -358,13 +444,16 @@ func (n *Node) guardRound(eff *proto.Effects) bool {
 	if !ok || !inst.validRound(n.round) {
 		return false
 	}
-	for q := range inst.waiting[n.round] { // waiting[Vp][r]\locallyCrashed = ∅
-		if !n.locallyCrashed[q] {
+	for j := range inst.border { // waiting[Vp][r]\locallyCrashed = ∅
+		if !inst.waitingFor(n.round, j) {
+			continue
+		}
+		if qi := inst.borderIdx[j]; qi < 0 || !n.locallyCrashed.Has(qi) {
 			return false
 		}
 	}
 	if n.round == inst.lastRound { // line 33: consensus instance completed
-		if values, ok := inst.opinions[n.round].allAccept(inst.border); ok { // line 34
+		if values, ok := allAccept(inst.round(n.round)); ok { // line 34
 			n.decided = &proto.Decision{View: n.vp, Value: n.cfg.Pick(values)} // line 35
 			eff.Decision = n.decided                                           // line 36
 		} else {
@@ -378,7 +467,7 @@ func (n *Node) guardRound(eff *proto.Effects) bool {
 		Round:    n.round,
 		View:     n.vp,
 		Border:   inst.border,
-		Opinions: inst.opinions[n.round-1].Clone(),
+		Opinions: inst.vector(n.round - 1),
 	}
 	n.multicast(inst.border, msg, eff)
 	return true
@@ -413,14 +502,15 @@ var _ proto.Automaton = (*Node)(nil)
 func (n *Node) Clone() *Node {
 	out := &Node{
 		cfg:            n.cfg,
+		selfIdx:        n.selfIdx,
 		hasProposed:    n.hasProposed,
 		proposedValue:  n.proposedValue,
 		maxView:        n.maxView,
 		candidateView:  n.candidateView,
 		vp:             n.vp,
 		round:          n.round,
-		locallyCrashed: make(map[graph.NodeID]bool, len(n.locallyCrashed)),
-		monitored:      make(map[graph.NodeID]bool, len(n.monitored)),
+		locallyCrashed: n.locallyCrashed.Clone(),
+		monitored:      n.monitored.Clone(),
 		received:       make(map[string]*instance, len(n.received)),
 		rejected:       make(map[string]bool, len(n.rejected)),
 	}
@@ -428,11 +518,9 @@ func (n *Node) Clone() *Node {
 		d := *n.decided
 		out.decided = &d
 	}
-	for k := range n.locallyCrashed {
-		out.locallyCrashed[k] = true
-	}
-	for k := range n.monitored {
-		out.monitored[k] = true
+	if n.ufParent != nil {
+		out.ufParent = append([]int32(nil), n.ufParent...)
+		out.ufSize = append([]int32(nil), n.ufSize...)
 	}
 	for k, inst := range n.received {
 		out.received[k] = inst.clone()

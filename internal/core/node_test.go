@@ -263,7 +263,7 @@ func TestMergeFillsBottomSlotsOnly(t *testing.T) {
 	if inst == nil {
 		t.Fatal("instance missing")
 	}
-	if op := inst.opinions[1].Get("c"); op.Kind != Reject {
+	if op := inst.vector(1).Get("c"); op.Kind != Reject {
 		t.Errorf("line 24 must not overwrite: c slot = %v, want the first (reject)", op)
 	}
 }
@@ -294,7 +294,7 @@ func TestRejectorsClearWaitingAcrossRounds(t *testing.T) {
 		t.Errorf("round-2 message must carry the round-1 vector, got %s", m)
 	}
 	inst := a.received[view.Key()]
-	if inst.waiting[2]["c"] {
+	if inst.waitingFor(2, inst.pos("c")) {
 		t.Error("self-delivered round-2 vector should clear c (a known rejector) from waiting[2]")
 	}
 
@@ -460,13 +460,20 @@ func TestDefaultPick(t *testing.T) {
 
 func TestVectorHelpers(t *testing.T) {
 	v := Vector{"a": {Kind: Accept, Value: "x"}, "b": {Kind: Reject}}
-	if _, ok := v.allAccept([]graph.NodeID{"a", "b"}); ok {
+	row := func(ids ...graph.NodeID) []Opinion {
+		out := make([]Opinion, len(ids))
+		for i, id := range ids {
+			out[i] = v[id]
+		}
+		return out
+	}
+	if _, ok := allAccept(row("a", "b")); ok {
 		t.Error("allAccept must fail on a reject")
 	}
-	if vals, ok := v.allAccept([]graph.NodeID{"a"}); !ok || len(vals) != 1 || vals[0] != "x" {
+	if vals, ok := allAccept(row("a")); !ok || len(vals) != 1 || vals[0] != "x" {
 		t.Error("allAccept over accepting subset failed")
 	}
-	if _, ok := v.allAccept([]graph.NodeID{"a", "z"}); ok {
+	if _, ok := allAccept(row("a", "z")); ok {
 		t.Error("missing slot is ⊥, not accept")
 	}
 	s := v.String()

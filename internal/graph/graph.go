@@ -21,9 +21,23 @@ import (
 type NodeID string
 
 // Graph is an immutable undirected graph. The zero value is an empty graph.
+//
+// Alongside the string-keyed API, every graph carries a dense integer
+// index: node i (0 ≤ i < Len) is the i-th node in sorted NodeID order, so
+// index order and lexicographic NodeID order coincide. Performance-critical
+// layers (sim, core, region) address nodes by index — bitsets, flat slices
+// and CSR adjacency — and convert to NodeIDs only at observable boundaries
+// (trace events, results). The mapping is stable for the lifetime of the
+// graph because graphs are immutable.
 type Graph struct {
 	adj   map[NodeID][]NodeID // sorted adjacency lists
-	nodes []NodeID            // sorted
+	nodes []NodeID            // sorted; nodes[i] is the NodeID of index i
+	index map[NodeID]int32    // inverse of nodes
+	// CSR adjacency over indices: the neighbours of index i are
+	// csrAdj[csrStart[i]:csrStart[i+1]], in ascending index order (which is
+	// ascending NodeID order).
+	csrStart []int32
+	csrAdj   []int32
 }
 
 // Builder accumulates nodes and edges and produces an immutable Graph.
@@ -73,6 +87,22 @@ func (b *Builder) Build() *Graph {
 		g.nodes = append(g.nodes, n)
 	}
 	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+	g.index = make(map[NodeID]int32, len(g.nodes))
+	for i, n := range g.nodes {
+		g.index[n] = int32(i)
+	}
+	g.csrStart = make([]int32, len(g.nodes)+1)
+	total := 0
+	for _, n := range g.nodes {
+		total += len(g.adj[n])
+	}
+	g.csrAdj = make([]int32, 0, total)
+	for i, n := range g.nodes {
+		for _, m := range g.adj[n] {
+			g.csrAdj = append(g.csrAdj, g.index[m])
+		}
+		g.csrStart[i+1] = int32(len(g.csrAdj))
+	}
 	return g
 }
 
@@ -95,6 +125,31 @@ func (g *Graph) Neighbors(n NodeID) []NodeID { return g.adj[n] }
 
 // Degree returns |border(n)|.
 func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// Index returns the dense index of n, or -1 if n ∉ Π. Indices are
+// assigned in sorted NodeID order, so for any two nodes u, v:
+// Index(u) < Index(v) ⇔ u < v.
+func (g *Graph) Index(n NodeID) int32 {
+	if i, ok := g.index[n]; ok {
+		return i
+	}
+	return -1
+}
+
+// ID returns the NodeID of dense index i. It panics if i is out of
+// [0, Len), mirroring slice indexing: indices only come from Index or
+// NeighborIndices, so an out-of-range value is a programmer error.
+func (g *Graph) ID(i int32) NodeID { return g.nodes[i] }
+
+// NeighborIndices returns the neighbours of index i as a slice of the
+// graph's CSR adjacency array, in ascending index order. The slice is
+// shared; callers must not mutate it.
+func (g *Graph) NeighborIndices(i int32) []int32 {
+	return g.csrAdj[g.csrStart[i]:g.csrStart[i+1]]
+}
+
+// DegreeOf returns the degree of index i without touching the string maps.
+func (g *Graph) DegreeOf(i int32) int { return int(g.csrStart[i+1] - g.csrStart[i]) }
 
 // HasEdge reports whether {u, v} ∈ E.
 func (g *Graph) HasEdge(u, v NodeID) bool {
@@ -136,6 +191,24 @@ func (g *Graph) BorderOfSlice(s []NodeID) []NodeID {
 		set[n] = true
 	}
 	return g.Border(set)
+}
+
+// BorderOfIndices is Border over dense indices: it returns the ascending
+// indices of the nodes adjacent to S but outside it, with S given as a set
+// of indices. members must describe the same set as the bitset holding it;
+// passing the indices alongside avoids a full-bitset scan per call.
+func (g *Graph) BorderOfIndices(members []int32, memberSet Bitset) []int32 {
+	seen := NewBitset(len(g.nodes))
+	count := 0
+	for _, i := range members {
+		for _, q := range g.NeighborIndices(i) {
+			if !memberSet.Has(q) && !seen.Has(q) {
+				seen.Set(q)
+				count++
+			}
+		}
+	}
+	return seen.AppendIndices(make([]int32, 0, count))
 }
 
 // ConnectedComponents returns the vertex sets of the connected components of

@@ -5,6 +5,7 @@
 package region
 
 import (
+	"slices"
 	"sort"
 	"strings"
 
@@ -22,6 +23,13 @@ type Region struct {
 	nodes  []graph.NodeID // sorted, deduplicated
 	border []graph.NodeID // sorted; border(nodes) in the graph used to build
 	key    string         // canonical identity: nodes joined by ','
+	// Index backing (nil for Empty): the same sets as nodes/border, as
+	// ascending dense indices of g. Because index order equals NodeID
+	// order, idx/borderIdx are sorted exactly like nodes/border, and
+	// membership tests compare int32s instead of strings.
+	g         *graph.Graph
+	idx       []int32
+	borderIdx []int32
 }
 
 // Empty is the ∅ region.
@@ -42,11 +50,61 @@ func New(g *graph.Graph, nodes []graph.NodeID) Region {
 			dedup = append(dedup, n)
 		}
 	}
+	border := g.BorderOfSlice(dedup)
 	return Region{
-		nodes:  dedup,
-		border: g.BorderOfSlice(dedup),
-		key:    joinIDs(dedup),
+		nodes:     dedup,
+		border:    border,
+		key:       joinIDs(dedup),
+		g:         g,
+		idx:       indicesOf(g, dedup),
+		borderIdx: indicesOf(g, border),
 	}
+}
+
+// NewFromIndices builds a Region from ascending dense indices over g,
+// with memberSet holding the same set as a bitset (the caller usually has
+// one already; it is only read). This is the allocation-lean constructor
+// used by the protocol hot path: no string sorting, border computed over
+// the CSR adjacency.
+func NewFromIndices(g *graph.Graph, members []int32, memberSet graph.Bitset) Region {
+	if len(members) == 0 {
+		return Empty
+	}
+	nodes := make([]graph.NodeID, len(members))
+	keyLen := len(members) - 1
+	for i, m := range members {
+		nodes[i] = g.ID(m)
+		keyLen += len(nodes[i])
+	}
+	var sb strings.Builder
+	sb.Grow(keyLen)
+	for i, n := range nodes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(string(n))
+	}
+	borderIdx := g.BorderOfIndices(members, memberSet)
+	border := make([]graph.NodeID, len(borderIdx))
+	for i, b := range borderIdx {
+		border[i] = g.ID(b)
+	}
+	return Region{
+		nodes:     nodes,
+		border:    border,
+		key:       sb.String(),
+		g:         g,
+		idx:       append([]int32(nil), members...),
+		borderIdx: borderIdx,
+	}
+}
+
+func indicesOf(g *graph.Graph, ids []graph.NodeID) []int32 {
+	out := make([]int32, len(ids))
+	for i, n := range ids {
+		out[i] = g.Index(n)
+	}
+	return out
 }
 
 func joinIDs(ids []graph.NodeID) string {
@@ -78,24 +136,61 @@ func (r Region) BorderLen() int { return len(r.border) }
 // IsEmpty reports whether R = ∅.
 func (r Region) IsEmpty() bool { return len(r.nodes) == 0 }
 
-// Contains reports whether n ∈ R.
+// Contains reports whether n ∈ R. When the region carries its index
+// backing the search compares int32 indices; string comparison is only
+// the fallback for regions detached from their graph.
 func (r Region) Contains(n graph.NodeID) bool {
+	if r.g != nil {
+		return r.ContainsIndex(r.g.Index(n))
+	}
 	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i] >= n })
 	return i < len(r.nodes) && r.nodes[i] == n
 }
 
-// OnBorder reports whether n ∈ border(R).
+// ContainsIndex reports whether the node with dense index i is in R.
+func (r Region) ContainsIndex(i int32) bool {
+	_, ok := slices.BinarySearch(r.idx, i)
+	return ok
+}
+
+// OnBorder reports whether n ∈ border(R), via the index backing when
+// available.
 func (r Region) OnBorder(n graph.NodeID) bool {
+	if r.g != nil {
+		return r.OnBorderIndex(r.g.Index(n))
+	}
 	i := sort.Search(len(r.border), func(i int) bool { return r.border[i] >= n })
 	return i < len(r.border) && r.border[i] == n
+}
+
+// OnBorderIndex reports whether the node with dense index i is in
+// border(R).
+func (r Region) OnBorderIndex(i int32) bool {
+	_, ok := slices.BinarySearch(r.borderIdx, i)
+	return ok
 }
 
 // Equal reports whether two regions cover the same node set.
 func (r Region) Equal(s Region) bool { return r.key == s.key }
 
 // Intersects reports whether R ∩ S ≠ ∅ — the premise of View Convergence
-// (CD6). Linear merge over the two sorted slices.
+// (CD6). Linear merge over the two sorted slices, comparing indices when
+// both regions share a graph.
 func (r Region) Intersects(s Region) bool {
+	if r.g != nil && r.g == s.g {
+		i, j := 0, 0
+		for i < len(r.idx) && j < len(s.idx) {
+			switch {
+			case r.idx[i] == s.idx[j]:
+				return true
+			case r.idx[i] < s.idx[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return false
+	}
 	i, j := 0, 0
 	for i < len(r.nodes) && j < len(s.nodes) {
 		switch {
@@ -154,6 +249,10 @@ func Less(r, s Region) bool {
 	case len(r.border) != len(s.border):
 		return len(r.border) < len(s.border)
 	default:
+		// Rule 3 stays a key comparison: an index-sequence comparison would
+		// be cheaper but orders differently when node IDs contain bytes
+		// below ',' (e.g. "a!"), and nothing validates IDs against that.
+		// Ties on both size and border size are rare, so this is cold.
 		return r.key < s.key
 	}
 }

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"cliffedge/internal/trace"
+)
+
+// traceHash folds every field of every event into one FNV-1a word. Any
+// change to event content, ordering or sequence numbering changes the hash.
+func traceHash(events []trace.Event) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	for _, e := range events {
+		word(int64(e.Seq))
+		word(e.Time)
+		word(int64(e.Kind))
+		str(string(e.Node))
+		str(string(e.Peer))
+		str(e.View)
+		word(int64(e.Round))
+		str(e.Value)
+		word(int64(e.Bytes))
+	}
+	return h.Sum64()
+}
+
+// goldenCascadeHash pins the full trace of a seeded 32×32 grid cascade
+// (8×8 centre block, 8-node cascade). The kernel's determinism contract is
+// that the same (graph, plan, seed) produces this exact trace bit for bit:
+// RNG draw order, event (time, seq) ordering and every event field. Any
+// refactor of graph/region/core/sim must keep this hash unchanged.
+const goldenCascadeHash uint64 = 0xb9bae4e793ce1e6a
+
+func TestGoldenCascadeTraceHash(t *testing.T) {
+	res, err := CascadeSpec(32, 32, 8, 8, 30, 7).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if got := traceHash(res.Events); got != goldenCascadeHash {
+		t.Fatalf("trace hash changed: got %#x, want %#x (kernel determinism broken)",
+			got, goldenCascadeHash)
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+// eventQueue is a value-based binary min-heap ordered by (time, seq).
+// Because every event carries a unique sequence number the order is a
+// strict total order, so the pop sequence is exactly the sorted event
+// order — independent of heap internals — which is what makes runs
+// reproducible bit for bit.
+//
+// Events are stored by value in one backing slice: pushing reuses the
+// slice's capacity (the free list left behind by earlier pops), so
+// steady-state scheduling performs no per-event heap allocation, unlike
+// the previous *event + container/heap implementation which allocated
+// every event and boxed it through interface{}.
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) len() int { return len(q.items) }
+
+func (q *eventQueue) push(ev event) {
+	q.items = append(q.items, ev)
+	// Sift up.
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&q.items[i], &q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = event{} // release the payload reference
+	q.items = q.items[:last]
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		child := left
+		if right := left + 1; right < last && eventLess(&q.items[right], &q.items[left]) {
+			child = right
+		}
+		if !eventLess(&q.items[child], &q.items[i]) {
+			break
+		}
+		q.items[i], q.items[child] = q.items[child], q.items[i]
+		i = child
+	}
+	return top
+}
+
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}

@@ -14,10 +14,33 @@
 // Runs are reproducible bit for bit from (graph, schedule, seed): the event
 // queue is ordered by (virtual time, sequence number) and all iteration is
 // over sorted data.
+//
+// # Kernel invariants
+//
+// The kernel addresses nodes by their dense graph index (graph.Index) and
+// keeps all per-node and per-channel state in index-addressed flat
+// structures — crash and subscription state in bitsets, FIFO floors in
+// per-sender slices, the event queue as a value-based min-heap — so the
+// hot loop performs no string hashing and no steady-state allocation.
+// Three invariants make this safe and keep traces bit-identical to the
+// historical string-keyed kernel:
+//
+//  1. Index order equals sorted NodeID order, so iterating a bitset
+//     ascending yields exactly the sorted-NodeID iteration the kernel has
+//     always used (RNG draw order depends on it).
+//  2. Events are totally ordered by (time, seq) with seq unique, so the
+//     heap's pop sequence is independent of its internal layout.
+//  3. Trace annotations derived from a payload (view, round, wire size)
+//     are computed once when the message is scheduled and carried on the
+//     event, never recomputed at delivery — payloads are immutable, so
+//     the values are identical and the per-delivery interface assertion
+//     disappears from the hot path.
+//
+// NodeIDs appear only at the boundaries: config validation, trace events
+// and the final Result.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math/rand"
@@ -114,58 +137,48 @@ const (
 	evDeliver
 )
 
+// event is one kernel event, stored by value in the queue. Nodes are
+// dense graph indices; view/round/bytes are the trace annotations of the
+// payload, precomputed at scheduling time.
 type event struct {
 	time    int64
 	seq     int64 // tiebreaker; also preserves FIFO among equal times
 	kind    evKind
-	node    graph.NodeID // crash target / detecting subscriber / recipient
-	peer    graph.NodeID // crashed node (detect) / sender (deliver)
+	node    int32 // crash target / detecting subscriber / recipient
+	peer    int32 // crashed node (detect) / sender (deliver)
+	round   int32
+	bytes   int32
+	view    string
 	payload proto.Payload
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
-type channelKey struct{ from, to graph.NodeID }
-
 // Runner executes one simulation. Create with NewRunner, execute with Run.
 type Runner struct {
-	cfg      Config
-	rng      *rand.Rand
-	queue    eventQueue
-	seq      int64
-	now      int64
-	log      *trace.Log
-	automata map[graph.NodeID]proto.Automaton
-	crashed  map[graph.NodeID]bool
-	// subs[q] = sorted subscribers to 〈crash | q〉 notifications.
-	subs map[graph.NodeID]map[graph.NodeID]bool
-	// fifoFloor[ch] = latest delivery time scheduled on ch, enforcing FIFO.
-	fifoFloor map[channelKey]int64
+	cfg   Config
+	g     *graph.Graph
+	rng   *rand.Rand
+	queue eventQueue
+	seq   int64
+	now   int64
+	log   *trace.Log
+	// automata and crashed are indexed by dense graph index.
+	automata []proto.Automaton
+	crashed  graph.Bitset
+	// subs[q] = subscribers to 〈crash | q〉 notifications, allocated on
+	// first subscription (iterating the bitset ascending is the sorted
+	// order strong completeness notifies in).
+	subs []graph.Bitset
+	// fifoFloor[from][to] = latest delivery time scheduled on the channel,
+	// enforcing FIFO. The per-sender rows are allocated on first send —
+	// in a cliff-edge run only border nodes ever send.
+	fifoFloor [][]int64
 	triggers  []Trigger
 	fired     []bool
 	processed int
 
 	// Quiet-mode counters (see Config.Quiet).
 	qMsgs, qDeliveries, qDrops, qBytes, qMaxRound int
-	qParticipants                                 map[graph.NodeID]bool
+	qParticipants                                 graph.Bitset
 }
 
 // NewRunner validates cfg and builds a Runner.
@@ -200,17 +213,19 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, fmt.Errorf("sim: injection into unknown node %q", inj.Node)
 		}
 	}
+	n := cfg.Graph.Len()
 	r := &Runner{
 		cfg:           cfg,
+		g:             cfg.Graph,
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		log:           &trace.Log{},
-		automata:      make(map[graph.NodeID]proto.Automaton, cfg.Graph.Len()),
-		crashed:       make(map[graph.NodeID]bool),
-		subs:          make(map[graph.NodeID]map[graph.NodeID]bool),
-		fifoFloor:     make(map[channelKey]int64),
+		automata:      make([]proto.Automaton, n),
+		crashed:       graph.NewBitset(n),
+		subs:          make([]graph.Bitset, n),
+		fifoFloor:     make([][]int64, n),
 		triggers:      cfg.Triggers,
 		fired:         make([]bool, len(cfg.Triggers)),
-		qParticipants: make(map[graph.NodeID]bool),
+		qParticipants: graph.NewBitset(n),
 	}
 	if cfg.Observer != nil {
 		r.log.Observe(cfg.Observer)
@@ -230,21 +245,24 @@ func (r *Runner) Run() (*Result, error) { return r.RunContext(context.Background
 // hundred kernel events, and a cancelled or expired context aborts the run
 // with the context's error.
 func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
-	// 〈init〉 on every node, in sorted order.
-	for _, id := range r.cfg.Graph.Nodes() {
+	// 〈init〉 on every node, in sorted order (= index order).
+	for i, id := range r.g.Nodes() {
 		a := r.cfg.Factory(id)
-		r.automata[id] = a
-		r.applyEffects(id, a.Start())
+		r.automata[i] = a
+		r.applyEffects(int32(i), id, a.Start())
 	}
 	for _, c := range r.cfg.Crashes {
-		r.schedule(&event{time: c.Time, kind: evCrash, node: c.Node})
+		r.schedule(event{time: c.Time, kind: evCrash, node: r.g.Index(c.Node)})
 	}
 	for _, inj := range r.cfg.Injections {
-		r.schedule(&event{time: inj.Time, kind: evDeliver, node: inj.Node,
-			peer: inj.Node, payload: inj.Payload})
+		i := r.g.Index(inj.Node)
+		view, round := payloadTraceView(inj.Payload)
+		r.schedule(event{time: inj.Time, kind: evDeliver, node: i, peer: i,
+			view: view, round: int32(round), bytes: int32(inj.Payload.WireSize()),
+			payload: inj.Payload})
 	}
 
-	for r.queue.Len() > 0 {
+	for r.queue.len() > 0 {
 		if r.processed&0x1FF == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("sim: run aborted at t=%d: %w", r.now, ctx.Err())
 		}
@@ -252,7 +270,7 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("sim: event budget %d exhausted at t=%d (livelock?)",
 				r.cfg.MaxEvents, r.now)
 		}
-		ev := heap.Pop(&r.queue).(*event)
+		ev := r.queue.pop()
 		r.now = ev.time
 		switch ev.kind {
 		case evCrash:
@@ -265,8 +283,14 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	decisions := make(map[graph.NodeID]*proto.Decision)
-	for id, a := range r.automata {
-		if d := a.Decided(); d != nil && !r.crashed[id] {
+	automata := make(map[graph.NodeID]proto.Automaton, len(r.automata))
+	crashed := make(map[graph.NodeID]bool, r.crashed.Count())
+	for i, a := range r.automata {
+		id := r.g.ID(int32(i))
+		automata[id] = a
+		if r.crashed.Has(int32(i)) {
+			crashed[id] = true
+		} else if d := a.Decided(); d != nil {
 			decisions[id] = d
 		}
 	}
@@ -280,11 +304,11 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		if r.qMaxRound > stats.MaxRound {
 			stats.MaxRound = r.qMaxRound
 		}
-		for n := range r.qParticipants {
-			if !r.crashed[n] {
+		r.qParticipants.ForEach(func(i int32) {
+			if !r.crashed.Has(i) {
 				stats.Participants++
 			}
-		}
+		})
 		if r.now > stats.EndTime {
 			stats.EndTime = r.now
 		}
@@ -293,16 +317,27 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		Events:    events,
 		Stats:     stats,
 		Decisions: decisions,
-		Automata:  r.automata,
-		Crashed:   r.crashed,
+		Automata:  automata,
+		Crashed:   crashed,
 		EndTime:   r.now,
 	}, nil
 }
 
-func (r *Runner) schedule(ev *event) {
+// payloadTraceView extracts the (view, round) trace annotation from a
+// payload, once, at scheduling time.
+func payloadTraceView(p proto.Payload) (string, int) {
+	if m, ok := p.(interface {
+		TraceView() (string, int)
+	}); ok {
+		return m.TraceView()
+	}
+	return "", 0
+}
+
+func (r *Runner) schedule(ev event) {
 	ev.seq = r.seq
 	r.seq++
-	heap.Push(&r.queue, ev)
+	r.queue.push(ev)
 }
 
 // emit appends a trace event and evaluates crash triggers against it.
@@ -313,76 +348,73 @@ func (r *Runner) emit(e trace.Event) {
 		if !r.fired[i] && r.triggers[i].When(e) {
 			r.fired[i] = true
 			t := r.triggers[i]
+			ti := r.g.Index(t.Node)
 			if t.Payload != nil {
-				r.schedule(&event{time: r.now + t.Delay, kind: evDeliver,
-					node: t.Node, peer: t.Node, payload: t.Payload})
+				view, round := payloadTraceView(t.Payload)
+				r.schedule(event{time: r.now + t.Delay, kind: evDeliver,
+					node: ti, peer: ti, view: view, round: int32(round),
+					bytes: int32(t.Payload.WireSize()), payload: t.Payload})
 			} else {
-				r.schedule(&event{time: r.now + t.Delay, kind: evCrash, node: t.Node})
+				r.schedule(event{time: r.now + t.Delay, kind: evCrash, node: ti})
 			}
 		}
 	}
 }
 
-func (r *Runner) handleCrash(ev *event) {
-	if r.crashed[ev.node] {
+func (r *Runner) handleCrash(ev event) {
+	if r.crashed.Has(ev.node) {
 		return
 	}
-	r.crashed[ev.node] = true
-	r.emit(trace.Event{Kind: trace.KindCrash, Node: ev.node})
+	r.crashed.Set(ev.node)
+	id := r.g.ID(ev.node)
+	r.emit(trace.Event{Kind: trace.KindCrash, Node: id})
 	// Strong completeness: notify every subscriber (unless it crashes
 	// first, in which case its detect event is dropped on delivery).
-	subscribers := make([]graph.NodeID, 0, len(r.subs[ev.node]))
-	for p := range r.subs[ev.node] {
-		subscribers = append(subscribers, p)
-	}
-	graph.SortIDs(subscribers)
-	for _, p := range subscribers {
-		lat := r.cfg.FDLatency.Latency(p, ev.node, r.rng)
-		r.schedule(&event{time: r.now + lat, kind: evDetect, node: p, peer: ev.node})
+	// Bitset iteration is ascending-index = sorted-NodeID order.
+	if set := r.subs[ev.node]; set != nil {
+		set.ForEach(func(p int32) {
+			lat := r.cfg.FDLatency.Latency(r.g.ID(p), id, r.rng)
+			r.schedule(event{time: r.now + lat, kind: evDetect, node: p, peer: ev.node})
+		})
 	}
 }
 
-func (r *Runner) handleDetect(ev *event) {
-	if r.crashed[ev.node] {
+func (r *Runner) handleDetect(ev event) {
+	if r.crashed.Has(ev.node) {
 		return // the subscriber itself crashed; nothing to notify
 	}
-	r.emit(trace.Event{Kind: trace.KindDetect, Node: ev.node, Peer: ev.peer})
-	r.applyEffects(ev.node, r.automata[ev.node].OnCrash(ev.peer))
+	id, peer := r.g.ID(ev.node), r.g.ID(ev.peer)
+	r.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: peer})
+	r.applyEffects(ev.node, id, r.automata[ev.node].OnCrash(peer))
 }
 
-func (r *Runner) handleDeliver(ev *event) {
-	if r.crashed[ev.node] {
+func (r *Runner) handleDeliver(ev event) {
+	if r.crashed.Has(ev.node) {
 		if r.cfg.Quiet {
 			r.qDrops++
 		} else {
-			r.emit(trace.Event{Kind: trace.KindDrop, Node: ev.node, Peer: ev.peer,
-				Bytes: ev.payload.WireSize()})
+			r.emit(trace.Event{Kind: trace.KindDrop, Node: r.g.ID(ev.node),
+				Peer: r.g.ID(ev.peer), Bytes: int(ev.bytes)})
 		}
 		return
 	}
+	id := r.g.ID(ev.node)
 	if r.cfg.Quiet {
 		r.qDeliveries++
-		r.qParticipants[ev.node] = true
+		r.qParticipants.Set(ev.node)
 	} else {
-		var view string
-		var round int
-		if m, ok := ev.payload.(interface {
-			TraceView() (string, int)
-		}); ok {
-			view, round = m.TraceView()
-		}
-		r.emit(trace.Event{Kind: trace.KindDeliver, Node: ev.node, Peer: ev.peer,
-			View: view, Round: round, Bytes: ev.payload.WireSize()})
+		r.emit(trace.Event{Kind: trace.KindDeliver, Node: id, Peer: r.g.ID(ev.peer),
+			View: ev.view, Round: int(ev.round), Bytes: int(ev.bytes)})
 	}
-	r.applyEffects(ev.node, r.automata[ev.node].OnMessage(ev.peer, ev.payload))
+	r.applyEffects(ev.node, id, r.automata[ev.node].OnMessage(r.g.ID(ev.peer), ev.payload))
 }
 
 // applyEffects realises an automaton's effects: subscriptions first, then
 // sends (scheduled on the FIFO channels), then trace annotations and the
 // decision.
-func (r *Runner) applyEffects(id graph.NodeID, eff proto.Effects) {
+func (r *Runner) applyEffects(idx int32, id graph.NodeID, eff proto.Effects) {
 	for _, q := range eff.Monitor {
-		r.subscribe(id, q)
+		r.subscribe(idx, q)
 	}
 	for _, v := range eff.Proposed {
 		r.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()})
@@ -394,7 +426,7 @@ func (r *Runner) applyEffects(id graph.NodeID, eff proto.Effects) {
 		r.emit(trace.Event{Kind: trace.KindReset, Node: id})
 	}
 	for _, send := range eff.Sends {
-		r.send(id, send)
+		r.send(idx, id, send)
 	}
 	if eff.Decision != nil {
 		r.emit(trace.Event{Kind: trace.KindDecide, Node: id,
@@ -404,57 +436,69 @@ func (r *Runner) applyEffects(id graph.NodeID, eff proto.Effects) {
 
 // subscribe registers p for 〈crash | q〉. Idempotent; if q already crashed
 // the notification is scheduled immediately (subscribe-after-crash,
-// required by line 7 of Algorithm 1).
-func (r *Runner) subscribe(p, q graph.NodeID) {
-	set := r.subs[q]
-	if set == nil {
-		set = make(map[graph.NodeID]bool)
-		r.subs[q] = set
-	}
-	if set[p] {
+// required by line 7 of Algorithm 1). Subscriptions to nodes outside the
+// graph are inert (they can never crash) and are dropped.
+func (r *Runner) subscribe(p int32, q graph.NodeID) {
+	qi := r.g.Index(q)
+	if qi < 0 {
 		return
 	}
-	set[p] = true
-	if r.crashed[q] {
-		lat := r.cfg.FDLatency.Latency(p, q, r.rng)
-		r.schedule(&event{time: r.now + lat, kind: evDetect, node: p, peer: q})
+	set := r.subs[qi]
+	if set == nil {
+		set = graph.NewBitset(r.g.Len())
+		r.subs[qi] = set
+	}
+	if set.Has(p) {
+		return
+	}
+	set.Set(p)
+	if r.crashed.Has(qi) {
+		lat := r.cfg.FDLatency.Latency(r.g.ID(p), q, r.rng)
+		r.schedule(event{time: r.now + lat, kind: evDetect, node: p, peer: qi})
 	}
 }
 
 // send schedules one delivery per recipient, preserving per-channel FIFO:
 // a message may never overtake an earlier one on the same (from, to)
-// channel.
-func (r *Runner) send(from graph.NodeID, s proto.Send) {
-	size := s.Payload.WireSize()
-	var view string
-	var round int
-	if m, ok := s.Payload.(interface {
-		TraceView() (string, int)
-	}); ok {
-		view, round = m.TraceView()
-	}
+// channel. The payload's trace annotations (view, round, wire size) are
+// computed here, once per multicast, and carried on the queued events.
+func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
+	size := int32(s.Payload.WireSize())
+	view, round := payloadTraceView(s.Payload)
 	if r.cfg.Quiet {
-		r.qParticipants[from] = true
+		r.qParticipants.Set(from)
 		if round > r.qMaxRound {
 			r.qMaxRound = round
 		}
 	}
+	floors := r.fifoFloor[from]
+	if floors == nil {
+		floors = make([]int64, r.g.Len())
+		r.fifoFloor[from] = floors
+	}
 	for _, to := range s.To {
-		lat := r.cfg.NetLatency.Latency(from, to, r.rng)
+		lat := r.cfg.NetLatency.Latency(fromID, to, r.rng)
 		at := r.now + lat
-		ch := channelKey{from, to}
-		if floor := r.fifoFloor[ch]; at < floor {
-			at = floor
+		toIdx := r.g.Index(to)
+		if toIdx < 0 {
+			// A send to a node outside the graph is a programmer error in
+			// the automaton under test; fail loudly rather than with a bare
+			// index panic deep in the bookkeeping.
+			panic(fmt.Sprintf("sim: %s sends to unknown node %q", fromID, to))
 		}
-		r.fifoFloor[ch] = at
+		if at < floors[toIdx] {
+			at = floors[toIdx]
+		}
+		floors[toIdx] = at
 		if r.cfg.Quiet {
 			r.qMsgs++
-			r.qBytes += size
+			r.qBytes += int(size)
 		} else {
-			r.emit(trace.Event{Kind: trace.KindSend, Node: from, Peer: to,
-				View: view, Round: round, Bytes: size})
+			r.emit(trace.Event{Kind: trace.KindSend, Node: fromID, Peer: to,
+				View: view, Round: round, Bytes: int(size)})
 		}
-		r.schedule(&event{time: at, kind: evDeliver, node: to, peer: from, payload: s.Payload})
+		r.schedule(event{time: at, kind: evDeliver, node: toIdx, peer: from,
+			view: view, round: int32(round), bytes: size, payload: s.Payload})
 	}
 }
 
