@@ -1,0 +1,113 @@
+// bench-guard maintains the kernel bench trajectory in BENCH_kernel.json:
+// it merges a fresh `cliffedge-bench -exp KERNEL -json` measurement into
+// the history array and fails (exit 1) when the new point regresses
+// ns_per_op by more than -max-ratio against the last recorded entry.
+//
+// CI runs it on release tags:
+//
+//	go run ./cmd/cliffedge-bench -exp KERNEL -json > point.json
+//	go run ./cmd/bench-guard -history BENCH_kernel.json -point point.json \
+//	    -label "$TAG" -rev "$SHA" -out BENCH_kernel.json
+//
+// On regression the history is NOT extended — appending the slow point
+// would make it the next baseline and a committed-back artifact would
+// silently ratchet the gate past a standing regression. The offending
+// measurement is still printed so the CI log carries it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cliffedge/internal/benchjson"
+)
+
+// historyFile mirrors BENCH_kernel.json; fields bench-guard does not
+// interpret round-trip as raw JSON.
+type historyFile struct {
+	Benchmark      string                  `json:"benchmark"`
+	Workload       json.RawMessage         `json:"workload"`
+	HowToReproduce json.RawMessage         `json:"how_to_reproduce"`
+	History        []benchjson.KernelPoint `json:"history"`
+	Notes          string                  `json:"notes"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-guard: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	historyPath := flag.String("history", "BENCH_kernel.json", "bench trajectory file")
+	pointPath := flag.String("point", "", "fresh measurement (cliffedge-bench -exp KERNEL -json output)")
+	label := flag.String("label", "", "override the new point's label (e.g. the release tag)")
+	rev := flag.String("rev", "", "override the new point's rev (e.g. the commit SHA)")
+	maxRatio := flag.Float64("max-ratio", 1.5, "fail when new ns_per_op exceeds last recorded × ratio")
+	out := flag.String("out", "", "write the appended history here (empty: don't write)")
+	flag.Parse()
+	if *pointPath == "" {
+		fatalf("-point is required")
+	}
+
+	raw, err := os.ReadFile(*historyPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var hist historyFile
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		fatalf("parse %s: %v", *historyPath, err)
+	}
+	if len(hist.History) == 0 {
+		fatalf("%s has no history to compare against", *historyPath)
+	}
+
+	rawPoint, err := os.ReadFile(*pointPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var p benchjson.KernelPoint
+	if err := json.Unmarshal(rawPoint, &p); err != nil {
+		fatalf("parse %s: %v", *pointPath, err)
+	}
+	if p.NsPerOp <= 0 {
+		fatalf("new point has non-positive ns_per_op %d", p.NsPerOp)
+	}
+	if *label != "" {
+		p.Label = *label
+	}
+	if *rev != "" {
+		p.Rev = *rev
+	}
+
+	base := hist.History[len(hist.History)-1]
+	ratio := float64(p.NsPerOp) / float64(base.NsPerOp)
+	fmt.Printf("last:  %s (%s): %v\n", base.Label, base.Rev, time.Duration(base.NsPerOp))
+	fmt.Printf("new:   %s (%s): %v\n", p.Label, p.Rev, time.Duration(p.NsPerOp))
+	fmt.Printf("ratio: %.3f (gate %.2f)\n", ratio, *maxRatio)
+
+	if ratio > *maxRatio {
+		// Do not extend the history: a committed-back artifact carrying
+		// the slow point would become the next baseline and silently
+		// ratchet the gate past the regression.
+		rejected, _ := json.Marshal(&p)
+		fmt.Fprintf(os.Stderr, "bench-guard: REGRESSION: %.3f > %.2f×; point not appended: %s\n",
+			ratio, *maxRatio, rejected)
+		os.Exit(1)
+	}
+
+	hist.History = append(hist.History, p)
+	if *out != "" {
+		buf, err := json.MarshalIndent(&hist, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("appended point to %s\n", *out)
+	}
+	fmt.Println("ok: within the regression gate")
+}

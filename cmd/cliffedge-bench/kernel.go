@@ -10,24 +10,16 @@ import (
 	"strings"
 	"time"
 
+	"cliffedge/internal/benchjson"
 	"cliffedge/internal/scenario"
 	"cliffedge/internal/sim"
 )
 
 // kernelPoint is one entry of the BENCH_kernel.json history array. The
 // -exp KERNEL -json output is exactly this shape, so updating the
-// trajectory is copy-paste plus filling in label/rev.
-type kernelPoint struct {
-	Label       string `json:"label"`
-	Rev         string `json:"rev"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp uint64 `json:"allocs_per_op"`
-	BytesPerOp  uint64 `json:"bytes_per_op"`
-	PeakRSSKB   uint64 `json:"peak_rss_kb"`
-	MsgsPerOp   int    `json:"msgs_per_op"`
-	Decisions   int    `json:"decisions"`
-	EndTime     int64  `json:"end_time"`
-}
+// trajectory is copy-paste plus filling in label/rev (or letting
+// bench-guard do it, which reads the same shared struct).
+type kernelPoint = benchjson.KernelPoint
 
 // kernelBench runs the headline kernel workload — the 64×64 grid cascade
 // of BenchmarkKernelCascade64, trace discarded — `runs` times and reports

@@ -18,6 +18,7 @@ package baseline
 import (
 	"sort"
 
+	"cliffedge/internal/dsu"
 	"cliffedge/internal/graph"
 	"cliffedge/internal/proto"
 	"cliffedge/internal/region"
@@ -83,8 +84,15 @@ type GlobalConfig struct {
 type GlobalNode struct {
 	cfg     GlobalConfig
 	all     []graph.NodeID // every participant: the whole system
-	crashed map[graph.NodeID]bool
-	maxView region.Region
+	crashed graph.Bitset   // locally detected crashes, by dense index
+	// regions is the shared incremental union-find over the crashed set:
+	// each detection unites q with its already-crashed neighbours, so
+	// maxView tracking costs amortised near-O(1) per crash instead of a
+	// whole-set ConnectedComponents recomputation. Allocated on the first
+	// detection.
+	regions     *dsu.DSU
+	compScratch []int32
+	maxView     region.Region
 
 	started   bool
 	round     int
@@ -119,7 +127,7 @@ func NewGlobal(cfg GlobalConfig) *GlobalNode {
 	return &GlobalNode{
 		cfg:       cfg,
 		all:       cfg.Graph.Nodes(),
-		crashed:   make(map[graph.NodeID]bool),
+		crashed:   graph.NewBitset(cfg.Graph.Len()),
 		proposals: make(map[graph.NodeID]Proposal),
 		gotRound:  make(map[graph.NodeID]int),
 		mergedVer: make(map[graph.NodeID]int),
@@ -147,15 +155,37 @@ func (n *GlobalNode) Start() proto.Effects {
 }
 
 // OnCrash updates the local view and (re-)enters the flooding rounds.
+// Only the component containing q can have changed since the previous
+// detection, and maxView already ranks at or above every other component,
+// so comparing maxView against q's (grown or merged) component alone is
+// equivalent to recomputing connected components of the whole crashed set.
 func (n *GlobalNode) OnCrash(q graph.NodeID) proto.Effects {
 	var eff proto.Effects
-	if n.crashed[q] {
+	qi := n.cfg.Graph.Index(q)
+	if qi < 0 || n.crashed.Has(qi) {
 		return eff
 	}
-	n.crashed[q] = true
+	n.crashed.Set(qi)
 	delete(n.needed, q)
-	comps := n.cfg.Graph.ConnectedComponents(n.crashed)
-	n.maxView = region.MaxRanked(region.FromComponents(n.cfg.Graph, comps))
+	if n.regions == nil {
+		n.regions = dsu.New(n.cfg.Graph.Len())
+	}
+	for _, m := range n.cfg.Graph.NeighborIndices(qi) {
+		if n.crashed.Has(m) {
+			n.regions.Union(qi, m)
+		}
+	}
+	root := n.regions.Find(qi)
+	members := n.compScratch[:0]
+	n.crashed.ForEach(func(i int32) {
+		if n.regions.Find(i) == root {
+			members = append(members, i)
+		}
+	})
+	n.compScratch = members
+	if comp := region.NewFromIndices(n.cfg.Graph, members, n.crashed); region.Less(n.maxView, comp) {
+		n.maxView = comp
+	}
 	if n.decided != nil {
 		return eff
 	}
@@ -287,8 +317,9 @@ func (n *GlobalNode) flood(eff *proto.Effects) {
 // round; message arrivals then shrink it in O(1).
 func (n *GlobalNode) resetNeeded() {
 	n.needed = make(map[graph.NodeID]bool, len(n.all))
-	for _, q := range n.all {
-		if q == n.cfg.ID || n.crashed[q] || n.gotRound[q] >= n.round {
+	for i, q := range n.all {
+		// i is q's dense index: Nodes() is in sorted order by construction.
+		if q == n.cfg.ID || n.crashed.Has(int32(i)) || n.gotRound[q] >= n.round {
 			continue
 		}
 		n.needed[q] = true

@@ -1,0 +1,19 @@
+// Package benchjson defines the machine-readable shape of one kernel
+// benchmark measurement — the entries of BENCH_kernel.json's history
+// array, emitted by `cliffedge-bench -exp KERNEL -json` and consumed by
+// `bench-guard`. Sharing one struct keeps the producer and the gate from
+// drifting apart field by field.
+package benchjson
+
+// KernelPoint is one measurement of the headline KERNEL workload.
+type KernelPoint struct {
+	Label       string `json:"label"`
+	Rev         string `json:"rev"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	PeakRSSKB   uint64 `json:"peak_rss_kb"`
+	MsgsPerOp   int    `json:"msgs_per_op"`
+	Decisions   int    `json:"decisions"`
+	EndTime     int64  `json:"end_time"`
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cliffedge/internal/dsu"
 	"cliffedge/internal/graph"
 	"cliffedge/internal/region"
 	"cliffedge/internal/trace"
@@ -218,7 +219,16 @@ func (o *Online) Report() Report {
 
 	// Faulty domains at quiescence: maximal crashed regions (their borders
 	// are correct by maximality once all scheduled crashes have happened).
-	domains := region.FromComponents(g, g.ConnectedComponents(crashed))
+	// Computed over dense indices via the shared union-find; crash events
+	// for nodes outside the topology (malformed traces) are ignored here —
+	// CD2 already flags any decision that involves them.
+	crashedSet := graph.NewBitset(g.Len())
+	for n := range crashed {
+		if i := g.Index(n); i >= 0 {
+			crashedSet.Set(i)
+		}
+	}
+	domains := region.Domains(g, crashedSet)
 	rep.FaultyDomains = len(domains)
 
 	// CD3 (locality): each message ran between two nodes of S ∪ border(S)
@@ -306,29 +316,18 @@ func (o *Online) Report() Report {
 	// CD7 (progress): every faulty cluster has ≥1 correct decider on the
 	// border of one of its domains. Clusters are the transitive closure of
 	// border adjacency.
-	parent := make([]int, len(domains))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
+	clusters := dsu.New(len(domains))
 	for i := 0; i < len(domains); i++ {
 		for j := i + 1; j < len(domains); j++ {
 			if bordersIntersect(domains[i], domains[j]) {
-				parent[find(i)] = find(j)
+				clusters.Union(int32(i), int32(j))
 			}
 		}
 	}
-	clusterDecided := make(map[int]bool)
-	clusterHasBorder := make(map[int]bool)
+	clusterDecided := make(map[int32]bool)
+	clusterHasBorder := make(map[int32]bool)
 	for i, dom := range domains {
-		root := find(i)
+		root := clusters.Find(int32(i))
 		if dom.BorderLen() > 0 {
 			clusterHasBorder[root] = true
 		}

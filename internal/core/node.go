@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cliffedge/internal/dsu"
 	"cliffedge/internal/graph"
 	"cliffedge/internal/proto"
 	"cliffedge/internal/region"
@@ -85,14 +86,13 @@ type Node struct {
 	// not re-issued; semantically idempotent either way.
 	monitored graph.Bitset
 
-	// ufParent/ufSize are a union-find over locallyCrashed, maintained
-	// incrementally: when q crashes it is united with its already-crashed
-	// neighbours, so the connected components of the locally known crashed
-	// set (line 8) cost amortised near-O(1) per detection instead of a
-	// whole-set recomputation. Allocated on the first crash detection —
-	// most nodes of a large system never witness one.
-	ufParent []int32
-	ufSize   []int32
+	// uf is a union-find over locallyCrashed, maintained incrementally:
+	// when q crashes it is united with its already-crashed neighbours, so
+	// the connected components of the locally known crashed set (line 8)
+	// cost amortised near-O(1) per detection instead of a whole-set
+	// recomputation. Allocated on the first crash detection — most nodes
+	// of a large system never witness one.
+	uf *dsu.DSU
 	// compScratch is the reusable buffer for gathering the members of the
 	// component that q's crash grew or merged.
 	compScratch []int32
@@ -230,23 +230,18 @@ func (n *Node) OnCrash(q graph.NodeID) proto.Effects {
 	}
 	n.locallyCrashed.Set(qi)                    // line 6
 	n.subscribe(n.cfg.Graph.Neighbors(q), &eff) // line 7
-	if n.ufParent == nil {
-		n.ufParent = make([]int32, n.cfg.Graph.Len())
-		n.ufSize = make([]int32, n.cfg.Graph.Len())
-		for i := range n.ufParent {
-			n.ufParent[i] = int32(i)
-		}
+	if n.uf == nil {
+		n.uf = dsu.New(n.cfg.Graph.Len())
 	}
-	n.ufSize[qi] = 1
 	for _, m := range n.cfg.Graph.NeighborIndices(qi) {
 		if n.locallyCrashed.Has(m) {
-			n.union(qi, m)
+			n.uf.Union(qi, m)
 		}
 	}
-	root := n.find(qi)
+	root := n.uf.Find(qi)
 	members := n.compScratch[:0]
 	n.locallyCrashed.ForEach(func(i int32) {
-		if n.find(i) == root {
+		if n.uf.Find(i) == root {
 			members = append(members, i)
 		}
 	})
@@ -258,28 +253,6 @@ func (n *Node) OnCrash(q graph.NodeID) proto.Effects {
 	}
 	n.runGuards(&eff)
 	return eff
-}
-
-// find returns the union-find root of i, with path halving.
-func (n *Node) find(i int32) int32 {
-	for n.ufParent[i] != i {
-		n.ufParent[i] = n.ufParent[n.ufParent[i]]
-		i = n.ufParent[i]
-	}
-	return i
-}
-
-// union merges the components of a and b, by size.
-func (n *Node) union(a, b int32) {
-	ra, rb := n.find(a), n.find(b)
-	if ra == rb {
-		return
-	}
-	if n.ufSize[ra] < n.ufSize[rb] {
-		ra, rb = rb, ra
-	}
-	n.ufParent[rb] = ra
-	n.ufSize[ra] += n.ufSize[rb]
 }
 
 // OnMessage handles 〈mDeliver | from, payload〉 (lines 18–25), then runs
@@ -518,9 +491,8 @@ func (n *Node) Clone() *Node {
 		d := *n.decided
 		out.decided = &d
 	}
-	if n.ufParent != nil {
-		out.ufParent = append([]int32(nil), n.ufParent...)
-		out.ufSize = append([]int32(nil), n.ufSize...)
+	if n.uf != nil {
+		out.uf = n.uf.Clone()
 	}
 	for k, inst := range n.received {
 		out.received[k] = inst.clone()

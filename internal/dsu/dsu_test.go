@@ -1,0 +1,106 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	for i := int32(0); i < 5; i++ {
+		if got := d.Find(i); got != i {
+			t.Errorf("Find(%d) = %d, want %d", i, got, i)
+		}
+		if got := d.SizeOf(i); got != 1 {
+			t.Errorf("SizeOf(%d) = %d, want 1", i, got)
+		}
+	}
+	if d.Same(0, 1) {
+		t.Error("fresh singletons reported as same")
+	}
+}
+
+func TestUnionMergesAndCounts(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	if d.Same(0, 2) {
+		t.Fatal("disjoint pairs merged")
+	}
+	d.Union(1, 2)
+	for _, pair := range [][2]int32{{0, 3}, {1, 2}, {0, 2}} {
+		if !d.Same(pair[0], pair[1]) {
+			t.Errorf("Same(%d, %d) = false after chain of unions", pair[0], pair[1])
+		}
+	}
+	if got := d.SizeOf(3); got != 4 {
+		t.Errorf("SizeOf(3) = %d, want 4", got)
+	}
+	if got := d.SizeOf(5); got != 1 {
+		t.Errorf("SizeOf(5) = %d, want 1", got)
+	}
+	// Union of already-joined sets is a no-op.
+	r := d.Find(0)
+	if got := d.Union(0, 3); got != r {
+		t.Errorf("redundant Union returned %d, want existing root %d", got, r)
+	}
+	if got := d.SizeOf(0); got != 4 {
+		t.Errorf("SizeOf(0) = %d after redundant union, want 4", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	c := d.Clone()
+	c.Union(2, 3)
+	if d.Same(2, 3) {
+		t.Error("union on clone leaked into original")
+	}
+	if !c.Same(0, 1) {
+		t.Error("clone lost pre-existing union")
+	}
+}
+
+// TestAgainstNaive cross-checks random union sequences against a quadratic
+// reference.
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 64
+	for trial := 0; trial < 50; trial++ {
+		d := New(n)
+		label := make([]int, n) // reference: explicit component labels
+		for i := range label {
+			label[i] = i
+		}
+		for op := 0; op < 40; op++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			d.Union(a, b)
+			la, lb := label[a], label[b]
+			if la != lb {
+				for i := range label {
+					if label[i] == lb {
+						label[i] = la
+					}
+				}
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			for j := int32(0); j < n; j++ {
+				if d.Same(i, j) != (label[i] == label[j]) {
+					t.Fatalf("trial %d: Same(%d, %d) = %v disagrees with reference",
+						trial, i, j, d.Same(i, j))
+				}
+			}
+			size := 0
+			for j := range label {
+				if label[j] == label[i] {
+					size++
+				}
+			}
+			if int(d.SizeOf(i)) != size {
+				t.Fatalf("trial %d: SizeOf(%d) = %d, want %d", trial, i, d.SizeOf(i), size)
+			}
+		}
+	}
+}

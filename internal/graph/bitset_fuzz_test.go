@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzBitset drives random op sequences against a map-backed reference
+// set: byte 0 fixes the capacity, then each (op, index) byte pair is a
+// Set, Unset or Has. After the sequence, every read-side method — Has,
+// Count, AppendIndices, ForEach, Clone — must agree with the reference,
+// and iteration must be strictly ascending (the property the deterministic
+// traversals of sim/core/livenet rely on).
+//
+// Run the smoke pass in CI with:
+//
+//	go test -run '^$' -fuzz '^FuzzBitset$' -fuzztime 10s ./internal/graph
+func FuzzBitset(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{64, 0, 5, 0, 5, 1, 5, 2, 5})
+	f.Add([]byte{1, 0, 0, 2, 0, 1, 0, 2, 0})
+	f.Add([]byte{255, 0, 254, 0, 63, 0, 64, 0, 65, 1, 64, 2, 63})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])
+		b := NewBitset(n)
+		ref := make(map[int32]bool)
+		for k := 1; k+1 < len(data); k += 2 {
+			i := int32(int(data[k+1]) % n)
+			switch data[k] % 3 {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Unset(i)
+				delete(ref, i)
+			case 2:
+				if b.Has(i) != ref[i] {
+					t.Fatalf("Has(%d) = %v mid-sequence, reference says %v", i, b.Has(i), ref[i])
+				}
+			}
+		}
+		if b.Count() != len(ref) {
+			t.Fatalf("Count() = %d, reference has %d members", b.Count(), len(ref))
+		}
+		for i := int32(0); i < int32(n); i++ {
+			if b.Has(i) != ref[i] {
+				t.Fatalf("Has(%d) = %v, reference says %v", i, b.Has(i), ref[i])
+			}
+		}
+		want := make([]int32, 0, len(ref))
+		for i := range ref {
+			want = append(want, i)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := b.AppendIndices(nil)
+		if len(got) != len(want) {
+			t.Fatalf("AppendIndices returned %d indices, want %d", len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("AppendIndices[%d] = %d, want %d (must be ascending)", k, got[k], want[k])
+			}
+		}
+		var walked []int32
+		b.ForEach(func(i int32) { walked = append(walked, i) })
+		if len(walked) != len(got) {
+			t.Fatalf("ForEach visited %d members, AppendIndices returned %d", len(walked), len(got))
+		}
+		for k := range walked {
+			if walked[k] != got[k] {
+				t.Fatalf("ForEach[%d] = %d disagrees with AppendIndices %d", k, walked[k], got[k])
+			}
+		}
+		// Clone must be independent of the original.
+		c := b.Clone()
+		if c.Has(0) {
+			c.Unset(0)
+		} else {
+			c.Set(0)
+		}
+		if b.Has(0) == c.Has(0) {
+			t.Fatal("mutating a Clone leaked into the original")
+		}
+	})
+}

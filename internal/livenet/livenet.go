@@ -7,6 +7,13 @@
 // runtime — demonstrating that the protocol's correctness is not an
 // artifact of deterministic event ordering. The race detector is the
 // intended companion of this package's tests.
+//
+// Like the simulator kernel, the runtime addresses nodes by their dense
+// graph index (see graph.Graph.Index): automata and mailboxes live in flat
+// slices, the crashed set and the per-target subscriber sets are
+// graph.Bitset values, and crashed-region tracking is an incremental
+// union-find over the CSR adjacency. NodeIDs appear only at the observable
+// boundaries — trace events, automaton calls and results.
 package livenet
 
 import (
@@ -16,16 +23,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cliffedge/internal/dsu"
 	"cliffedge/internal/graph"
 	"cliffedge/internal/proto"
+	"cliffedge/internal/region"
 	"cliffedge/internal/trace"
 )
 
 // envelope is one unit of work queued at a node: a message delivery or a
-// crash notification.
+// crash notification. Senders are carried as dense indices; the NodeID
+// surfaces only when the envelope reaches the trace or an automaton.
 type envelope struct {
 	crashNotify bool
-	from        graph.NodeID // sender (message) or crashed node (notify)
+	from        int32 // sender (message) or crashed node (notify)
 	payload     proto.Payload
 }
 
@@ -85,13 +95,23 @@ type Runtime struct {
 	pending atomic.Int64 // queued envelopes + in-progress handlers
 	idle    chan struct{}
 
-	mu       sync.Mutex
-	automata map[graph.NodeID]proto.Automaton // guarded by each node's goroutine after start
-	boxes    map[graph.NodeID]*mailbox
-	crashed  map[graph.NodeID]bool
-	subs     map[graph.NodeID]map[graph.NodeID]bool // target → subscribers
-	wg       sync.WaitGroup
-	stopped  bool
+	// automata and boxes are indexed by dense graph index. Both are fully
+	// populated before any node goroutine starts and never reassigned:
+	// automata[i] is owned by node i's goroutine afterwards, boxes are
+	// internally synchronised.
+	automata []proto.Automaton
+	boxes    []*mailbox
+
+	mu      sync.Mutex
+	crashed graph.Bitset   // guarded by mu
+	subs    []graph.Bitset // target index → subscriber indices; rows lazily allocated; guarded by mu
+	// regions is the incremental union-find over the crashed set: each
+	// crash is united with its already-crashed neighbours, so the faulty
+	// domains of the run are available at any time without a
+	// ConnectedComponents recomputation. Guarded by mu.
+	regions *dsu.DSU
+	wg      sync.WaitGroup
+	stopped bool
 }
 
 // Options configures optional Runtime behaviour.
@@ -113,14 +133,16 @@ func New(g *graph.Graph, factory proto.Factory) *Runtime {
 // NewRuntime is New with explicit Options; observers are registered before
 // any Start effect runs, so they see the complete trace.
 func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
+	n := g.Len()
 	rt := &Runtime{
 		g:        g,
 		log:      &trace.Log{},
 		idle:     make(chan struct{}, 1),
-		automata: make(map[graph.NodeID]proto.Automaton, g.Len()),
-		boxes:    make(map[graph.NodeID]*mailbox, g.Len()),
-		crashed:  make(map[graph.NodeID]bool),
-		subs:     make(map[graph.NodeID]map[graph.NodeID]bool),
+		automata: make([]proto.Automaton, n),
+		boxes:    make([]*mailbox, n),
+		crashed:  graph.NewBitset(n),
+		subs:     make([]graph.Bitset, n),
+		regions:  dsu.New(n),
 	}
 	if opts.Observer != nil {
 		rt.log.Observe(opts.Observer)
@@ -128,21 +150,22 @@ func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 	if opts.DiscardEvents {
 		rt.log.DiscardEvents()
 	}
-	for _, id := range g.Nodes() {
-		rt.automata[id] = factory(id)
-		rt.boxes[id] = newMailbox()
+	for i := int32(0); i < int32(n); i++ {
+		rt.automata[i] = factory(g.ID(i))
+		rt.boxes[i] = newMailbox()
 	}
 	// Apply 〈init〉 effects before spawning the node loops: an automaton
 	// must never observe a message ahead of its own Start. Effects only
-	// enqueue into mailboxes, which buffer until the loops run.
-	for _, id := range g.Nodes() {
+	// enqueue into mailboxes, which buffer until the loops run. Index
+	// order is sorted NodeID order, so the trace prefix is unchanged.
+	for i := int32(0); i < int32(n); i++ {
 		rt.trackEnter()
-		rt.applyEffects(id, rt.automata[id].Start())
+		rt.applyEffects(i, rt.automata[i].Start())
 		rt.trackExit()
 	}
-	for _, id := range g.Nodes() {
+	for i := int32(0); i < int32(n); i++ {
 		rt.wg.Add(1)
-		go rt.nodeLoop(id)
+		go rt.nodeLoop(i)
 	}
 	return rt
 }
@@ -167,34 +190,35 @@ func (rt *Runtime) trackExit() {
 	}
 }
 
-func (rt *Runtime) nodeLoop(id graph.NodeID) {
+func (rt *Runtime) nodeLoop(i int32) {
 	defer rt.wg.Done()
-	box := rt.boxes[id]
+	box := rt.boxes[i]
 	for {
 		env, ok := box.get()
 		if !ok {
 			return
 		}
-		rt.process(id, env)
+		rt.process(i, env)
 		rt.trackExit() // matches the trackEnter done at enqueue time
 	}
 }
 
-func (rt *Runtime) process(id graph.NodeID, env envelope) {
+func (rt *Runtime) process(i int32, env envelope) {
 	rt.mu.Lock()
-	dead := rt.crashed[id]
+	dead := rt.crashed.Has(i)
 	rt.mu.Unlock()
+	id := rt.g.ID(i)
 	if dead {
 		if !env.crashNotify {
-			rt.emit(trace.Event{Kind: trace.KindDrop, Node: id, Peer: env.from,
+			rt.emit(trace.Event{Kind: trace.KindDrop, Node: id, Peer: rt.g.ID(env.from),
 				Bytes: env.payload.WireSize()})
 		}
 		return
 	}
-	a := rt.automata[id]
+	a := rt.automata[i]
 	if env.crashNotify {
-		rt.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: env.from})
-		rt.applyEffects(id, a.OnCrash(env.from))
+		rt.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: rt.g.ID(env.from)})
+		rt.applyEffects(i, a.OnCrash(rt.g.ID(env.from)))
 		return
 	}
 	var view string
@@ -202,14 +226,17 @@ func (rt *Runtime) process(id graph.NodeID, env envelope) {
 	if m, ok := env.payload.(interface{ TraceView() (string, int) }); ok {
 		view, round = m.TraceView()
 	}
-	rt.emit(trace.Event{Kind: trace.KindDeliver, Node: id, Peer: env.from,
+	rt.emit(trace.Event{Kind: trace.KindDeliver, Node: id, Peer: rt.g.ID(env.from),
 		View: view, Round: round, Bytes: env.payload.WireSize()})
-	rt.applyEffects(id, a.OnMessage(env.from, env.payload))
+	rt.applyEffects(i, a.OnMessage(rt.g.ID(env.from), env.payload))
 }
 
-func (rt *Runtime) applyEffects(id graph.NodeID, eff proto.Effects) {
+func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
+	id := rt.g.ID(i)
 	for _, q := range eff.Monitor {
-		rt.subscribe(id, q)
+		if qi := rt.g.Index(q); qi >= 0 {
+			rt.subscribe(i, qi)
+		}
 	}
 	for _, v := range eff.Proposed {
 		rt.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()})
@@ -217,7 +244,7 @@ func (rt *Runtime) applyEffects(id graph.NodeID, eff proto.Effects) {
 	for _, v := range eff.Rejected {
 		rt.emit(trace.Event{Kind: trace.KindReject, Node: id, View: v.Key()})
 	}
-	for i := 0; i < eff.Resets; i++ {
+	for r := 0; r < eff.Resets; r++ {
 		rt.emit(trace.Event{Kind: trace.KindReset, Node: id})
 	}
 	for _, s := range eff.Sends {
@@ -228,10 +255,14 @@ func (rt *Runtime) applyEffects(id graph.NodeID, eff proto.Effects) {
 			view, round = m.TraceView()
 		}
 		for _, to := range s.To {
+			ti := rt.g.Index(to)
+			if ti < 0 {
+				continue // automata only address graph members
+			}
 			rt.emit(trace.Event{Kind: trace.KindSend, Node: id, Peer: to,
 				View: view, Round: round, Bytes: size})
 			rt.trackEnter()
-			rt.boxes[to].put(envelope{from: id, payload: s.Payload})
+			rt.boxes[ti].put(envelope{from: i, payload: s.Payload})
 		}
 	}
 	if eff.Decision != nil {
@@ -242,16 +273,16 @@ func (rt *Runtime) applyEffects(id graph.NodeID, eff proto.Effects) {
 
 // subscribe registers p for crash notifications about q, delivering
 // immediately if q already crashed (subscribe-after-crash).
-func (rt *Runtime) subscribe(p, q graph.NodeID) {
+func (rt *Runtime) subscribe(p, q int32) {
 	rt.mu.Lock()
-	set := rt.subs[q]
-	if set == nil {
-		set = make(map[graph.NodeID]bool)
-		rt.subs[q] = set
+	row := rt.subs[q]
+	if row == nil {
+		row = graph.NewBitset(len(rt.boxes))
+		rt.subs[q] = row
 	}
-	already := set[p]
-	set[p] = true
-	deadAlready := rt.crashed[q]
+	already := row.Has(p)
+	row.Set(p)
+	deadAlready := rt.crashed.Has(q)
 	rt.mu.Unlock()
 	if !already && deadAlready {
 		rt.trackEnter()
@@ -261,32 +292,46 @@ func (rt *Runtime) subscribe(p, q graph.NodeID) {
 
 // Crash kills node n: it stops processing, its queued messages are
 // dropped, and every subscriber is notified (strong completeness).
-func (rt *Runtime) Crash(n graph.NodeID) {
+func (rt *Runtime) Crash(n graph.NodeID) { rt.CrashAll(n) }
+
+// CrashAll kills a wave of nodes atomically: every node of the wave is
+// flagged crashed (and folded into the region union-find) before the first
+// notification goes out, so no wave member can keep participating between
+// the individual crashes — mirroring the simulator, where all crashes
+// scheduled at one virtual instant precede every detection of them.
+// Subscribers of each crashed node are then notified in index (= NodeID)
+// order, per node in wave order.
+func (rt *Runtime) CrashAll(ns ...graph.NodeID) {
 	rt.trackEnter()
 	defer rt.trackExit()
 	rt.mu.Lock()
-	if rt.crashed[n] {
-		rt.mu.Unlock()
-		return
+	newly := make([]int32, 0, len(ns))
+	for _, n := range ns {
+		i := rt.g.Index(n)
+		if i < 0 || rt.crashed.Has(i) {
+			continue
+		}
+		rt.crashed.Set(i)
+		for _, m := range rt.g.NeighborIndices(i) {
+			if rt.crashed.Has(m) {
+				rt.regions.Union(i, m)
+			}
+		}
+		newly = append(newly, i)
 	}
-	rt.crashed[n] = true
-	subscribers := make([]graph.NodeID, 0, len(rt.subs[n]))
-	for p := range rt.subs[n] {
-		subscribers = append(subscribers, p)
+	notify := make([][]int32, len(newly))
+	for k, i := range newly {
+		if row := rt.subs[i]; row != nil {
+			notify[k] = row.AppendIndices(make([]int32, 0, row.Count()))
+		}
 	}
 	rt.mu.Unlock()
-	graph.SortIDs(subscribers)
-	rt.emit(trace.Event{Kind: trace.KindCrash, Node: n})
-	for _, p := range subscribers {
-		rt.trackEnter()
-		rt.boxes[p].put(envelope{crashNotify: true, from: n})
-	}
-}
-
-// CrashAll kills a wave of nodes.
-func (rt *Runtime) CrashAll(ns ...graph.NodeID) {
-	for _, n := range ns {
-		rt.Crash(n)
+	for k, i := range newly {
+		rt.emit(trace.Event{Kind: trace.KindCrash, Node: rt.g.ID(i)})
+		for _, p := range notify[k] {
+			rt.trackEnter()
+			rt.boxes[p].put(envelope{crashNotify: true, from: i})
+		}
 	}
 }
 
@@ -294,8 +339,12 @@ func (rt *Runtime) CrashAll(ns ...graph.NodeID) {
 // counterpart of sim.InjectAt, used e.g. to mark nodes in the
 // stable-predicate extension.
 func (rt *Runtime) Inject(n graph.NodeID, payload proto.Payload) {
+	i := rt.g.Index(n)
+	if i < 0 {
+		return
+	}
 	rt.trackEnter()
-	rt.boxes[n].put(envelope{from: n, payload: payload})
+	rt.boxes[i].put(envelope{from: i, payload: payload})
 }
 
 // WaitIdle blocks until no envelope is queued or being processed, i.e. the
@@ -349,6 +398,10 @@ type Result struct {
 	Decisions map[graph.NodeID]*proto.Decision
 	Automata  map[graph.NodeID]proto.Automaton
 	Crashed   map[graph.NodeID]bool
+	// Domains are the maximal crashed regions (connected components of the
+	// crash set) at the end of the run, ordered by smallest member — read
+	// straight off the runtime's incremental union-find.
+	Domains []region.Region
 }
 
 // Result gathers the trace and final automaton states. Call only after
@@ -356,11 +409,15 @@ type Result struct {
 func (rt *Runtime) Result() *Result {
 	events := rt.log.Events()
 	decisions := make(map[graph.NodeID]*proto.Decision)
-	crashed := make(map[graph.NodeID]bool, len(rt.crashed))
-	for n := range rt.crashed {
-		crashed[n] = true
+	crashed := make(map[graph.NodeID]bool, rt.crashed.Count())
+	crashedIdx := rt.crashed.AppendIndices(nil)
+	for _, i := range crashedIdx {
+		crashed[rt.g.ID(i)] = true
 	}
-	for id, a := range rt.automata {
+	automata := make(map[graph.NodeID]proto.Automaton, len(rt.automata))
+	for i, a := range rt.automata {
+		id := rt.g.ID(int32(i))
+		automata[id] = a
 		if d := a.Decided(); d != nil && !crashed[id] {
 			decisions[id] = d
 		}
@@ -369,8 +426,9 @@ func (rt *Runtime) Result() *Result {
 		Events:    events,
 		Stats:     rt.log.Stats(),
 		Decisions: decisions,
-		Automata:  rt.automata,
+		Automata:  automata,
 		Crashed:   crashed,
+		Domains:   region.GroupByRoot(rt.g, rt.regions, crashedIdx, rt.crashed),
 	}
 }
 

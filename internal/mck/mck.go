@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"cliffedge/internal/core"
+	"cliffedge/internal/dsu"
 	"cliffedge/internal/graph"
 	"cliffedge/internal/proto"
 	"cliffedge/internal/region"
@@ -179,6 +180,7 @@ type explorer struct {
 	cfg      Config
 	out      *Outcome
 	visited  map[string]bool
+	domains  []region.Region               // final faulty domains (every crash happens)
 	inDomain map[graph.NodeID]map[int]bool // final-domain membership for CD3
 	stopped  bool
 }
@@ -203,10 +205,16 @@ func Explore(cfg Config) (*Outcome, error) {
 		visited:  make(map[string]bool),
 		inDomain: make(map[graph.NodeID]map[int]bool),
 	}
-	// CD3 is judged against the final faulty domains, which are known up
-	// front: every scheduled crash eventually happens.
-	finalCrashed := graph.ToSet(cfg.Crashes)
-	for i, dom := range region.FromComponents(cfg.Graph, cfg.Graph.ConnectedComponents(finalCrashed)) {
+	// CD3 and the terminal-state properties are judged against the final
+	// faulty domains, which are known up front: every scheduled crash
+	// eventually happens, so every terminal (quiescent) state carries the
+	// full crash set. Computed once via the shared union-find.
+	finalCrashed := graph.NewBitset(cfg.Graph.Len())
+	for _, c := range cfg.Crashes {
+		finalCrashed.Set(cfg.Graph.Index(c))
+	}
+	e.domains = region.Domains(cfg.Graph, finalCrashed)
+	for i, dom := range e.domains {
 		for _, n := range dom.Nodes() {
 			e.mark(n, i)
 		}
@@ -441,7 +449,10 @@ func (e *explorer) recordDecision(s *state, id graph.NodeID, d *proto.Decision) 
 // checkTerminal asserts the quiescence properties: CD4 border termination
 // and CD7 progress (CD3 was checked at send time).
 func (e *explorer) checkTerminal(s *state) {
-	domains := region.FromComponents(e.g, e.g.ConnectedComponents(s.crashed))
+	// A terminal state has no enabled actions, so every pending crash has
+	// been injected: s.crashed equals the full crash set and the faulty
+	// domains are exactly the ones precomputed in Explore.
+	domains := e.domains
 
 	decidedBy := make(map[graph.NodeID]bool)
 	for _, d := range s.decisions {
@@ -459,33 +470,21 @@ func (e *explorer) checkTerminal(s *state) {
 	if len(domains) == 0 {
 		return
 	}
-	parent := make([]int, len(domains))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
+	clusters := dsu.New(len(domains))
 	for i := 0; i < len(domains); i++ {
 		for j := i + 1; j < len(domains); j++ {
-			bi := graph.ToSet(domains[i].Border())
 			for _, n := range domains[j].Border() {
-				if bi[n] {
-					parent[find(i)] = find(j)
+				if domains[i].OnBorder(n) {
+					clusters.Union(int32(i), int32(j))
 					break
 				}
 			}
 		}
 	}
-	decided := make(map[int]bool)
-	hasBorder := make(map[int]bool)
+	decided := make(map[int32]bool)
+	hasBorder := make(map[int32]bool)
 	for i, dom := range domains {
-		root := find(i)
+		root := clusters.Find(int32(i))
 		if dom.BorderLen() > 0 {
 			hasBorder[root] = true
 		}

@@ -1,0 +1,53 @@
+package region
+
+import (
+	"cliffedge/internal/dsu"
+	"cliffedge/internal/graph"
+)
+
+// Domains returns the connected components of the subgraph induced by the
+// member bitset as regions, ordered by smallest member index (which is
+// smallest NodeID, matching graph.ConnectedComponents order). It is the
+// dense-index replacement for the ConnectedComponents→FromComponents
+// string-set pipeline: one union-find pass over the CSR adjacency instead
+// of a map-backed BFS per component.
+func Domains(g *graph.Graph, members graph.Bitset) []Region {
+	idx := members.AppendIndices(nil)
+	if len(idx) == 0 {
+		return nil
+	}
+	d := dsu.New(g.Len())
+	for _, i := range idx {
+		for _, m := range g.NeighborIndices(i) {
+			// Each intra-member edge is seen from both endpoints; union once.
+			if m < i && members.Has(m) {
+				d.Union(i, m)
+			}
+		}
+	}
+	return GroupByRoot(g, d, idx, members)
+}
+
+// GroupByRoot partitions the ascending member indices by their union-find
+// root and builds one Region per class, ordered by smallest member. It is
+// the shared tail of Domains and of runtimes that maintain their own
+// incremental DSU (livenet) and only need the final regions.
+func GroupByRoot(g *graph.Graph, d *dsu.DSU, members []int32, memberSet graph.Bitset) []Region {
+	if len(members) == 0 {
+		return nil
+	}
+	byRoot := make(map[int32][]int32, 4)
+	order := make([]int32, 0, 4)
+	for _, i := range members {
+		r := d.Find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([]Region, len(order))
+	for k, r := range order {
+		out[k] = NewFromIndices(g, byRoot[r], memberSet)
+	}
+	return out
+}
