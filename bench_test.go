@@ -9,10 +9,12 @@ package cliffedge
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"cliffedge/internal/baseline"
 	"cliffedge/internal/core"
 	"cliffedge/internal/graph"
+	"cliffedge/internal/livenet"
 	"cliffedge/internal/mck"
 	"cliffedge/internal/proto"
 	"cliffedge/internal/region"
@@ -283,6 +285,50 @@ func BenchmarkKernelCascade64(b *testing.B) {
 			b.Fatal(err)
 		}
 		msgs += res.Stats.Messages
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
+// BenchmarkLiveCascade32 is the live counterpart of the KERNEL workload:
+// a 32×32 grid (one goroutine per node) loses its centre 8×8 block at
+// once, then four more nodes race into the in-flight agreement with no
+// quiescence in between, mirroring the cascade shape. The trace is
+// discarded, so time and allocations measure the runtime's envelope
+// queues, registry and trace-lock path — the measure-first baseline for
+// the livenet allocation-profile ROADMAP item (ring-buffer mailboxes,
+// sharded trace sink).
+func BenchmarkLiveCascade32(b *testing.B) {
+	b.ReportAllocs()
+	spec := scenario.CascadeSpec(32, 32, 8, 4, 25, 1)
+	// Group the spec's timed crashes into waves by crash time; the live
+	// runtime replays the waves in order without idle barriers.
+	var waves [][]graph.NodeID
+	var times []int64
+	for _, c := range spec.Crashes {
+		if len(times) == 0 || c.Time != times[len(times)-1] {
+			times = append(times, c.Time)
+			waves = append(waves, nil)
+		}
+		waves[len(waves)-1] = append(waves[len(waves)-1], c.Node)
+	}
+	b.ResetTimer()
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		rt := livenet.NewRuntime(spec.Graph, scenario.CoreFactory(spec.Graph),
+			livenet.Options{DiscardEvents: true})
+		if err := rt.WaitIdle(time.Minute); err != nil {
+			rt.Stop()
+			b.Fatal(err)
+		}
+		for _, w := range waves {
+			rt.CrashAll(w...)
+		}
+		if err := rt.WaitIdle(time.Minute); err != nil {
+			rt.Stop()
+			b.Fatal(err)
+		}
+		rt.Stop()
+		msgs += rt.Result().Stats.Messages
 	}
 	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
 }

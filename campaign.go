@@ -1,0 +1,351 @@
+package cliffedge
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cliffedge/internal/campaign"
+	"cliffedge/internal/check"
+	"cliffedge/internal/gen"
+	"cliffedge/internal/graph"
+	"cliffedge/internal/region"
+)
+
+// A Campaign is a statistical sweep: a grid of (topology family × fault
+// regime × engine) cells, each run over a range of seeds (and optionally
+// several attempts per seed), executed across a worker pool with one
+// single-threaded run per worker. Where a Cluster answers "what happens in
+// this scenario", a Campaign answers distributional questions — how
+// decision latency, message cost and agreement behave over thousands of
+// workloads — and fits the paper's locality claim (cost ∝ failure border,
+// never system size) as a regression slope over every run.
+//
+//	camp, err := cliffedge.NewCampaign(
+//		cliffedge.WithTopologies("grid", "datacenter"),
+//		cliffedge.WithRegimes("quiescent", "midprotocol"),
+//		cliffedge.WithSeedRange(1, 64),
+//	)
+//	report, err := camp.Run(ctx)
+//	// report.Cells: per-cell latency percentiles, costs, violation and
+//	// agreement rates; report.Locality: the fitted slope.
+//
+// Each cell's workloads are pure functions of the seed, so a campaign is
+// reproducible run to run (up to scheduling noise in live cells), and sim
+// and live cells of the same (family, regime, seed) execute the identical
+// workload.
+type Campaign struct {
+	families []gen.Family
+	regimes  []gen.Regime
+	engines  []string
+	seed     int64
+	seeds    int
+	repeats  int
+	workers  int
+	copts    []Option
+}
+
+// CampaignOption configures a Campaign at construction time.
+type CampaignOption func(*Campaign) error
+
+// CampaignReport is a finished campaign: per-cell statistics plus the
+// global locality fit. Use WriteText, WriteJSON or WriteCSV to render it.
+type CampaignReport = campaign.Report
+
+// CampaignCell is the aggregated statistics of one campaign cell.
+type CampaignCell = campaign.CellReport
+
+// CampaignCellKey identifies one (topology family, fault regime, engine)
+// cell of a campaign grid.
+type CampaignCellKey = campaign.CellKey
+
+// NewCampaign builds a Campaign. Defaults: every topology family, every
+// fault regime, the sim engine only, seeds 1–16, one attempt per seed,
+// GOMAXPROCS workers.
+func NewCampaign(opts ...CampaignOption) (*Campaign, error) {
+	c := &Campaign{
+		families: gen.Families(),
+		regimes:  gen.Regimes(),
+		engines:  []string{"sim"},
+		seed:     1,
+		seeds:    16,
+		repeats:  1,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("cliffedge: nil CampaignOption")
+		}
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WithTopologies restricts the sweep to the named topology families
+// (gen registry names: grid, ring, er, smallworld, scalefree, datacenter).
+func WithTopologies(names ...string) CampaignOption {
+	return func(c *Campaign) error {
+		if len(names) == 0 {
+			return fmt.Errorf("cliffedge: WithTopologies needs at least one family")
+		}
+		c.families = c.families[:0]
+		for _, name := range names {
+			f, ok := gen.FamilyByName(name)
+			if !ok {
+				return fmt.Errorf("cliffedge: unknown topology family %q (have %s)",
+					name, strings.Join(gen.FamilyNames(), ", "))
+			}
+			c.families = append(c.families, f)
+		}
+		return nil
+	}
+}
+
+// WithRegimes restricts the sweep to the named fault regimes
+// (gen registry names: quiescent, overlapping, midprotocol).
+func WithRegimes(names ...string) CampaignOption {
+	return func(c *Campaign) error {
+		if len(names) == 0 {
+			return fmt.Errorf("cliffedge: WithRegimes needs at least one regime")
+		}
+		c.regimes = c.regimes[:0]
+		for _, name := range names {
+			r, ok := gen.RegimeByName(name)
+			if !ok {
+				return fmt.Errorf("cliffedge: unknown fault regime %q (have %s)",
+					name, strings.Join(gen.RegimeNames(), ", "))
+			}
+			c.regimes = append(c.regimes, r)
+		}
+		return nil
+	}
+}
+
+// WithCampaignEngines selects the engines to sweep: "sim" (deterministic
+// simulator, the default) and/or "live" (goroutine-per-node runtime).
+func WithCampaignEngines(names ...string) CampaignOption {
+	return func(c *Campaign) error {
+		if len(names) == 0 {
+			return fmt.Errorf("cliffedge: WithCampaignEngines needs at least one engine")
+		}
+		c.engines = c.engines[:0]
+		for _, name := range names {
+			if name != "sim" && name != "live" {
+				return fmt.Errorf("cliffedge: unknown campaign engine %q (have sim, live)", name)
+			}
+			c.engines = append(c.engines, name)
+		}
+		return nil
+	}
+}
+
+// WithSeedRange sweeps seeds start, start+1, …, start+n−1. Each seed names
+// one workload (topology draw plus fault plan) per cell.
+func WithSeedRange(start int64, n int) CampaignOption {
+	return func(c *Campaign) error {
+		if n < 1 {
+			return fmt.Errorf("cliffedge: seed range needs n ≥ 1, got %d", n)
+		}
+		c.seed, c.seeds = start, n
+		return nil
+	}
+}
+
+// WithRepeats runs every workload n times. Attempts of a deterministic sim
+// cell must reproduce identical outcomes (agreement rate 1.0); attempts of
+// a live cell sample the Go scheduler, which is what the cross-run
+// agreement rate of racy regimes measures.
+func WithRepeats(n int) CampaignOption {
+	return func(c *Campaign) error {
+		if n < 1 {
+			return fmt.Errorf("cliffedge: repeats must be ≥ 1, got %d", n)
+		}
+		c.repeats = n
+		return nil
+	}
+}
+
+// WithWorkers sets the worker-pool size (default GOMAXPROCS). Each worker
+// executes one run at a time; runs themselves stay single-threaded.
+func WithWorkers(n int) CampaignOption {
+	return func(c *Campaign) error {
+		if n < 1 {
+			return fmt.Errorf("cliffedge: workers must be ≥ 1, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithClusterOptions applies extra Cluster options (latency bands,
+// propose/pick functions, live timeouts, event budgets, …) to every run of
+// the campaign. Settings the campaign controls itself — the seed, the
+// engine of each cell, trace buffering and CD1–CD7 checking (the campaign
+// always runs its own online checker and counts violations per run) — are
+// applied after these options and override them, so a stray WithSeed,
+// WithEngine or WithChecker here cannot silently change what a cell
+// measures.
+func WithClusterOptions(opts ...Option) CampaignOption {
+	return func(c *Campaign) error {
+		for _, o := range opts {
+			if o == nil {
+				return fmt.Errorf("cliffedge: nil Option in WithClusterOptions")
+			}
+		}
+		c.copts = append(c.copts, opts...)
+		return nil
+	}
+}
+
+// cells expands the configured grid.
+func (c *Campaign) cells() []campaign.CellKey {
+	var out []campaign.CellKey
+	for _, f := range c.families {
+		for _, r := range c.regimes {
+			for _, e := range c.engines {
+				out = append(out, campaign.CellKey{Topology: f.Name, Regime: r.Name, Engine: e})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the campaign. The returned report is complete when err is
+// nil and partial when ctx was cancelled; every run that started is
+// reflected either way.
+func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
+	jobs := campaign.Grid(c.cells(), c.seed, c.seeds, c.repeats)
+	runner := &campaign.Runner{Workers: c.workers, Run: func(j campaign.Job) campaign.RunStats {
+		return c.runJob(ctx, j)
+	}}
+	return runner.Execute(ctx, jobs)
+}
+
+// runJob executes one campaign run: draw the workload from the seed, run
+// it on the cell's engine with the online CD1–CD7 checker and constant-
+// memory observers attached, and summarise into a RunStats.
+func (c *Campaign) runJob(ctx context.Context, job campaign.Job) campaign.RunStats {
+	fam, _ := gen.FamilyByName(job.Cell.Topology)
+	reg, _ := gen.RegimeByName(job.Cell.Regime)
+	rng := rand.New(rand.NewSource(job.Seed))
+	topo, _ := fam.New(rng)
+	waves := reg.Plan(rng, topo)
+	if len(waves) == 0 {
+		return campaign.RunStats{Skipped: true}
+	}
+
+	online := check.NewOnline(topo)
+	// Decision latency, streamed in O(1): each decision's lag is measured
+	// against the most recent preceding crash (so multi-wave plans report
+	// per-wave convergence, not the artificial inter-wave spacing), and
+	// the run keeps the slowest lag.
+	lastCrash, maxLag := int64(-1), int64(-1)
+	engine := Sim()
+	if job.Cell.Engine == "live" {
+		engine = Live()
+	}
+	opts := append(append([]Option(nil), c.copts...),
+		// The campaign's own settings come last so that stray
+		// WithSeed/WithEngine/WithChecker values in WithClusterOptions
+		// cannot change what a cell measures (see WithClusterOptions).
+		WithSeed(job.Seed),
+		WithoutTraceBuffer(),
+		WithEngine(engine),
+		withoutChecker(),
+		WithObserver(func(e Event) {
+			online.Observe(e)
+			switch e.Kind {
+			case EventCrash:
+				lastCrash = e.Time
+			case EventDecide:
+				if lag := e.Time - lastCrash; lastCrash >= 0 && lag > maxLag {
+					maxLag = lag
+				}
+			}
+		}),
+	)
+	cl, err := New(topo, opts...)
+	if err != nil {
+		return campaign.RunStats{Err: err.Error()}
+	}
+
+	var res *Result
+	if job.Cell.Engine == "live" && reg.Racing {
+		res, err = runRacingLive(ctx, cl, waves, job.Seed*1315423911+int64(job.Attempt))
+	} else {
+		plan := NewPlan()
+		for _, w := range waves {
+			plan.At(w.Time).Crash(w.Crash...)
+		}
+		res, err = cl.Run(ctx, plan)
+	}
+	if err != nil {
+		return campaign.RunStats{Err: err.Error()}
+	}
+	return summarize(topo, res, online, maxLag)
+}
+
+// withoutChecker disables Cluster-level CD1–CD7 checking. The campaign
+// verifies every run through its own check.Online observer and *counts*
+// violations per run; the Cluster checker would instead turn a violation
+// into a run error, conflating the report's error and violation columns.
+func withoutChecker() Option {
+	return func(c *Cluster) error { c.checked = false; return nil }
+}
+
+// runRacingLive injects the plan's waves into a live runtime without
+// waiting for quiescence in between — later waves race into agreements
+// still in flight, the regime the quiescence-separated Live engine cannot
+// express and the pointwise differential oracle must exclude. It shares
+// the engine's runtime plumbing (runLiveWaves with the barrier off); a
+// short jittered pause between waves (seeded per attempt) varies how far
+// each agreement gets before the next wave lands.
+func runRacingLive(ctx context.Context, c *Cluster, waves []gen.Wave, jitterSeed int64) (*Result, error) {
+	jitter := rand.New(rand.NewSource(jitterSeed))
+	lw := make([]liveWave, len(waves))
+	for i, w := range waves {
+		lw[i] = liveWave{crash: w.Crash}
+	}
+	return runLiveWaves(ctx, c, false, lw, false, func(int) {
+		time.Sleep(time.Duration(jitter.Intn(500)) * time.Microsecond)
+	})
+}
+
+// summarize folds a finished run into the constant-size RunStats the
+// aggregator consumes.
+func summarize(topo *Topology, res *Result, online *check.Online, maxLag int64) campaign.RunStats {
+	crashed := graph.NewBitset(topo.Len())
+	for n := range res.Crashed {
+		crashed.Set(topo.Index(n))
+	}
+	domains := region.Domains(topo, crashed)
+	border := 0
+	for _, d := range domains {
+		border += d.BorderLen()
+	}
+
+	s := campaign.RunStats{
+		Nodes:      topo.Len(),
+		Crashed:    len(res.Crashed),
+		Border:     border,
+		Domains:    len(domains),
+		Decisions:  len(res.Decisions),
+		Messages:   res.Stats.Messages,
+		Deliveries: res.Stats.Deliveries,
+		Bytes:      res.Stats.Bytes,
+		Violations: len(online.Report().Violations),
+	}
+	s.DecideLatency = maxLag
+	var fp strings.Builder
+	for i, d := range res.Decisions {
+		if i > 0 {
+			fp.WriteByte(';')
+		}
+		fmt.Fprintf(&fp, "%s→{%s}=%s", d.Node, d.View.Key(), d.Value)
+	}
+	s.Fingerprint = fp.String()
+	return s
+}

@@ -1,0 +1,199 @@
+package cliffedge
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCampaignSim: a small sim sweep must be healthy — zero violations,
+// zero errors — and, because the simulator is deterministic, every
+// repeated workload must reproduce its outcome exactly (agreement 1.0).
+func TestCampaignSim(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	camp, err := NewCampaign(
+		WithTopologies("grid", "datacenter"),
+		WithRegimes("quiescent", "midprotocol"),
+		WithSeedRange(1, seeds),
+		WithRepeats(2),
+		WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unhealthy campaign: %v", err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Runs != seeds*2 {
+			t.Errorf("cell %s: %d runs, want %d", c.Cell, c.Runs, seeds*2)
+		}
+		if c.AgreementRate != 1.0 {
+			t.Errorf("cell %s: sim agreement %v, want 1.0 (determinism broken)", c.Cell, c.AgreementRate)
+		}
+		if c.MeanDecisions == 0 {
+			t.Errorf("cell %s: no decisions anywhere", c.Cell)
+		}
+		if c.LatencyMax <= 0 {
+			t.Errorf("cell %s: latency max %d, want > 0", c.Cell, c.LatencyMax)
+		}
+	}
+	if rep.Totals.Runs != 4*seeds*2 {
+		t.Errorf("totals: %d runs, want %d", rep.Totals.Runs, 4*seeds*2)
+	}
+}
+
+// TestCampaignLive: live cells — including the racing mid-protocol path —
+// must pass the online CD1–CD7 checker in every run. Agreement may
+// legitimately be below 1.0 for racy regimes; safety may not.
+func TestCampaignLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live campaign in -short mode")
+	}
+	camp, err := NewCampaign(
+		WithTopologies("grid"),
+		WithRegimes("quiescent", "midprotocol"),
+		WithCampaignEngines("live"),
+		WithSeedRange(1, 2),
+		WithRepeats(2),
+		WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Violations != 0 {
+		t.Fatalf("live campaign produced %d property violations", rep.Totals.Violations)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("live campaign produced %d run errors", rep.Totals.Errors)
+	}
+	for _, c := range rep.Cells {
+		if c.AgreementRate <= 0 || c.AgreementRate > 1 {
+			t.Errorf("cell %s: agreement rate %v outside (0, 1]", c.Cell, c.AgreementRate)
+		}
+	}
+}
+
+// TestCampaignSimLiveSameWorkload: sim and live cells of the same
+// (family, regime, seed) execute the identical workload — their crash
+// footprints must match (decisions may differ only in racy regimes).
+func TestCampaignSimLiveSameWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live campaign in -short mode")
+	}
+	camp, err := NewCampaign(
+		WithTopologies("ring"),
+		WithRegimes("quiescent"),
+		WithCampaignEngines("sim", "live"),
+		WithSeedRange(7, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sim := rep.CellByKey(CampaignCellKey{Topology: "ring", Regime: "quiescent", Engine: "sim"})
+	live := rep.CellByKey(CampaignCellKey{Topology: "ring", Regime: "quiescent", Engine: "live"})
+	if sim == nil || live == nil {
+		t.Fatal("missing sim or live cell")
+	}
+	if sim.MeanCrashed != live.MeanCrashed || sim.MeanNodes != live.MeanNodes || sim.MeanBorder != live.MeanBorder {
+		t.Fatalf("sim and live cells ran different workloads:\nsim:  %+v\nlive: %+v", sim, live)
+	}
+	// Quiescent plans are interleaving-independent: identical decisions.
+	if sim.MeanDecisions != live.MeanDecisions {
+		t.Fatalf("quiescent decisions diverge: sim %v, live %v", sim.MeanDecisions, live.MeanDecisions)
+	}
+}
+
+// TestCampaignClusterOptionOverride: options the campaign controls itself
+// (engine, seed, checker) must be overridden per cell even when smuggled
+// in through WithClusterOptions — a sim cell stays deterministic (its
+// agreement rate 1.0 guarantee would silently break on the live engine),
+// and a user WithChecker must not turn violations into run errors.
+func TestCampaignClusterOptionOverride(t *testing.T) {
+	camp, err := NewCampaign(
+		WithTopologies("grid"),
+		WithRegimes("quiescent"),
+		WithSeedRange(1, 2),
+		WithRepeats(2),
+		WithClusterOptions(WithEngine(Live()), WithChecker(), WithSeed(999)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unhealthy campaign: %v", err)
+	}
+	c := rep.CellByKey(CampaignCellKey{Topology: "grid", Regime: "quiescent", Engine: "sim"})
+	if c == nil {
+		t.Fatal("sim cell missing")
+	}
+	if c.Errors != 0 {
+		t.Fatalf("cluster options leaked: %d run errors", c.Errors)
+	}
+	if c.AgreementRate != 1.0 {
+		t.Fatalf("sim cell lost determinism (agreement %v): engine override leaked", c.AgreementRate)
+	}
+}
+
+// TestCampaignCancellation: a cancelled context aborts the sweep with the
+// context's error.
+func TestCampaignCancellation(t *testing.T) {
+	camp, err := NewCampaign(WithSeedRange(1, 1000), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := camp.Run(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCampaignOptionValidation: unknown names and invalid ranges are
+// rejected at construction.
+func TestCampaignOptionValidation(t *testing.T) {
+	bad := []CampaignOption{
+		WithTopologies("hexagon"),
+		WithTopologies(),
+		WithRegimes("slowburn"),
+		WithRegimes(),
+		WithCampaignEngines("quantum"),
+		WithCampaignEngines(),
+		WithSeedRange(1, 0),
+		WithRepeats(0),
+		WithWorkers(0),
+		nil,
+	}
+	for i, opt := range bad {
+		if _, err := NewCampaign(opt); err == nil {
+			t.Errorf("option %d: invalid configuration accepted", i)
+		}
+	}
+	if _, err := NewCampaign(); err != nil {
+		t.Errorf("default campaign rejected: %v", err)
+	}
+}

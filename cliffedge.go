@@ -42,6 +42,12 @@
 // over huge topologies use memory proportional to the system, not to its
 // history.
 //
+// Above single runs, a [Campaign] (built with [NewCampaign]) sweeps a
+// grid of (topology family × fault regime × engine) cells over a seed
+// range across a worker pool and aggregates distributions: latency
+// percentiles, cost-vs-border locality fits, violation and cross-run
+// agreement rates.
+//
 // The original one-shot entry points ([Run], [RunChecked], [RunLive],
 // [RunPredicate]) remain as thin deprecated wrappers over Cluster + Plan +
 // Engine.

@@ -1,0 +1,127 @@
+// Command cliffedge-campaign runs a statistical sweep over many protocol
+// runs: a grid of (topology family × fault regime × engine) cells, each
+// over a seed range, executed across a worker pool. It prints a per-cell
+// summary table (latency percentiles, message/byte costs, violation and
+// cross-run agreement rates) plus the fitted locality slope — the paper's
+// headline claim, messages ∝ crashed-region border rather than system
+// size, checked as a regression over every run.
+//
+//	cliffedge-campaign -seeds 32 -repeats 3 -engines sim,live
+//	cliffedge-campaign -topos grid,er -regimes quiescent,midprotocol -seeds 8 -fail
+//	cliffedge-campaign -seeds 64 -json report.json -csv report.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"cliffedge"
+	"cliffedge/internal/gen"
+)
+
+func main() {
+	var (
+		topos   = flag.String("topos", "all", "comma-separated topology families ("+strings.Join(gen.FamilyNames(), ", ")+") or all")
+		regimes = flag.String("regimes", "all", "comma-separated fault regimes ("+strings.Join(gen.RegimeNames(), ", ")+") or all")
+		engines = flag.String("engines", "sim", "comma-separated engines (sim, live)")
+		seeds   = flag.Int("seeds", 16, "seeds per cell (each seed is one workload)")
+		seed0   = flag.Int64("seed-start", 1, "first seed of the range")
+		repeats = flag.Int("repeats", 1, "attempts per workload (repeats > 1 measure cross-run agreement)")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
+		jsonOut = flag.String("json", "", "write the JSON report to this file (- for stdout)")
+		csvOut  = flag.String("csv", "", "write the per-cell CSV to this file (- for stdout)")
+		quiet   = flag.Bool("quiet", false, "suppress the text summary")
+		fail    = flag.Bool("fail", false, "exit non-zero on any run error, property violation or zero-decision cell")
+	)
+	flag.Parse()
+
+	split := func(s string, all []string) []string {
+		if s == "all" {
+			return all
+		}
+		return strings.Split(s, ",")
+	}
+	opts := []cliffedge.CampaignOption{
+		cliffedge.WithTopologies(split(*topos, gen.FamilyNames())...),
+		cliffedge.WithRegimes(split(*regimes, gen.RegimeNames())...),
+		cliffedge.WithCampaignEngines(strings.Split(*engines, ",")...),
+		cliffedge.WithSeedRange(*seed0, *seeds),
+		cliffedge.WithRepeats(*repeats),
+	}
+	if *workers > 0 {
+		opts = append(opts, cliffedge.WithWorkers(*workers))
+	}
+	camp, err := cliffedge.NewCampaign(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	rep, runErr := camp.Run(ctx)
+	elapsed := time.Since(start)
+	if rep == nil {
+		fatal(runErr)
+	}
+
+	if !*quiet {
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("elapsed: %s (%.1f runs/s)\n", elapsed.Round(time.Millisecond),
+			float64(rep.Totals.Runs)/elapsed.Seconds())
+	}
+	if err := emit(*jsonOut, rep.WriteJSON); err != nil {
+		fatal(err)
+	}
+	if err := emit(*csvOut, rep.WriteCSV); err != nil {
+		fatal(err)
+	}
+	if runErr != nil {
+		fatal(fmt.Errorf("campaign aborted: %w", runErr))
+	}
+	if err := rep.Err(); err != nil {
+		if *fail {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "cliffedge-campaign: warning:", err)
+	}
+}
+
+// emit writes through fn to path ("" = skip, "-" = stdout).
+func emit(path string, fn func(io.Writer) error) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cliffedge-campaign:", err)
+	os.Exit(1)
+}

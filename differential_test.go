@@ -7,8 +7,7 @@ import (
 	"testing"
 	"time"
 
-	"cliffedge/internal/graph"
-	"cliffedge/internal/region"
+	"cliffedge/internal/gen"
 )
 
 // This file is the differential harness between the two engines: for many
@@ -20,159 +19,54 @@ import (
 // behaviour through refactors.
 //
 // Final decisions are only a scheduler-independent function of the plan
-// when the plan avoids ranking races, so the generator constrains itself
-// to the interleaving-independent family:
+// when the plan avoids ranking races, so the harness draws exclusively
+// from gen's "quiescent" regime — the interleaving-independent family:
 //
 //   - Waves are separated by quiescence in both engines (the live engine
 //     does this by construction; the simulator gets virtual-time gaps far
-//     larger than any convergence cascade).
+//     larger than any convergence cascade — gen.WaveSpacing).
 //   - After every wave, no alive node may border two distinct faulty
-//     domains. A node bordering two domains can accept only one of them,
-//     and which instance completes first depends on detection timing —
-//     the paper's arbitration keeps such runs safe (CD1–CD7 still hold),
-//     but not pointwise reproducible across schedulers.
+//     domains (gen.DisjointDomainBorders). A node bordering two domains
+//     can accept only one of them, and which instance completes first
+//     depends on detection timing — the paper's arbitration keeps such
+//     runs safe (CD1–CD7 still hold), but not pointwise reproducible
+//     across schedulers.
 //
 // Growth is allowed and exercised: a wave may extend an earlier domain,
 // including the deterministic blocked case where an earlier decider sits
 // on the grown region's border and the grown region therefore never
-// decides (in either engine).
-
-// diffWaveSpacing separates timed waves in simulator virtual time. With
-// latency bands of at most 10 ticks and test topologies of ≤ ~40 nodes, a
-// convergence cascade spans thousands of ticks at most; 2^20 ticks is
-// quiescence for every plan this harness generates.
-const diffWaveSpacing = 1 << 20
+// decides (in either engine). The racy regimes gen also provides
+// ("overlapping", "midprotocol") are deliberately excluded here; the
+// campaign subsystem covers them statistically via cross-run agreement
+// rates (see campaign.go).
 
 // diffTimeout bounds each live quiescence wait; generous because CI runs
 // this suite under the race detector.
 const diffTimeout = time.Minute
 
-// randomDiffTopology draws a small connected topology from the grid, ring
-// and random families (ISSUE 3 satellite: grid/ring/random coverage).
-func randomDiffTopology(rng *rand.Rand) (*Topology, string) {
-	switch rng.Intn(4) {
-	case 0:
-		r, c := 4+rng.Intn(3), 4+rng.Intn(3)
-		return Grid(r, c), fmt.Sprintf("grid-%dx%d", r, c)
-	case 1:
-		n := 14 + rng.Intn(12)
-		return Ring(n), fmt.Sprintf("ring-%d", n)
-	case 2:
-		n := 16 + rng.Intn(12)
-		seed := rng.Int63()
-		return ErdosRenyi(n, 0.12, seed), fmt.Sprintf("erdosrenyi-%d-seed%d", n, seed)
-	default:
-		n := 16 + rng.Intn(10)
-		seed := rng.Int63()
-		return SmallWorld(n, 4, 0.2, seed), fmt.Sprintf("smallworld-%d-seed%d", n, seed)
-	}
-}
-
-// randomBlob grows a connected set of up to size alive nodes from a random
-// alive start — the correlated-failure shape of the paper's workloads.
-func randomBlob(rng *rand.Rand, g *Topology, crashed graph.Bitset, size int) []int32 {
-	n := g.Len()
-	alive := make([]int32, 0, n)
-	for i := int32(0); i < int32(n); i++ {
-		if !crashed.Has(i) {
-			alive = append(alive, i)
-		}
-	}
-	if len(alive) == 0 {
-		return nil
-	}
-	blob := []int32{alive[rng.Intn(len(alive))]}
-	in := graph.NewBitset(n)
-	in.Set(blob[0])
-	for len(blob) < size {
-		var cands []int32
-		seen := graph.NewBitset(n)
-		for _, b := range blob {
-			for _, m := range g.NeighborIndices(b) {
-				if !in.Has(m) && !crashed.Has(m) && !seen.Has(m) {
-					seen.Set(m)
-					cands = append(cands, m)
-				}
-			}
-		}
-		if len(cands) == 0 {
-			break
-		}
-		pick := cands[rng.Intn(len(cands))]
-		blob = append(blob, pick)
-		in.Set(pick)
-	}
-	return blob
-}
-
-// disjointDomainBorders reports whether no alive node borders two distinct
-// faulty domains of the cumulative crashed set — the condition under which
-// final decisions are interleaving-independent (see the file comment).
-func disjointDomainBorders(g *Topology, crashed graph.Bitset) bool {
-	seen := graph.NewBitset(g.Len())
-	for _, dom := range region.Domains(g, crashed) {
-		for _, b := range dom.Border() {
-			bi := g.Index(b)
-			if seen.Has(bi) {
-				return false
-			}
-			seen.Set(bi)
-		}
-	}
-	return true
-}
-
-// randomDiffPlan draws 1–3 quiescence-separated crash waves subject to the
-// disjoint-borders condition, returning the plan and the waves (for
-// diagnostics). At least one wave always survives generation: a single
-// connected blob forms one domain, which satisfies the condition trivially.
-func randomDiffPlan(rng *rand.Rand, topo *Topology) (*Plan, [][]NodeID) {
-	crashed := graph.NewBitset(topo.Len())
-	var waves [][]NodeID
-	nWaves := 1 + rng.Intn(3)
-	for w := 0; w < nWaves; w++ {
-		for attempt := 0; attempt < 25; attempt++ {
-			blob := randomBlob(rng, topo, crashed, 1+rng.Intn(5))
-			if len(blob) == 0 {
-				break
-			}
-			trial := crashed.Clone()
-			for _, i := range blob {
-				trial.Set(i)
-			}
-			// Keep a survivor backbone so borders and deciders exist.
-			if topo.Len()-trial.Count() < 3 {
-				continue
-			}
-			if !disjointDomainBorders(topo, trial) {
-				continue
-			}
-			crashed = trial
-			ids := make([]NodeID, len(blob))
-			for k, i := range blob {
-				ids[k] = topo.ID(i)
-			}
-			waves = append(waves, ids)
-			break
-		}
-	}
-	plan := NewPlan()
-	for k, wave := range waves {
-		plan.At(int64(k+1) * diffWaveSpacing).Crash(wave...)
-	}
-	return plan, waves
-}
-
-// runDiffCase generates one (topology, plan) pair from seed and runs it on
-// both engines with the online checker enabled, requiring identical final
-// decisions.
+// runDiffCase draws one (topology, plan) pair from seed — a random gen
+// family plus a quiescent-regime plan — and runs it on both engines with
+// the online checker enabled, requiring identical final decisions.
 func runDiffCase(t *testing.T, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	topo, desc := randomDiffTopology(rng)
-	plan, waves := randomDiffPlan(rng, topo)
+	fams := gen.Families()
+	fam := fams[rng.Intn(len(fams))]
+	topo, desc := fam.New(rng)
+	regime, ok := gen.RegimeByName("quiescent")
+	if !ok {
+		t.Fatal("quiescent regime missing from gen registry")
+	}
+	waves := regime.Plan(rng, topo)
 	if len(waves) == 0 {
 		t.Fatalf("%s: generator produced no waves", desc)
+	}
+	if err := gen.Validate(topo, waves); err != nil {
+		t.Fatalf("%s: invalid plan: %v", desc, err)
+	}
+	plan := NewPlan()
+	for _, w := range waves {
+		plan.At(w.Time).Crash(w.Crash...)
 	}
 	ctx := context.Background()
 

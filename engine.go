@@ -77,23 +77,52 @@ func (liveEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	return runLiveWaves(ctx, c, plan.hasMarks(), waves, true, nil)
+}
+
+// runLiveWaves executes injection waves on a fresh live runtime. With
+// barrier true, every wave lands only after the previous one went
+// quiescent — the Live engine's contract. With barrier false the waves
+// race into agreements still in flight (the campaign's mid-protocol
+// regime), with pause called between consecutive waves to vary how far
+// each agreement gets; quiescence is awaited only once, at the end. Both
+// paths share the runtime setup, mark injection and checker plumbing, so
+// racing injection cannot drift from the engine's behaviour.
+func runLiveWaves(ctx context.Context, c *Cluster, marks bool, waves []liveWave, barrier bool, pause func(wave int)) (*Result, error) {
 	online, observer := c.instrument()
-	rt := livenet.NewRuntime(c.topo, c.factory(plan.hasMarks()),
+	rt := livenet.NewRuntime(c.topo, c.factory(marks),
 		livenet.Options{Observer: observer, DiscardEvents: c.noBuffer})
 	defer rt.Stop()
 	if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
 		return nil, err
 	}
-	for _, w := range waves {
+	for i, w := range waves {
 		rt.CrashAll(w.crash...)
 		for _, n := range w.mark {
 			rt.Inject(n, predicate.Mark{})
 		}
+		switch {
+		case barrier:
+			if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
+				return nil, err
+			}
+		case pause != nil && i < len(waves)-1:
+			pause(i)
+		}
+	}
+	if !barrier {
 		if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
 			return nil, err
 		}
 	}
 	rt.Stop()
+	return finish(liveResult(rt), online)
+}
+
+// liveResult assembles the public Result of a stopped live runtime, with
+// decisions sorted by node. Shared by the Live engine and the campaign
+// runner's racing-injection path.
+func liveResult(rt *livenet.Runtime) *Result {
 	res := rt.Result()
 	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
 	ids := make([]NodeID, 0, len(res.Decisions))
@@ -106,5 +135,5 @@ func (liveEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, err
 		out.Decisions = append(out.Decisions,
 			Decision{Node: id, View: d.View, Value: d.Value})
 	}
-	return finish(out, online)
+	return out
 }

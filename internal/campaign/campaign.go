@@ -1,0 +1,156 @@
+// Package campaign runs statistical sweeps over many independent protocol
+// runs: a worker pool executes a grid of (cell × seed × attempt) jobs
+// across GOMAXPROCS workers and streams each run's constant-memory summary
+// into an Aggregator, which computes per-cell statistics — decision
+// latency percentiles, message and byte costs against crashed-region and
+// border sizes (the paper's locality claim, checkable as a fitted slope),
+// property-violation rates, and cross-run agreement rates for the racy
+// regimes the pointwise sim-vs-live differential oracle must exclude.
+//
+// The package is deliberately execution-agnostic: a Job names a workload,
+// and the caller's Run function turns it into a RunStats. The public
+// cliffedge.Campaign binds jobs to Cluster/Engine runs; tests bind them to
+// synthetic functions. Each individual run stays single-threaded (the
+// deterministic kernel's contract); parallelism lives entirely across
+// runs, which is the cheapest way to use every core.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// CellKey identifies one cell of a campaign grid: a topology family, a
+// fault regime and an engine. All runs of a cell differ only in seed and
+// attempt.
+type CellKey struct {
+	Topology string `json:"topology"`
+	Regime   string `json:"regime"`
+	Engine   string `json:"engine"`
+}
+
+func (k CellKey) String() string {
+	return k.Topology + "/" + k.Regime + "/" + k.Engine
+}
+
+// less orders cells for stable reports.
+func (k CellKey) less(o CellKey) bool {
+	if k.Topology != o.Topology {
+		return k.Topology < o.Topology
+	}
+	if k.Regime != o.Regime {
+		return k.Regime < o.Regime
+	}
+	return k.Engine < o.Engine
+}
+
+// Job is one run of a campaign: a cell, the seed that determines its
+// workload (topology and fault plan), and the attempt number. Attempts
+// repeat the identical workload; for deterministic engines they must
+// reproduce the same outcome, for live engines they sample the scheduler,
+// which is what the cross-run agreement rate measures.
+type Job struct {
+	Cell    CellKey
+	Seed    int64
+	Attempt int
+}
+
+// RunStats is the constant-size summary one run streams back into the
+// aggregator. It is produced by streaming observers — never by retaining
+// the trace — so memory per in-flight run is bounded by the topology.
+type RunStats struct {
+	// Err is the run error, if any ("" on success). Errored runs are
+	// counted but contribute no statistics.
+	Err string
+	// Skipped marks jobs whose generator produced no usable workload.
+	Skipped bool
+	// Violations counts CD1–CD7 checker violations (0 on a correct run).
+	Violations int
+
+	Nodes      int // system size |Π|
+	Crashed    int // total crashed nodes at the end of the run
+	Border     int // total border size over the final faulty domains
+	Domains    int // number of final faulty domains
+	Decisions  int
+	Messages   int
+	Deliveries int
+	Bytes      int
+	// DecideLatency is the run's slowest decision lag — each decision
+	// measured against the most recent preceding crash, so multi-wave
+	// plans report per-wave convergence rather than inter-wave spacing —
+	// in engine time units (virtual ticks for the simulator, logical
+	// event ticks for the live runtime); -1 when the run decided nothing.
+	DecideLatency int64
+	// Fingerprint canonically encodes the run's decision outcome (who
+	// decided which view with which value); runs of the same workload
+	// agree exactly when their fingerprints match.
+	Fingerprint string
+}
+
+// Grid expands cells × seeds × attempts into the job list of a campaign,
+// in deterministic order.
+func Grid(cells []CellKey, seedStart int64, seeds, attempts int) []Job {
+	jobs := make([]Job, 0, len(cells)*seeds*attempts)
+	for _, c := range cells {
+		for s := 0; s < seeds; s++ {
+			for a := 0; a < attempts; a++ {
+				jobs = append(jobs, Job{Cell: c, Seed: seedStart + int64(s), Attempt: a})
+			}
+		}
+	}
+	return jobs
+}
+
+// Runner executes campaign jobs across a worker pool.
+type Runner struct {
+	// Workers is the pool size; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Run executes one job. It must be safe for concurrent use: the pool
+	// calls it from Workers goroutines at once.
+	Run func(Job) RunStats
+}
+
+// Execute runs every job through the pool and aggregates the results.
+// Cancelling ctx stops dispatch; Execute then drains in-flight runs and
+// returns the partial report alongside ctx's error.
+func (r *Runner) Execute(ctx context.Context, jobs []Job) (*Report, error) {
+	if r.Run == nil {
+		return nil, fmt.Errorf("campaign: Runner.Run is required")
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+
+	agg := NewAggregator()
+	feed := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				agg.Add(job, r.Run(job))
+			}
+		}()
+	}
+
+	var err error
+dispatch:
+	for _, job := range jobs {
+		select {
+		case feed <- job:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+	return agg.Report(), err
+}

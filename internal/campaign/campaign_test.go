@@ -1,0 +1,265 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+var (
+	simCell  = CellKey{Topology: "grid", Regime: "quiescent", Engine: "sim"}
+	liveCell = CellKey{Topology: "grid", Regime: "midprotocol", Engine: "live"}
+)
+
+// TestGridExpansion: the job list covers the full cross product in
+// deterministic order.
+func TestGridExpansion(t *testing.T) {
+	jobs := Grid([]CellKey{simCell, liveCell}, 100, 3, 2)
+	if len(jobs) != 2*3*2 {
+		t.Fatalf("got %d jobs, want 12", len(jobs))
+	}
+	if jobs[0] != (Job{Cell: simCell, Seed: 100, Attempt: 0}) {
+		t.Fatalf("unexpected first job %+v", jobs[0])
+	}
+	if jobs[len(jobs)-1] != (Job{Cell: liveCell, Seed: 102, Attempt: 1}) {
+		t.Fatalf("unexpected last job %+v", jobs[len(jobs)-1])
+	}
+}
+
+// TestPoolRunsEveryJobOnce: every job executes exactly once, and the
+// concurrency high-water mark never exceeds the worker count.
+func TestPoolRunsEveryJobOnce(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[Job]int)
+	var inFlight, high atomic.Int32
+	r := &Runner{Workers: 4, Run: func(j Job) RunStats {
+		cur := inFlight.Add(1)
+		for {
+			h := high.Load()
+			if cur <= h || high.CompareAndSwap(h, cur) {
+				break
+			}
+		}
+		mu.Lock()
+		seen[j]++
+		mu.Unlock()
+		inFlight.Add(-1)
+		return RunStats{Nodes: 10, Decisions: 1, DecideLatency: 5, Fingerprint: "x"}
+	}}
+	jobs := Grid([]CellKey{simCell}, 0, 20, 2)
+	rep, err := r.Execute(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("saw %d distinct jobs, want %d", len(seen), len(jobs))
+	}
+	for j, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %+v ran %d times", j, n)
+		}
+	}
+	if h := high.Load(); h > 4 {
+		t.Fatalf("concurrency high-water %d exceeds 4 workers", h)
+	}
+	if rep.Totals.Runs != len(jobs) {
+		t.Fatalf("report counts %d runs, want %d", rep.Totals.Runs, len(jobs))
+	}
+}
+
+// TestPoolCancellation: cancelling the context stops dispatch and returns
+// the context error with a partial report.
+func TestPoolCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	r := &Runner{Workers: 1, Run: func(j Job) RunStats {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return RunStats{Nodes: 1, Decisions: 1, Fingerprint: "x"}
+	}}
+	rep, err := r.Execute(ctx, Grid([]CellKey{simCell}, 0, 1000, 1))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := int(ran.Load()); n >= 1000 {
+		t.Fatalf("dispatch did not stop: %d jobs ran", n)
+	}
+	if rep == nil || rep.Totals.Runs == 0 {
+		t.Fatal("expected a partial report")
+	}
+}
+
+// TestAggregation: means, percentiles and violation counters come out
+// right for hand-computable inputs.
+func TestAggregation(t *testing.T) {
+	agg := NewAggregator()
+	lat := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for i, l := range lat {
+		agg.Add(Job{Cell: simCell, Seed: int64(i)}, RunStats{
+			Nodes: 100, Crashed: 4, Border: 8, Domains: 1,
+			Decisions: 8, Messages: 200, Bytes: 4000,
+			DecideLatency: l, Fingerprint: "same",
+		})
+	}
+	agg.Add(Job{Cell: simCell, Seed: 99}, RunStats{Err: "boom"})
+	agg.Add(Job{Cell: simCell, Seed: 98}, RunStats{Skipped: true})
+	rep := agg.Report()
+	c := rep.CellByKey(simCell)
+	if c == nil {
+		t.Fatal("cell missing from report")
+	}
+	if c.Runs != 11 || c.Errors != 1 || c.Skipped != 1 {
+		t.Fatalf("runs/errors/skipped = %d/%d/%d", c.Runs, c.Errors, c.Skipped)
+	}
+	if c.MeanMsgs != 200 || c.MeanBorder != 8 || c.MeanNodes != 100 {
+		t.Fatalf("means off: msgs=%v border=%v nodes=%v", c.MeanMsgs, c.MeanBorder, c.MeanNodes)
+	}
+	if c.LatencyP50 != 50 || c.LatencyP90 != 90 || c.LatencyP99 != 100 || c.LatencyMax != 100 {
+		t.Fatalf("percentiles off: %d/%d/%d/%d", c.LatencyP50, c.LatencyP90, c.LatencyP99, c.LatencyMax)
+	}
+	if c.AgreementRate != 1.0 {
+		t.Fatalf("agreement = %v, want 1.0", c.AgreementRate)
+	}
+}
+
+// TestAgreementRate: disagreeing attempts of the same seed lower the rate;
+// attempts of different seeds never compare with each other.
+func TestAgreementRate(t *testing.T) {
+	agg := NewAggregator()
+	// Seed 1: 3 attempts, outcomes x, x, y → 2/3.
+	for i, fp := range []string{"x", "x", "y"} {
+		agg.Add(Job{Cell: liveCell, Seed: 1, Attempt: i},
+			RunStats{Nodes: 10, Decisions: 1, DecideLatency: 1, Fingerprint: fp})
+	}
+	// Seed 2: 3 attempts, all different outcomes → 1/3 (seed 1's "x"
+	// appearing again here must not matter).
+	for i, fp := range []string{"x", "q", "r"} {
+		agg.Add(Job{Cell: liveCell, Seed: 2, Attempt: i},
+			RunStats{Nodes: 10, Decisions: 1, DecideLatency: 1, Fingerprint: fp})
+	}
+	rep := agg.Report()
+	c := rep.CellByKey(liveCell)
+	want := (2.0/3.0 + 1.0/3.0) / 2
+	if diff := c.AgreementRate - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("agreement = %v, want %v", c.AgreementRate, want)
+	}
+}
+
+// TestLocalityFit: a synthetic point cloud generated from a known linear
+// law must be recovered by the regression.
+func TestLocalityFit(t *testing.T) {
+	agg := NewAggregator()
+	i := 0
+	for border := 4; border <= 20; border += 4 {
+		for nodes := 50; nodes <= 250; nodes += 50 {
+			msgs := 7 + 30*border // independent of nodes by construction
+			agg.Add(Job{Cell: simCell, Seed: int64(i)}, RunStats{
+				Nodes: nodes, Border: border, Crashed: border / 2,
+				Decisions: 1, Messages: msgs, Bytes: 100 * border,
+				DecideLatency: 1, Fingerprint: fmt.Sprint(i),
+			})
+			i++
+		}
+	}
+	fit := agg.Report().Locality
+	if !fit.OK {
+		t.Fatal("fit degenerate")
+	}
+	approx := func(got, want, tol float64) bool { return got > want-tol && got < want+tol }
+	if !approx(fit.BorderSlope, 30, 0.01) {
+		t.Fatalf("border slope = %v, want 30", fit.BorderSlope)
+	}
+	if !approx(fit.SizeSlope, 0, 0.01) {
+		t.Fatalf("size slope = %v, want 0", fit.SizeSlope)
+	}
+	if !approx(fit.Intercept, 7, 0.1) {
+		t.Fatalf("intercept = %v, want 7", fit.Intercept)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R² = %v, want ≈1", fit.R2)
+	}
+	if !approx(fit.BytesPerBorder, 100, 0.01) {
+		t.Fatalf("bytes/border = %v, want 100", fit.BytesPerBorder)
+	}
+}
+
+// TestReportErr: violations, run errors and dead cells make the health
+// check fail; a clean report passes.
+func TestReportErr(t *testing.T) {
+	clean := NewAggregator()
+	clean.Add(Job{Cell: simCell, Seed: 1}, RunStats{Nodes: 5, Decisions: 2, DecideLatency: 1, Fingerprint: "x"})
+	if err := clean.Report().Err(); err != nil {
+		t.Fatalf("clean report unhealthy: %v", err)
+	}
+
+	viol := NewAggregator()
+	viol.Add(Job{Cell: simCell, Seed: 1}, RunStats{Nodes: 5, Decisions: 2, DecideLatency: 1, Violations: 3, Fingerprint: "x"})
+	if err := viol.Report().Err(); err == nil || !strings.Contains(err.Error(), "violations") {
+		t.Fatalf("violations not reported: %v", err)
+	}
+
+	dead := NewAggregator()
+	dead.Add(Job{Cell: liveCell, Seed: 1}, RunStats{Nodes: 5, Fingerprint: ""})
+	dead.Add(Job{Cell: liveCell, Seed: 2}, RunStats{Nodes: 5, Fingerprint: ""})
+	if err := dead.Report().Err(); err == nil || !strings.Contains(err.Error(), "decided nothing") {
+		t.Fatalf("zero-decision cell not reported: %v", err)
+	}
+
+	errs := NewAggregator()
+	errs.Add(Job{Cell: simCell, Seed: 1}, RunStats{Err: "boom"})
+	if err := errs.Report().Err(); err == nil || !strings.Contains(err.Error(), "run errors") {
+		t.Fatalf("run errors not reported: %v", err)
+	}
+}
+
+// TestWriters: JSON round-trips, CSV has a row per cell, text mentions the
+// locality fit.
+func TestWriters(t *testing.T) {
+	agg := NewAggregator()
+	for i := 0; i < 5; i++ {
+		agg.Add(Job{Cell: simCell, Seed: int64(i)}, RunStats{
+			Nodes: 30 + i, Crashed: 2, Border: 4 + i, Domains: 1,
+			Decisions: 4, Messages: 100 + 10*i, Bytes: 900, DecideLatency: int64(10 + i),
+			Fingerprint: "x",
+		})
+	}
+	rep := agg.Report()
+
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != 1 || back.Cells[0].Cell != simCell || back.Totals.Runs != 5 {
+		t.Fatalf("JSON round-trip mangled the report: %+v", back)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 cell", len(lines))
+	}
+	if got, want := len(strings.Split(lines[1], ",")), len(csvHeader); got != want {
+		t.Fatalf("CSV row has %d fields, want %d", got, want)
+	}
+
+	var txtBuf bytes.Buffer
+	if err := rep.WriteText(&txtBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txtBuf.String(), "locality fit") {
+		t.Fatalf("text summary missing locality fit:\n%s", txtBuf.String())
+	}
+}

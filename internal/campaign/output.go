@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON emits the report as indented JSON — the machine-readable
+// interchange form for external analysis and plotting.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader is the column set of WriteCSV, one row per cell.
+var csvHeader = []string{
+	"topology", "regime", "engine",
+	"runs", "errors", "skipped", "violations", "zero_decision_runs",
+	"mean_nodes", "mean_crashed", "mean_border", "mean_domains",
+	"mean_decisions", "mean_msgs", "mean_bytes",
+	"latency_p50", "latency_p90", "latency_p99", "latency_max",
+	"agreement_rate",
+}
+
+// WriteCSV emits one row per cell, suitable for spreadsheet import.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+	for _, c := range r.Cells {
+		row := []string{
+			c.Cell.Topology, c.Cell.Regime, c.Cell.Engine,
+			strconv.Itoa(c.Runs), strconv.Itoa(c.Errors), strconv.Itoa(c.Skipped),
+			strconv.Itoa(c.Violations), strconv.Itoa(c.ZeroDecisionRuns),
+			f(c.MeanNodes), f(c.MeanCrashed), f(c.MeanBorder), f(c.MeanDomains),
+			f(c.MeanDecisions), f(c.MeanMsgs), f(c.MeanBytes),
+			strconv.FormatInt(c.LatencyP50, 10), strconv.FormatInt(c.LatencyP90, 10),
+			strconv.FormatInt(c.LatencyP99, 10), strconv.FormatInt(c.LatencyMax, 10),
+			strconv.FormatFloat(c.AgreementRate, 'f', 3, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText emits the human-readable summary: a Markdown cell table
+// followed by the locality-slope verdict.
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("| cell | runs | err | viol | nodes | crashed | border | decisions | msgs | bytes | lat p50/p90/p99 | agreement |\n" +
+		"|------|-----:|----:|-----:|------:|--------:|-------:|----------:|-----:|------:|----------------:|----------:|\n"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if err := p("| %s | %d | %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.0f | %d/%d/%d | %.3f |\n",
+			c.Cell, c.Runs, c.Errors, c.Violations,
+			c.MeanNodes, c.MeanCrashed, c.MeanBorder, c.MeanDecisions,
+			c.MeanMsgs, c.MeanBytes,
+			c.LatencyP50, c.LatencyP90, c.LatencyP99, c.AgreementRate); err != nil {
+			return err
+		}
+	}
+	if err := p("\ntotals: %d runs, %d errors, %d skipped, %d violations, %d decisions\n",
+		r.Totals.Runs, r.Totals.Errors, r.Totals.Skipped, r.Totals.Violations,
+		r.Totals.Decisions); err != nil {
+		return err
+	}
+	l := r.Locality
+	if !l.OK {
+		return p("locality fit: undefined (%d points, degenerate spread)\n", l.Points)
+	}
+	return p("locality fit over %d runs: msgs ≈ %.1f + %.1f·border + %.2f·nodes (R²=%.3f), bytes/border=%.0f\n"+
+		"  cost ∝ failure border, not system size: border slope %.1f msgs/node vs size slope %.2f msgs/node\n",
+		l.Points, l.Intercept, l.BorderSlope, l.SizeSlope, l.R2, l.BytesPerBorder,
+		l.BorderSlope, l.SizeSlope)
+}

@@ -1,0 +1,356 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Aggregator folds RunStats into per-cell statistics and a global
+// locality-fit point cloud. It is safe for concurrent Add calls (the
+// worker pool feeds it directly); memory is O(cells × seeds), never
+// O(trace).
+type Aggregator struct {
+	mu    sync.Mutex
+	cells map[CellKey]*cellAgg
+	// points feeds the locality regression: one (border, nodes, msgs,
+	// bytes) sample per successful run.
+	points []localityPoint
+}
+
+type localityPoint struct {
+	border, nodes float64
+	msgs, bytes   float64
+}
+
+type cellAgg struct {
+	runs, errs, skipped, violations int
+	zeroDecision                    int
+	latencies                       []int64
+	nodes, crashed, border, domains int64
+	decisions, msgs, bytes          int64
+	// outcomes groups fingerprints per seed: outcomes[seed][fingerprint]
+	// counts attempts, the raw material of the cross-run agreement rate.
+	outcomes map[int64]map[string]int
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{cells: make(map[CellKey]*cellAgg)}
+}
+
+// Add folds one run into the aggregate.
+func (a *Aggregator) Add(job Job, s RunStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.cells[job.Cell]
+	if c == nil {
+		c = &cellAgg{outcomes: make(map[int64]map[string]int)}
+		a.cells[job.Cell] = c
+	}
+	switch {
+	case s.Skipped:
+		c.skipped++
+		return
+	case s.Err != "":
+		c.runs++
+		c.errs++
+		c.violations += s.Violations
+		return
+	}
+	c.runs++
+	c.violations += s.Violations
+	c.nodes += int64(s.Nodes)
+	c.crashed += int64(s.Crashed)
+	c.border += int64(s.Border)
+	c.domains += int64(s.Domains)
+	c.decisions += int64(s.Decisions)
+	c.msgs += int64(s.Messages)
+	c.bytes += int64(s.Bytes)
+	if s.Decisions == 0 {
+		c.zeroDecision++
+	} else {
+		c.latencies = append(c.latencies, s.DecideLatency)
+	}
+	if c.outcomes[job.Seed] == nil {
+		c.outcomes[job.Seed] = make(map[string]int)
+	}
+	c.outcomes[job.Seed][s.Fingerprint]++
+	a.points = append(a.points, localityPoint{
+		border: float64(s.Border), nodes: float64(s.Nodes),
+		msgs: float64(s.Messages), bytes: float64(s.Bytes),
+	})
+}
+
+// CellReport is the aggregated statistics of one campaign cell.
+type CellReport struct {
+	Cell CellKey `json:"cell"`
+
+	Runs       int `json:"runs"`
+	Errors     int `json:"errors,omitempty"`
+	Skipped    int `json:"skipped,omitempty"`
+	Violations int `json:"violations,omitempty"`
+	// ZeroDecisionRuns counts successful runs in which nobody decided
+	// (possible for blocked grown regions, suspicious for a whole cell).
+	ZeroDecisionRuns int `json:"zero_decision_runs,omitempty"`
+
+	MeanNodes     float64 `json:"mean_nodes"`
+	MeanCrashed   float64 `json:"mean_crashed"`
+	MeanBorder    float64 `json:"mean_border"`
+	MeanDomains   float64 `json:"mean_domains"`
+	MeanDecisions float64 `json:"mean_decisions"`
+	MeanMsgs      float64 `json:"mean_msgs"`
+	MeanBytes     float64 `json:"mean_bytes"`
+
+	// Decision latency percentiles over deciding runs, in engine time
+	// units (virtual ticks for sim, logical event ticks for live).
+	LatencyP50 int64 `json:"latency_p50"`
+	LatencyP90 int64 `json:"latency_p90"`
+	LatencyP99 int64 `json:"latency_p99"`
+	LatencyMax int64 `json:"latency_max"`
+
+	// AgreementRate is the mean, over seeds, of (size of the largest
+	// identical-outcome class) / (attempts of that seed): 1.0 means every
+	// rerun of every workload reproduced the same decisions — guaranteed
+	// for the deterministic simulator, and the statistical yardstick for
+	// racy live regimes, where safety (CD1–CD7) holds in every run but
+	// the decided partition may legitimately differ between schedules.
+	AgreementRate float64 `json:"agreement_rate"`
+}
+
+// LocalityFit summarises the paper's headline locality claim over every
+// successful run of the campaign: the two-variable least-squares fit
+//
+//	messages ≈ Intercept + BorderSlope·border + SizeSlope·nodes
+//
+// should attribute message cost to the crashed region's border
+// (BorderSlope ≫ 0) and nearly nothing to the system size (SizeSlope ≈ 0
+// relative to BorderSlope) — detection cost scales with the failure,
+// never the system.
+type LocalityFit struct {
+	Points int `json:"points"`
+	// OK is false when the point cloud is degenerate (no spread in border
+	// or size), leaving the fit undefined.
+	OK          bool    `json:"ok"`
+	Intercept   float64 `json:"intercept"`
+	BorderSlope float64 `json:"border_slope"`
+	SizeSlope   float64 `json:"size_slope"`
+	// R2 is the coefficient of determination of the fit.
+	R2 float64 `json:"r2"`
+	// BytesPerBorder is the same border slope fitted against sent bytes.
+	BytesPerBorder float64 `json:"bytes_per_border"`
+}
+
+// Totals aggregates across all cells.
+type Totals struct {
+	Runs       int `json:"runs"`
+	Errors     int `json:"errors"`
+	Skipped    int `json:"skipped"`
+	Violations int `json:"violations"`
+	Decisions  int `json:"decisions"`
+}
+
+// Report is a finished campaign: per-cell statistics plus the global
+// locality fit.
+type Report struct {
+	Cells    []CellReport `json:"cells"`
+	Locality LocalityFit  `json:"locality"`
+	Totals   Totals       `json:"totals"`
+}
+
+// Report builds the sorted, finished report from everything added so far.
+func (a *Aggregator) Report() *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := &Report{}
+	keys := make([]CellKey, 0, len(a.cells))
+	for k := range a.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for _, k := range keys {
+		c := a.cells[k]
+		cr := CellReport{
+			Cell: k, Runs: c.runs, Errors: c.errs, Skipped: c.skipped,
+			Violations: c.violations, ZeroDecisionRuns: c.zeroDecision,
+		}
+		if ok := c.runs - c.errs; ok > 0 {
+			n := float64(ok)
+			cr.MeanNodes = float64(c.nodes) / n
+			cr.MeanCrashed = float64(c.crashed) / n
+			cr.MeanBorder = float64(c.border) / n
+			cr.MeanDomains = float64(c.domains) / n
+			cr.MeanDecisions = float64(c.decisions) / n
+			cr.MeanMsgs = float64(c.msgs) / n
+			cr.MeanBytes = float64(c.bytes) / n
+		}
+		cr.LatencyP50 = percentile(c.latencies, 50)
+		cr.LatencyP90 = percentile(c.latencies, 90)
+		cr.LatencyP99 = percentile(c.latencies, 99)
+		cr.LatencyMax = percentile(c.latencies, 100)
+		cr.AgreementRate = agreement(c.outcomes)
+		rep.Cells = append(rep.Cells, cr)
+
+		rep.Totals.Runs += c.runs
+		rep.Totals.Errors += c.errs
+		rep.Totals.Skipped += c.skipped
+		rep.Totals.Violations += c.violations
+		rep.Totals.Decisions += int(c.decisions)
+	}
+	rep.Locality = fitLocality(a.points)
+	return rep
+}
+
+// Err reports whether the campaign is healthy: no run errors, no checker
+// violations, and no cell whose every successful run decided nothing
+// (zero agreement anywhere in the sweep). The campaign-smoke CI gate
+// fails on a non-nil result.
+func (r *Report) Err() error {
+	var probs []string
+	if r.Totals.Errors > 0 {
+		probs = append(probs, fmt.Sprintf("%d run errors", r.Totals.Errors))
+	}
+	if r.Totals.Violations > 0 {
+		probs = append(probs, fmt.Sprintf("%d property violations", r.Totals.Violations))
+	}
+	for _, c := range r.Cells {
+		if ok := c.Runs - c.Errors; ok > 0 && c.ZeroDecisionRuns == ok {
+			probs = append(probs, fmt.Sprintf("cell %s decided nothing in all %d runs", c.Cell, ok))
+		}
+		if c.Runs == 0 && c.Skipped > 0 {
+			probs = append(probs, fmt.Sprintf("cell %s: every workload skipped", c.Cell))
+		}
+	}
+	if len(probs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("campaign: %s", strings.Join(probs, "; "))
+}
+
+// CellByKey returns the report of one cell, or nil.
+func (r *Report) CellByKey(k CellKey) *CellReport {
+	for i := range r.Cells {
+		if r.Cells[i].Cell == k {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of xs, or 0 when
+// empty. xs is sorted in place.
+func percentile(xs []int64, p int) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	rank := (p*len(xs) + 99) / 100 // ceil(p/100 · n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(xs) {
+		rank = len(xs)
+	}
+	return xs[rank-1]
+}
+
+// agreement computes the cross-run agreement rate: per seed, the largest
+// identical-outcome class over the attempts of that seed; averaged over
+// seeds. 1.0 when every seed has a single outcome class.
+func agreement(outcomes map[int64]map[string]int) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, classes := range outcomes {
+		total, best := 0, 0
+		for _, n := range classes {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		sum += float64(best) / float64(total)
+	}
+	return sum / float64(len(outcomes))
+}
+
+// fitLocality solves the two-variable least squares
+// msgs = a + b·border + c·nodes via the 3×3 normal equations.
+func fitLocality(pts []localityPoint) LocalityFit {
+	fit := LocalityFit{Points: len(pts)}
+	if len(pts) < 3 {
+		return fit
+	}
+	// Normal matrix M·[a b c]ᵀ = v for msgs, w for bytes.
+	var m [3][3]float64
+	var v, w [3]float64
+	var meanY float64
+	for _, p := range pts {
+		x := [3]float64{1, p.border, p.nodes}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += x[i] * x[j]
+			}
+			v[i] += x[i] * p.msgs
+			w[i] += x[i] * p.bytes
+		}
+		meanY += p.msgs
+	}
+	meanY /= float64(len(pts))
+	coefMsgs, ok1 := solve3(m, v)
+	coefBytes, ok2 := solve3(m, w)
+	if !ok1 || !ok2 {
+		return fit
+	}
+	fit.OK = true
+	fit.Intercept, fit.BorderSlope, fit.SizeSlope = coefMsgs[0], coefMsgs[1], coefMsgs[2]
+	fit.BytesPerBorder = coefBytes[1]
+	var ssRes, ssTot float64
+	for _, p := range pts {
+		pred := coefMsgs[0] + coefMsgs[1]*p.border + coefMsgs[2]*p.nodes
+		ssRes += (p.msgs - pred) * (p.msgs - pred)
+		ssTot += (p.msgs - meanY) * (p.msgs - meanY)
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting; ok is false when the matrix is (numerically) singular.
+func solve3(m [3][3]float64, v [3]float64) ([3]float64, bool) {
+	a := m // copy
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	var out [3]float64
+	for row := 2; row >= 0; row-- {
+		s := v[row]
+		for c := row + 1; c < 3; c++ {
+			s -= a[row][c] * out[c]
+		}
+		out[row] = s / a[row][row]
+	}
+	return out, true
+}

@@ -1,0 +1,161 @@
+// Package gen provides deterministic random workload generators for the
+// campaign and differential harnesses: topology families (randomised
+// parameter draws over the graph generators) and fault regimes (crash-wave
+// plans with known structural guarantees). Every generator is a pure
+// function of the caller's *rand.Rand, so a (family, regime, seed) triple
+// names one fully reproducible workload — the unit the statistical
+// campaign runner sweeps over, and the unit the sim-vs-live differential
+// harness compares.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cliffedge/internal/graph"
+)
+
+// Family is a named distribution over topologies. New draws one topology
+// from the family using rng; the returned description embeds every drawn
+// parameter, so two draws with identically seeded rngs are identical and
+// identically described.
+type Family struct {
+	Name string
+	New  func(rng *rand.Rand) (*graph.Graph, string)
+}
+
+// families is the registry, in the order Families returns. Sizes are
+// deliberately spread (25–150 nodes) so a campaign sweep exhibits enough
+// system-size variance to fit the locality claim: message cost must track
+// the crashed region's border, not the node count.
+var families = []Family{
+	{Name: "grid", New: func(rng *rand.Rand) (*graph.Graph, string) {
+		r, c := 5+rng.Intn(6), 5+rng.Intn(6)
+		return graph.Grid(r, c), fmt.Sprintf("grid-%dx%d", r, c)
+	}},
+	{Name: "ring", New: func(rng *rand.Rand) (*graph.Graph, string) {
+		n := 16 + rng.Intn(33)
+		return graph.Ring(n), fmt.Sprintf("ring-%d", n)
+	}},
+	{Name: "er", New: func(rng *rand.Rand) (*graph.Graph, string) {
+		n := 20 + rng.Intn(25)
+		seed := rng.Int63()
+		return graph.ErdosRenyi(n, 0.12, seed), fmt.Sprintf("er-%d-seed%d", n, seed)
+	}},
+	{Name: "smallworld", New: func(rng *rand.Rand) (*graph.Graph, string) {
+		n := 20 + rng.Intn(25)
+		seed := rng.Int63()
+		return graph.SmallWorld(n, 4, 0.2, seed), fmt.Sprintf("smallworld-%d-seed%d", n, seed)
+	}},
+	// scalefree is the preferential-attachment family: hubs emerge, so
+	// crashed blobs often sit next to a high-degree border node — the
+	// skewed-connectivity overlays of real deployments.
+	{Name: "scalefree", New: func(rng *rand.Rand) (*graph.Graph, string) {
+		n := 24 + rng.Intn(33)
+		seed := rng.Int63()
+		return graph.BarabasiAlbert(n, 2, seed), fmt.Sprintf("scalefree-%d-m2-seed%d", n, seed)
+	}},
+	// datacenter is the clustered family: dense racks joined by a few
+	// bridges, the canonical correlated-failure shape (a whole rack dies,
+	// the bridges and rack neighbours form the cliff edge).
+	{Name: "datacenter", New: func(rng *rand.Rand) (*graph.Graph, string) {
+		clusters, size := 3+rng.Intn(3), 6+rng.Intn(4)
+		seed := rng.Int63()
+		return graph.Clustered(clusters, size, 2, 0.5, seed),
+			fmt.Sprintf("datacenter-%dx%d-seed%d", clusters, size, seed)
+	}},
+}
+
+// Families returns every registered topology family, in registry order.
+func Families() []Family {
+	out := make([]Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// FamilyByName resolves a family by its registry name.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// FamilyNames lists the registry names, in order.
+func FamilyNames() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Blob grows a connected set of up to size alive nodes from a random alive
+// start — the correlated-failure shape of the paper's workloads. The
+// returned indices are connected in the subgraph they induce, and none is
+// in crashed. Returns nil when no alive node exists.
+func Blob(rng *rand.Rand, g *graph.Graph, crashed graph.Bitset, size int) []int32 {
+	n := g.Len()
+	alive := make([]int32, 0, n)
+	for i := int32(0); i < int32(n); i++ {
+		if !crashed.Has(i) {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	return growBlob(rng, g, crashed, alive[rng.Intn(len(alive))], size)
+}
+
+// AdjacentBlob grows a blob starting from an alive neighbour of the
+// already-crashed set, producing waves that extend or abut existing faulty
+// domains (the overlapping-wave shape: shared border nodes, Fig. 2-style
+// clusters, grown regions). Falls back to Blob when the crashed set is
+// empty or fully enclosed by crashed nodes.
+func AdjacentBlob(rng *rand.Rand, g *graph.Graph, crashed graph.Bitset, size int) []int32 {
+	var starts []int32
+	seen := graph.NewBitset(g.Len())
+	crashed.ForEach(func(i int32) {
+		for _, m := range g.NeighborIndices(i) {
+			if !crashed.Has(m) && !seen.Has(m) {
+				seen.Set(m)
+				starts = append(starts, m)
+			}
+		}
+	})
+	if len(starts) == 0 {
+		return Blob(rng, g, crashed, size)
+	}
+	return growBlob(rng, g, crashed, starts[rng.Intn(len(starts))], size)
+}
+
+// growBlob expands from start through alive neighbours until the blob
+// reaches size or runs out of candidates. Every added node is adjacent to
+// an earlier blob member, so the blob induces a connected subgraph.
+func growBlob(rng *rand.Rand, g *graph.Graph, crashed graph.Bitset, start int32, size int) []int32 {
+	blob := []int32{start}
+	in := graph.NewBitset(g.Len())
+	in.Set(start)
+	for len(blob) < size {
+		var cands []int32
+		seen := graph.NewBitset(g.Len())
+		for _, b := range blob {
+			for _, m := range g.NeighborIndices(b) {
+				if !in.Has(m) && !crashed.Has(m) && !seen.Has(m) {
+					seen.Set(m)
+					cands = append(cands, m)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		pick := cands[rng.Intn(len(cands))]
+		blob = append(blob, pick)
+		in.Set(pick)
+	}
+	return blob
+}

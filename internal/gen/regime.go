@@ -1,0 +1,252 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/region"
+)
+
+// WaveSpacing separates quiescence-intended waves in simulator virtual
+// time. With latency bands of at most 10 ticks and campaign topologies of
+// ≤ ~150 nodes, a convergence cascade spans thousands of ticks at most;
+// 2^20 ticks is quiescence for every plan this package generates.
+const WaveSpacing = 1 << 20
+
+// Wave is one injection round of a generated fault plan: the nodes in
+// Crash fail together at virtual time Time (the live engine reinterprets
+// the times as ordering, not duration).
+type Wave struct {
+	Time  int64
+	Crash []graph.NodeID
+}
+
+// Regime is a named distribution over fault plans for a given topology.
+//
+// Racing reports whether the regime's waves are meant to land while
+// agreement is still in flight. For non-racing regimes the wave times are
+// WaveSpacing apart, which the simulator honours as quiescence and the
+// live engine implements with idle barriers; for racing regimes the live
+// engine must inject waves without waiting for quiescence.
+type Regime struct {
+	Name   string
+	Racing bool
+	plan   func(rng *rand.Rand, g *graph.Graph) []Wave
+}
+
+// Plan draws one fault plan for g. The returned waves always satisfy
+// Validate; at least one wave is produced for every topology the
+// registered families generate (a single connected blob always survives
+// generation). Regime-specific guarantees:
+//
+//   - "quiescent": waves WaveSpacing apart and, cumulatively, no alive
+//     node ever borders two distinct faulty domains — the
+//     interleaving-independent family where final decisions are a
+//     scheduler-free function of the plan (the differential harness's
+//     regime; see the argument in differential_test.go).
+//   - "overlapping": waves WaveSpacing apart, but later waves grow out of
+//     or abut earlier domains, so alive nodes may border several domains
+//     and ranking races arbitrate which instance wins. Safe (CD1–CD7) but
+//     not pointwise reproducible across schedulers.
+//   - "midprotocol": waves a few dozen ticks apart, racing into in-flight
+//     agreement — the paper's Fig. 1(b) cascade shape, generalised.
+func (r Regime) Plan(rng *rand.Rand, g *graph.Graph) []Wave {
+	return r.plan(rng, g)
+}
+
+var regimes = []Regime{
+	{Name: "quiescent", plan: quiescentPlan},
+	{Name: "overlapping", plan: overlappingPlan},
+	{Name: "midprotocol", Racing: true, plan: midProtocolPlan},
+}
+
+// Regimes returns every registered fault regime, in registry order.
+func Regimes() []Regime {
+	out := make([]Regime, len(regimes))
+	copy(out, regimes)
+	return out
+}
+
+// RegimeByName resolves a regime by its registry name.
+func RegimeByName(name string) (Regime, bool) {
+	for _, r := range regimes {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Regime{}, false
+}
+
+// RegimeNames lists the registry names, in order.
+func RegimeNames() []string {
+	out := make([]string, len(regimes))
+	for i, r := range regimes {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// minSurvivors is the survivor backbone every generated plan preserves, so
+// borders and deciders always exist.
+const minSurvivors = 3
+
+// DisjointDomainBorders reports whether no alive node borders two distinct
+// faulty domains of the crashed set — the condition under which final
+// decisions are interleaving-independent. A node bordering two domains can
+// accept only one of them, and which instance completes first depends on
+// detection timing; the paper's arbitration keeps such runs safe, but not
+// pointwise reproducible across schedulers.
+func DisjointDomainBorders(g *graph.Graph, crashed graph.Bitset) bool {
+	seen := graph.NewBitset(g.Len())
+	for _, dom := range region.Domains(g, crashed) {
+		for _, b := range dom.Border() {
+			bi := g.Index(b)
+			if seen.Has(bi) {
+				return false
+			}
+			seen.Set(bi)
+		}
+	}
+	return true
+}
+
+// idsOf converts blob indices to NodeIDs.
+func idsOf(g *graph.Graph, blob []int32) []graph.NodeID {
+	ids := make([]graph.NodeID, len(blob))
+	for k, i := range blob {
+		ids[k] = g.ID(i)
+	}
+	return ids
+}
+
+// quiescentPlan draws 1–3 quiescence-separated crash waves subject to the
+// disjoint-borders condition. At least one wave always survives
+// generation: a single connected blob forms one domain, which satisfies
+// the condition trivially.
+func quiescentPlan(rng *rand.Rand, g *graph.Graph) []Wave {
+	crashed := graph.NewBitset(g.Len())
+	var waves []Wave
+	nWaves := 1 + rng.Intn(3)
+	for w := 0; w < nWaves; w++ {
+		for attempt := 0; attempt < 25; attempt++ {
+			blob := Blob(rng, g, crashed, 1+rng.Intn(5))
+			if len(blob) == 0 {
+				break
+			}
+			trial := crashed.Clone()
+			for _, i := range blob {
+				trial.Set(i)
+			}
+			if g.Len()-trial.Count() < minSurvivors {
+				continue
+			}
+			if !DisjointDomainBorders(g, trial) {
+				continue
+			}
+			crashed = trial
+			waves = append(waves, Wave{Time: int64(len(waves)+1) * WaveSpacing, Crash: idsOf(g, blob)})
+			break
+		}
+	}
+	return waves
+}
+
+// overlappingPlan draws 2–3 quiescence-separated waves where each later
+// wave grows out of (or abuts) the existing crashed set, deliberately
+// producing alive nodes that border several faulty domains and grown
+// regions whose earlier deciders sit on the new border.
+func overlappingPlan(rng *rand.Rand, g *graph.Graph) []Wave {
+	crashed := graph.NewBitset(g.Len())
+	var waves []Wave
+	nWaves := 2 + rng.Intn(2)
+	for w := 0; w < nWaves; w++ {
+		var blob []int32
+		if w == 0 {
+			blob = Blob(rng, g, crashed, 1+rng.Intn(4))
+		} else {
+			blob = AdjacentBlob(rng, g, crashed, 1+rng.Intn(4))
+		}
+		if len(blob) == 0 {
+			break
+		}
+		if g.Len()-(crashed.Count()+len(blob)) < minSurvivors {
+			break
+		}
+		for _, i := range blob {
+			crashed.Set(i)
+		}
+		waves = append(waves, Wave{Time: int64(len(waves)+1) * WaveSpacing, Crash: idsOf(g, blob)})
+	}
+	return waves
+}
+
+// midProtocolPlan draws 2–4 waves landing a few dozen ticks apart, so
+// later crashes race into agreements still in flight (detection alone
+// takes up to 10 ticks, a |B|-round instance far longer).
+func midProtocolPlan(rng *rand.Rand, g *graph.Graph) []Wave {
+	crashed := graph.NewBitset(g.Len())
+	var waves []Wave
+	nWaves := 2 + rng.Intn(3)
+	t := int64(10)
+	for w := 0; w < nWaves; w++ {
+		var blob []int32
+		if w == 0 || rng.Intn(2) == 0 {
+			blob = Blob(rng, g, crashed, 1+rng.Intn(4))
+		} else {
+			blob = AdjacentBlob(rng, g, crashed, 1+rng.Intn(4))
+		}
+		if len(blob) == 0 {
+			break
+		}
+		if g.Len()-(crashed.Count()+len(blob)) < minSurvivors {
+			break
+		}
+		for _, i := range blob {
+			crashed.Set(i)
+		}
+		waves = append(waves, Wave{Time: t, Crash: idsOf(g, blob)})
+		t += 10 + int64(rng.Intn(51))
+	}
+	return waves
+}
+
+// Validate checks the structural invariants every generated plan
+// guarantees: at least one wave, strictly increasing non-negative times,
+// non-empty waves of existing nodes, no node crashing twice, each wave
+// connected in the subgraph it induces, and at least minSurvivors
+// survivors.
+func Validate(g *graph.Graph, waves []Wave) error {
+	if len(waves) == 0 {
+		return fmt.Errorf("gen: empty plan")
+	}
+	crashed := make(map[graph.NodeID]bool)
+	prev := int64(-1)
+	for w, wave := range waves {
+		if wave.Time < 0 || wave.Time <= prev {
+			return fmt.Errorf("gen: wave %d at t=%d not after t=%d", w, wave.Time, prev)
+		}
+		prev = wave.Time
+		if len(wave.Crash) == 0 {
+			return fmt.Errorf("gen: wave %d is empty", w)
+		}
+		set := make(map[graph.NodeID]bool, len(wave.Crash))
+		for _, n := range wave.Crash {
+			if !g.Has(n) {
+				return fmt.Errorf("gen: wave %d crashes unknown node %q", w, n)
+			}
+			if crashed[n] {
+				return fmt.Errorf("gen: node %q crashes twice (wave %d)", n, w)
+			}
+			crashed[n] = true
+			set[n] = true
+		}
+		if !g.IsConnectedSubset(set) {
+			return fmt.Errorf("gen: wave %d is not a connected blob: %v", w, wave.Crash)
+		}
+	}
+	if g.Len()-len(crashed) < minSurvivors {
+		return fmt.Errorf("gen: only %d survivors, want ≥ %d", g.Len()-len(crashed), minSurvivors)
+	}
+	return nil
+}

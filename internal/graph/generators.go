@@ -373,13 +373,18 @@ func BarabasiAlbert(n, m int, seed int64) *Graph {
 	for i := m + 1; i < n; i++ {
 		id := RingID(i)
 		chosen := map[NodeID]bool{}
+		// Record targets in draw order: iterating the map would make edge
+		// insertion (and hence adjacency order) nondeterministic, breaking
+		// the generator determinism contract.
+		var targets []NodeID
 		for len(chosen) < m {
 			target := pool[rng.Intn(len(pool))]
-			if target != id {
+			if target != id && !chosen[target] {
 				chosen[target] = true
+				targets = append(targets, target)
 			}
 		}
-		for t := range chosen {
+		for _, t := range targets {
 			b.AddEdge(id, t)
 			pool = append(pool, id, t)
 		}

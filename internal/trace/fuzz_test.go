@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cliffedge/internal/graph"
+)
+
+// FuzzTraceJSON round-trips event logs through the JSON Lines wire format:
+// any input ReadJSONL accepts must re-encode via WriteJSONL and decode
+// back to the identical event slice, and the re-encoding itself must be a
+// fixed point (write∘read∘write = write). This extends the fuzz tier from
+// the bitset/region substrate to the serialisation layer: a kind name
+// that parses but doesn't re-render, a field dropped by an omitempty tag,
+// or an asymmetric default would all break the fixed point.
+func FuzzTraceJSON(f *testing.F) {
+	// Seed with a real trace...
+	var log Log
+	log.Append(Event{Time: 10, Kind: KindCrash, Node: "n0001-0001"})
+	log.Append(Event{Time: 12, Kind: KindDetect, Node: "n0001-0002", Peer: "n0001-0001"})
+	log.Append(Event{Time: 13, Kind: KindSend, Node: "n0001-0002", Peer: "n0000-0001", View: "n0001-0001", Round: 1, Bytes: 96})
+	log.Append(Event{Time: 15, Kind: KindDeliver, Node: "n0000-0001", Peer: "n0001-0002", View: "n0001-0001", Round: 1, Bytes: 96})
+	log.Append(Event{Time: 16, Kind: KindPropose, Node: "n0000-0001", View: "n0001-0001"})
+	log.Append(Event{Time: 29, Kind: KindDecide, Node: "n0000-0001", View: "n0001-0001", Value: "plan-7"})
+	var seed bytes.Buffer
+	if err := WriteJSONL(&seed, log.Events()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	// ...and with shapes the encoder never produces but the decoder sees:
+	// unusual field values, missing optional fields, blank lines.
+	f.Add([]byte(`{"seq":0,"t":-5,"kind":"drop","node":""}`))
+	f.Add([]byte("{\"seq\":2,\"t\":9,\"kind\":\"reset\",\"node\":\"a b\",\"view\":\"x,y\"}\n\n" +
+		"{\"seq\":1,\"t\":0,\"kind\":\"reject\",\"node\":\"ü\",\"round\":-3}"))
+	f.Add([]byte(`{"kind":"send"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input: rejection is the correct behaviour
+		}
+		var out1 bytes.Buffer
+		if err := WriteJSONL(&out1, events); err != nil {
+			t.Fatalf("re-encoding accepted events failed: %v", err)
+		}
+		back, err := ReadJSONL(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own encoding failed: %v\nencoded:\n%s", err, out1.Bytes())
+		}
+		if len(back) == 0 && len(events) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(events, back) {
+			t.Fatalf("round trip diverges:\nfirst:  %#v\nsecond: %#v", events, back)
+		}
+		var out2 bytes.Buffer
+		if err := WriteJSONL(&out2, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatalf("encoding is not a fixed point:\nfirst:\n%s\nsecond:\n%s", out1.Bytes(), out2.Bytes())
+		}
+	})
+}
+
+// TestTraceJSONRejects pins decoder rejections the fuzzer relies on: bad
+// kinds and malformed JSON must error rather than silently coerce.
+func TestTraceJSONRejects(t *testing.T) {
+	for _, bad := range []string{
+		`{"seq":0,"t":1,"kind":"explode","node":"a"}`,
+		`{"seq":0,"t":1,"kind":"kind(99)","node":"a"}`,
+		`{"seq":0,"t":1.5,"kind":"crash","node":"a"}`,
+		`{"seq":0`,
+	} {
+		if _, err := ReadJSONL(bytes.NewReader([]byte(bad))); err == nil {
+			t.Errorf("decoder accepted %s", bad)
+		}
+	}
+}
+
+// TestTraceJSONAllKinds: every kind the package defines survives the
+// round trip (guards against a new kind missing from kindByName).
+func TestTraceJSONAllKinds(t *testing.T) {
+	var events []Event
+	for k := range kindNames {
+		events = append(events, Event{Seq: k, Time: int64(k), Kind: Kind(k), Node: graph.NodeID("n")})
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("round trip diverges:\n%v\n%v", events, back)
+	}
+}
