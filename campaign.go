@@ -224,25 +224,36 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 	return runner.Execute(ctx, jobs)
 }
 
-// runJob executes one campaign run: draw the workload from the seed, run
-// it on the cell's engine with the online CD1–CD7 checker and constant-
-// memory observers attached, and summarise into a RunStats.
+// runJob executes one campaign run: draw the workload from the seed
+// (topology, fault plan and — for net-conditioned regimes — the network
+// model, in that fixed order), run it on the cell's engine with the
+// regime's sound checker subset and constant-memory observers attached,
+// and summarise into a RunStats.
 func (c *Campaign) runJob(ctx context.Context, job campaign.Job) campaign.RunStats {
 	fam, _ := gen.FamilyByName(job.Cell.Topology)
 	reg, _ := gen.RegimeByName(job.Cell.Regime)
 	rng := rand.New(rand.NewSource(job.Seed))
 	topo, _ := fam.New(rng)
 	waves := reg.Plan(rng, topo)
+	netModel := reg.NetModel(rng)
 	if len(waves) == 0 {
 		return campaign.RunStats{Skipped: true}
 	}
 
-	online := check.NewOnline(topo)
-	// Decision latency, streamed in O(1): each decision's lag is measured
-	// against the most recent preceding crash (so multi-wave plans report
-	// per-wave convergence, not the artificial inter-wave spacing), and
-	// the run keeps the slowest lag.
+	// The checker subset is regime-sound: full CD1–CD7 for reliable
+	// regimes, safety-only where the regime genuinely loses messages,
+	// none where marks make crash ground truth inapplicable.
+	var online *check.Online
+	if reg.Check != gen.CheckNone {
+		online = check.NewOnline(topo)
+	}
+	// Decision latency, streamed in O(1) memory per value: each
+	// decision's lag is measured against the most recent preceding crash
+	// (so multi-wave plans report per-wave convergence, not the
+	// artificial inter-wave spacing); every lag lands in the run's
+	// bounded-bucket histogram and the slowest is kept alongside.
 	lastCrash, maxLag := int64(-1), int64(-1)
+	lats := &campaign.Hist{}
 	engine := Sim()
 	if job.Cell.Engine == "live" {
 		engine = Live()
@@ -256,17 +267,30 @@ func (c *Campaign) runJob(ctx context.Context, job campaign.Job) campaign.RunSta
 		WithEngine(engine),
 		withoutChecker(),
 		WithObserver(func(e Event) {
-			online.Observe(e)
+			if online != nil {
+				online.Observe(e)
+			}
 			switch e.Kind {
 			case EventCrash:
 				lastCrash = e.Time
 			case EventDecide:
-				if lag := e.Time - lastCrash; lastCrash >= 0 && lag > maxLag {
-					maxLag = lag
+				// A lag of a full WaveSpacing or more means the decision
+				// converged on something other than that crash — e.g. a
+				// later mark wave of the upgrade regime (marks emit no
+				// crash event) — so it is inter-wave spacing, not a
+				// convergence lag, and is not recorded.
+				if lag := e.Time - lastCrash; lastCrash >= 0 && lag < gen.WaveSpacing {
+					lats.Add(lag)
+					if lag > maxLag {
+						maxLag = lag
+					}
 				}
 			}
 		}),
 	)
+	if netModel != nil {
+		opts = append(opts, WithNetModel(netModel))
+	}
 	cl, err := New(topo, opts...)
 	if err != nil {
 		return campaign.RunStats{Err: err.Error()}
@@ -278,14 +302,16 @@ func (c *Campaign) runJob(ctx context.Context, job campaign.Job) campaign.RunSta
 	} else {
 		plan := NewPlan()
 		for _, w := range waves {
-			plan.At(w.Time).Crash(w.Crash...)
+			plan.At(w.Time)
+			plan.Crash(w.Crash...)
+			plan.Mark(w.Mark...)
 		}
 		res, err = cl.Run(ctx, plan)
 	}
 	if err != nil {
 		return campaign.RunStats{Err: err.Error()}
 	}
-	return summarize(topo, res, online, maxLag)
+	return summarize(topo, res, online, reg, lats, maxLag)
 }
 
 // withoutChecker disables Cluster-level CD1–CD7 checking. The campaign
@@ -307,16 +333,24 @@ func runRacingLive(ctx context.Context, c *Cluster, waves []gen.Wave, jitterSeed
 	jitter := rand.New(rand.NewSource(jitterSeed))
 	lw := make([]liveWave, len(waves))
 	for i, w := range waves {
-		lw[i] = liveWave{crash: w.Crash}
+		lw[i] = liveWave{crash: w.Crash, mark: w.Mark}
 	}
-	return runLiveWaves(ctx, c, false, lw, false, func(int) {
+	net, err := c.bindNet(nil)
+	if err != nil {
+		return nil, err
+	}
+	return runLiveWaves(ctx, c, net, false, lw, false, func(int) {
 		time.Sleep(time.Duration(jitter.Intn(500)) * time.Microsecond)
 	})
 }
 
 // summarize folds a finished run into the constant-size RunStats the
-// aggregator consumes.
-func summarize(topo *Topology, res *Result, online *check.Online, maxLag int64) campaign.RunStats {
+// aggregator consumes: trace counters, the regime-sound violation count,
+// link-layer counters, the per-decision latency histogram, and the
+// stall/decision-rate ground truth (which alive border nodes of the final
+// faulty domains decided, judged cluster by cluster like CD7 — but
+// counted, not flagged).
+func summarize(topo *Topology, res *Result, online *check.Online, reg gen.Regime, lats *campaign.Hist, maxLag int64) campaign.RunStats {
 	crashed := graph.NewBitset(topo.Len())
 	for n := range res.Crashed {
 		crashed.Set(topo.Index(n))
@@ -336,9 +370,55 @@ func summarize(topo *Topology, res *Result, online *check.Online, maxLag int64) 
 		Messages:   res.Stats.Messages,
 		Deliveries: res.Stats.Deliveries,
 		Bytes:      res.Stats.Bytes,
-		Violations: len(online.Report().Violations),
+	}
+	if res.Net != nil {
+		s.NetDelivered = res.Net.Delivered
+		s.NetDropped = res.Net.Dropped
+		s.NetRetransmits = res.Net.Retransmits
+		s.NetDuplicates = res.Net.Duplicates
+	}
+	// Violations plus the stall/decision-rate ground truth. The checker
+	// report already computes the faulty clusters and which of them
+	// acquired a correct decider (the CD7 relation), so a stall is
+	// simply "fewer decided clusters than clusters" — counted, not
+	// flagged. Skipped for mark-based regimes (CheckNone, online == nil):
+	// marked nodes sit on crash-domain borders but legitimately never
+	// decide, so the crash-only expectation would misread a healthy
+	// rolling upgrade as a stall — their cells report agreement and
+	// decision counts instead, and also skip the locality fit, whose
+	// border covariate only explains crash-domain coordination cost.
+	if online != nil {
+		var rep check.Report
+		if reg.Check == gen.CheckSafety {
+			rep = online.SafetyReport()
+		} else {
+			rep = online.Report()
+		}
+		s.Violations = len(rep.Violations)
+		s.Stalled = rep.DecidedClusters < rep.Clusters
+		decided := make(map[NodeID]bool, len(res.Decisions))
+		for _, d := range res.Decisions {
+			decided[d.Node] = true
+		}
+		// Domains are maximal, so their border nodes are alive by
+		// construction; expected deciders are the distinct border nodes.
+		expected := make(map[NodeID]bool)
+		for _, dom := range domains {
+			for _, b := range dom.Border() {
+				expected[b] = true
+			}
+		}
+		s.ExpectedDeciders = len(expected)
+		for n := range expected {
+			if decided[n] {
+				s.DecidedDeciders++
+			}
+		}
+	} else {
+		s.SkipLocality = true
 	}
 	s.DecideLatency = maxLag
+	s.Lats = lats
 	var fp strings.Builder
 	for i, d := range res.Decisions {
 		if i > 0 {

@@ -197,3 +197,143 @@ func TestCampaignOptionValidation(t *testing.T) {
 		t.Errorf("default campaign rejected: %v", err)
 	}
 }
+
+// TestCampaignFlaky: the flaky regime (retransmission-mode degradation)
+// keeps every guarantee of the reliable-channel model: zero violations,
+// zero stalls, decision rate 1.0, deterministic sim agreement — while the
+// netem counters show that the degradation actually happened.
+func TestCampaignFlaky(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 3
+	}
+	camp, err := NewCampaign(
+		WithTopologies("grid", "datacenter"),
+		WithRegimes("flaky"),
+		WithSeedRange(1, seeds),
+		WithRepeats(2),
+		WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unhealthy flaky campaign: %v", err)
+	}
+	for _, c := range rep.Cells {
+		if c.Violations != 0 {
+			t.Errorf("cell %s: %d violations under retransmission", c.Cell, c.Violations)
+		}
+		if c.AgreementRate != 1.0 {
+			t.Errorf("cell %s: sim agreement %v, want 1.0", c.Cell, c.AgreementRate)
+		}
+		if c.StallRate != 0 {
+			t.Errorf("cell %s: stall rate %v under reliable channels", c.Cell, c.StallRate)
+		}
+		// Growth waves can deterministically block (an earlier decider on
+		// the grown border), so the rate need not be 1.0 — but reliable
+		// channels keep it high and never let a whole cluster stall.
+		if c.DecisionRate <= 0.5 || c.DecisionRate > 1 {
+			t.Errorf("cell %s: decision rate %v outside (0.5, 1]", c.Cell, c.DecisionRate)
+		}
+		if c.MeanNetRetransmits == 0 {
+			t.Errorf("cell %s: no retransmissions — was the model attached?", c.Cell)
+		}
+		if c.LatencyCount == 0 {
+			t.Errorf("cell %s: empty per-decision latency histogram", c.Cell)
+		}
+	}
+}
+
+// TestCampaignLossy: raw loss degrades gracefully — safety violations
+// stay zero while drops are nonzero, and stall/decision rates quantify
+// (rather than fail on) the broken liveness.
+func TestCampaignLossy(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 4
+	}
+	camp, err := NewCampaign(
+		WithTopologies("grid"),
+		WithRegimes("lossy"),
+		WithSeedRange(1, seeds),
+		WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Errors > 0 {
+		t.Fatalf("lossy campaign errored %d times", rep.Totals.Errors)
+	}
+	if rep.Totals.Violations > 0 {
+		t.Fatalf("lossy campaign: %d safety violations", rep.Totals.Violations)
+	}
+	c := rep.CellByKey(CampaignCellKey{Topology: "grid", Regime: "lossy", Engine: "sim"})
+	if c == nil {
+		t.Fatal("lossy cell missing")
+	}
+	if c.MeanNetDropped == 0 {
+		t.Error("raw loss dropped nothing — was the model attached?")
+	}
+	if c.DecisionRate <= 0 || c.DecisionRate > 1 {
+		t.Errorf("decision rate %v outside (0, 1]", c.DecisionRate)
+	}
+	if c.AgreementRate != 1.0 {
+		t.Errorf("sim agreement %v, want 1.0 (raw loss is still deterministic)", c.AgreementRate)
+	}
+}
+
+// TestCampaignUpgrade: the rolling-upgrade regime produces decisions (the
+// border of the marked zone agrees on its extent) on both engines,
+// deterministically on the simulator, with no checker or stall metrics
+// (crash ground truth does not apply to marks).
+func TestCampaignUpgrade(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	engines := []string{"sim", "live"}
+	if testing.Short() {
+		engines = []string{"sim"}
+	}
+	camp, err := NewCampaign(
+		WithTopologies("grid"),
+		WithRegimes("upgrade"),
+		WithCampaignEngines(engines...),
+		WithSeedRange(1, seeds),
+		WithRepeats(2),
+		WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unhealthy upgrade campaign: %v", err)
+	}
+	for _, c := range rep.Cells {
+		if c.MeanDecisions == 0 {
+			t.Errorf("cell %s: rolling upgrade decided nothing", c.Cell)
+		}
+		if c.Violations != 0 {
+			t.Errorf("cell %s: %d violations counted without a checker", c.Cell, c.Violations)
+		}
+		if c.Cell.Engine == "sim" && c.AgreementRate != 1.0 {
+			t.Errorf("cell %s: sim agreement %v, want 1.0", c.Cell, c.AgreementRate)
+		}
+	}
+	if rep.Locality.Points != 0 {
+		t.Errorf("upgrade runs leaked %d points into the locality fit", rep.Locality.Points)
+	}
+}

@@ -228,6 +228,9 @@ type Result struct {
 	Stats Stats
 	// Crashed is the set of nodes that failed during the run.
 	Crashed map[NodeID]bool
+	// Net carries the link-layer counters when a network-condition model
+	// was attached (WithNetModel or Plan.FlapLink/Degrade); nil otherwise.
+	Net *NetStats
 
 	events []Event
 }

@@ -37,6 +37,7 @@ type Cluster struct {
 	engine      Engine
 	liveTimeout time.Duration
 	maxEvents   int
+	netModel    *NetModel
 }
 
 // Option configures a Cluster at construction time.
@@ -133,7 +134,10 @@ func WithPick(fn func([]Value) Value) Option {
 // violation. The checker's memory is bounded by the topology and the
 // decision count, so it composes with WithoutTraceBuffer. The properties
 // are specified against crash ground truth, so a checked Run rejects
-// plans containing Mark steps.
+// plans containing Mark steps. When the run's network model is raw-loss
+// (genuinely unreliable channels), the checker automatically judges only
+// the safety subset CD1–CD3/CD5/CD6 — stalls and duplicated deliveries
+// are the *point* of that mode, not violations.
 func WithChecker() Option {
 	return func(c *Cluster) error { c.checked = true; return nil }
 }
@@ -232,12 +236,20 @@ func (c *Cluster) instrument() (*check.Online, func(trace.Event)) {
 
 // finish applies the online checker's verdict to a completed run. On
 // violation the result is still returned alongside the error, so callers
-// can inspect what went wrong.
-func finish(res *Result, online *check.Online) (*Result, error) {
+// can inspect what went wrong. With safetyOnly (the run used a raw-loss
+// network model, which legitimately stalls and duplicates) only the
+// safety subset CD1–CD3/CD5/CD6 is judged.
+func finish(res *Result, online *check.Online, safetyOnly bool) (*Result, error) {
 	if online == nil {
 		return res, nil
 	}
-	if rep := online.Report(); !rep.Ok() {
+	var rep check.Report
+	if safetyOnly {
+		rep = online.SafetyReport()
+	} else {
+		rep = online.Report()
+	}
+	if !rep.Ok() {
 		return res, fmt.Errorf("cliffedge: property violations:\n%s", rep)
 	}
 	return res, nil

@@ -8,6 +8,8 @@
 //
 //	cliffedge-campaign -seeds 32 -repeats 3 -engines sim,live
 //	cliffedge-campaign -topos grid,er -regimes quiescent,midprotocol -seeds 8 -fail
+//	cliffedge-campaign -regimes flaky -seeds 24 -fail         # degraded net, full checker
+//	cliffedge-campaign -regimes lossy -seeds 24               # raw loss: stall/decision rates
 //	cliffedge-campaign -seeds 64 -json report.json -csv report.csv
 package main
 

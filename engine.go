@@ -5,6 +5,7 @@ import (
 
 	"cliffedge/internal/graph"
 	"cliffedge/internal/livenet"
+	"cliffedge/internal/netem"
 	"cliffedge/internal/predicate"
 	"cliffedge/internal/sim"
 )
@@ -20,21 +21,26 @@ type Engine interface {
 }
 
 // Sim returns the deterministic discrete-event engine: virtual time,
-// seeded latencies, bit-for-bit reproducible traces. OnEvent plan steps
-// are supported.
+// seeded latencies, bit-for-bit reproducible traces (network-condition
+// models included — verdicts are pure functions of the seed). OnEvent
+// plan steps are supported.
 func Sim() Engine { return simEngine{} }
 
 // Live returns the goroutine-per-node engine: real concurrency, unbounded
 // FIFO mailboxes, scheduling decided by the Go runtime. Timed plan steps
 // become quiescence-separated waves in ascending cursor order; OnEvent
 // steps are rejected. Outcomes are scheduler-dependent but always satisfy
-// CD1–CD7.
+// CD1–CD7 (the safety subset when a raw-loss network model is attached).
 func Live() Engine { return liveEngine{} }
 
 type simEngine struct{}
 
 func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, error) {
 	if err := plan.validate(c.topo); err != nil {
+		return nil, err
+	}
+	net, err := c.bindNet(plan)
+	if err != nil {
 		return nil, err
 	}
 	crashes, triggers, injections := plan.compileSim()
@@ -45,6 +51,7 @@ func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, erro
 		Seed:          c.seed,
 		NetLatency:    sim.Uniform{Min: c.net.Min, Max: c.net.Max},
 		FDLatency:     sim.Uniform{Min: c.fd.Min, Max: c.fd.Max},
+		Net:           net,
 		Crashes:       crashes,
 		Triggers:      triggers,
 		Injections:    injections,
@@ -60,11 +67,12 @@ func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, erro
 		return nil, err
 	}
 	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
+	attachNetStats(out, net)
 	for _, d := range res.SortedDecisions() {
 		out.Decisions = append(out.Decisions,
 			Decision{Node: d.Node, View: d.Decision.View, Value: d.Decision.Value})
 	}
-	return finish(out, online)
+	return finish(out, online, net.Unreliable())
 }
 
 type liveEngine struct{}
@@ -77,7 +85,11 @@ func (liveEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return runLiveWaves(ctx, c, plan.hasMarks(), waves, true, nil)
+	net, err := c.bindNet(plan)
+	if err != nil {
+		return nil, err
+	}
+	return runLiveWaves(ctx, c, net, plan.hasMarks(), waves, true, nil)
 }
 
 // runLiveWaves executes injection waves on a fresh live runtime. With
@@ -86,12 +98,13 @@ func (liveEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, err
 // race into agreements still in flight (the campaign's mid-protocol
 // regime), with pause called between consecutive waves to vary how far
 // each agreement gets; quiescence is awaited only once, at the end. Both
-// paths share the runtime setup, mark injection and checker plumbing, so
-// racing injection cannot drift from the engine's behaviour.
-func runLiveWaves(ctx context.Context, c *Cluster, marks bool, waves []liveWave, barrier bool, pause func(wave int)) (*Result, error) {
+// paths share the runtime setup, mark injection, network-model and
+// checker plumbing, so racing injection cannot drift from the engine's
+// behaviour.
+func runLiveWaves(ctx context.Context, c *Cluster, net *netem.Net, marks bool, waves []liveWave, barrier bool, pause func(wave int)) (*Result, error) {
 	online, observer := c.instrument()
 	rt := livenet.NewRuntime(c.topo, c.factory(marks),
-		livenet.Options{Observer: observer, DiscardEvents: c.noBuffer})
+		livenet.Options{Observer: observer, DiscardEvents: c.noBuffer, Net: net})
 	defer rt.Stop()
 	if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
 		return nil, err
@@ -116,7 +129,18 @@ func runLiveWaves(ctx context.Context, c *Cluster, marks bool, waves []liveWave,
 		}
 	}
 	rt.Stop()
-	return finish(liveResult(rt), online)
+	res := liveResult(rt)
+	attachNetStats(res, net)
+	return finish(res, online, net.Unreliable())
+}
+
+// attachNetStats snapshots a bound network model's counters onto the
+// result (nil model: the run was unconditioned, Result.Net stays nil).
+func attachNetStats(res *Result, net *netem.Net) {
+	if net != nil {
+		s := net.Stats()
+		res.Net = &s
+	}
 }
 
 // liveResult assembles the public Result of a stopped live runtime, with

@@ -1,0 +1,94 @@
+// Flaky: cliff-edge consensus on the approach to the cliff — lossy links,
+// jittery WAN spikes, a flapping inter-rack uplink — modelled by the
+// deterministic netem subsystem.
+//
+// The paper assumes reliable FIFO channels. A production network only
+// approximates them: the link layer retries, timing degrades. This
+// example runs the same rack failure twice:
+//
+//  1. Retransmission mode — the reliable-channel abstraction holds
+//     (bounded link-layer resends), so all seven properties CD1–CD7 are
+//     checked as usual, and the netem counters show what the network
+//     actually did underneath.
+//
+//  2. Raw-loss mode — messages are really dropped and duplicated; the
+//     checker automatically downgrades to the safety subset and the run
+//     reports how far the protocol got instead of failing.
+//
+//     go run ./examples/flaky
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cliffedge"
+)
+
+func main() {
+	// Four racks of nine nodes, bridged — the datacenter shape.
+	topo := cliffedge.Clustered(4, 9, 2, 0.5, 7)
+	nodes := topo.Nodes()
+	rack := nodes[:9] // the first rack fails as one correlated wave
+
+	// The WAN weather: every link sees 10% loss and jitter; links
+	// touching the failed rack's neighbourhood see heavy-tail spikes too.
+	model := &cliffedge.NetModel{
+		Mode: cliffedge.NetRetransmit,
+		Default: cliffedge.NetProfile{
+			Loss:      0.10,
+			JitterMax: 12,
+		},
+		Rules: []cliffedge.NetRule{{
+			A:       rack,
+			Profile: cliffedge.NetProfile{Loss: 0.25, JitterMax: 20, SpikeProb: 0.05, SpikeMin: 80, SpikeMax: 300},
+		}},
+	}
+
+	plan := cliffedge.NewPlan().
+		At(0).FlapLink(nodes[9], nodes[18], 400). // inter-rack uplink flaps early
+		At(50).Crash(rack...)
+
+	c, err := cliffedge.New(topo,
+		cliffedge.WithSeed(42),
+		cliffedge.WithChecker(),
+		cliffedge.WithNetModel(model),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retransmission mode: %d decisions, all CD1–CD7 checked\n", len(res.Decisions))
+	for _, d := range res.Decisions[:min(3, len(res.Decisions))] {
+		fmt.Printf("  %s decided {%s} → %q\n", d.Node, d.View, d.Value)
+	}
+	n := res.Net
+	fmt.Printf("  link layer: %d sent, %d resends, +%d ticks of imposed delay\n",
+		n.Sent, n.Retransmits, n.DelayTicks)
+
+	// The same failure over genuinely broken channels.
+	model2 := *model
+	model2.Mode = cliffedge.NetRawLoss
+	model2.Default.DupProb = 0.03
+	c2, err := cliffedge.New(topo,
+		cliffedge.WithSeed(42),
+		cliffedge.WithChecker(), // downgrades to the safety subset
+		cliffedge.WithNetModel(&model2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := c2.Run(context.Background(), plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n2 := res2.Net
+	fmt.Printf("raw-loss mode: %d decisions (safety checked; stalls are data, not errors)\n",
+		len(res2.Decisions))
+	fmt.Printf("  link layer: %d sent, %d dropped, %d duplicated\n",
+		n2.Sent, n2.Dropped, n2.Duplicates)
+}

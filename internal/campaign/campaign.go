@@ -83,10 +83,39 @@ type RunStats struct {
 	// in engine time units (virtual ticks for the simulator, logical
 	// event ticks for the live runtime); -1 when the run decided nothing.
 	DecideLatency int64
+	// Lats is the run's full per-decision latency distribution (same lag
+	// definition as DecideLatency, one sample per decision) in bounded
+	// HDR-style buckets. When nil, the aggregator falls back to folding
+	// the single DecideLatency value into the cell distribution.
+	Lats *Hist
 	// Fingerprint canonically encodes the run's decision outcome (who
 	// decided which view with which value); runs of the same workload
 	// agree exactly when their fingerprints match.
 	Fingerprint string
+
+	// Link-layer counters of the run's network-condition model (all zero
+	// when the run was unconditioned).
+	NetDelivered   int64
+	NetDropped     int64
+	NetRetransmits int64
+	NetDuplicates  int64
+
+	// ExpectedDeciders counts the alive border nodes of the run's final
+	// faulty domains, and DecidedDeciders how many of them decided
+	// anything. Their ratio is the cell's decision rate — below 1.0 even
+	// on reliable channels when a grown region deterministically blocks
+	// (an earlier decider on its border), and degrading further under raw
+	// loss, which is what the metric quantifies.
+	ExpectedDeciders int
+	DecidedDeciders  int
+	// Stalled marks a run in which at least one faulty cluster with an
+	// alive border produced no decision — the outcome CD7 forbids under
+	// reliable channels and raw loss makes possible.
+	Stalled bool
+	// SkipLocality excludes the run from the locality regression —
+	// mark-based regimes coordinate around alive zones, so their message
+	// cost is unrelated to the crash-domain border the fit explains.
+	SkipLocality bool
 }
 
 // Grid expands cells × seeds × attempts into the job list of a campaign,

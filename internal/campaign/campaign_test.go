@@ -263,3 +263,62 @@ func TestWriters(t *testing.T) {
 		t.Fatalf("text summary missing locality fit:\n%s", txtBuf.String())
 	}
 }
+
+// TestAggregationNetAndRates: the netem counters, stall rate and decision
+// rate aggregate per cell, and per-decision histograms merge into the
+// cell distribution.
+func TestAggregationNetAndRates(t *testing.T) {
+	agg := NewAggregator()
+	mkHist := func(vals ...int64) *Hist {
+		h := &Hist{}
+		for _, v := range vals {
+			h.Add(v)
+		}
+		return h
+	}
+	agg.Add(Job{Cell: simCell, Seed: 1}, RunStats{
+		Nodes: 10, Decisions: 2, DecideLatency: 30, Lats: mkHist(10, 30),
+		Fingerprint: "a", NetDelivered: 100, NetDropped: 10, NetRetransmits: 4,
+		ExpectedDeciders: 4, DecidedDeciders: 2, Stalled: false,
+	})
+	agg.Add(Job{Cell: simCell, Seed: 2}, RunStats{
+		Nodes: 10, Decisions: 0, DecideLatency: -1,
+		Fingerprint: "", NetDelivered: 50, NetDropped: 30, NetDuplicates: 2,
+		ExpectedDeciders: 4, DecidedDeciders: 0, Stalled: true,
+	})
+	rep := agg.Report()
+	c := rep.CellByKey(simCell)
+	if c == nil {
+		t.Fatal("cell missing")
+	}
+	if c.MeanNetDelivered != 75 || c.MeanNetDropped != 20 || c.MeanNetRetransmits != 2 || c.MeanNetDuplicates != 1 {
+		t.Fatalf("net means wrong: %+v", c)
+	}
+	if c.StallRate != 0.5 {
+		t.Fatalf("stall rate %v, want 0.5", c.StallRate)
+	}
+	if c.DecisionRate != 0.25 {
+		t.Fatalf("decision rate %v, want 0.25 (2 of 8)", c.DecisionRate)
+	}
+	if c.LatencyCount != 2 || c.LatencyP50 != 10 || c.LatencyMax != 30 || c.LatencyMean != 20 {
+		t.Fatalf("histogram aggregation wrong: %+v", c)
+	}
+	if len(c.LatencyBuckets) != 2 {
+		t.Fatalf("latency buckets %v, want 2 non-empty", c.LatencyBuckets)
+	}
+}
+
+// TestAggregationSkipLocality: runs flagged SkipLocality contribute no
+// locality point.
+func TestAggregationSkipLocality(t *testing.T) {
+	agg := NewAggregator()
+	for i := 0; i < 5; i++ {
+		agg.Add(Job{Cell: simCell, Seed: int64(i)}, RunStats{
+			Nodes: 10 + i, Border: 2 + i, Messages: 100, Decisions: 1,
+			DecideLatency: 1, Fingerprint: "x", SkipLocality: true,
+		})
+	}
+	if fit := agg.Report().Locality; fit.Points != 0 {
+		t.Fatalf("locality used %d skipped points", fit.Points)
+	}
+}

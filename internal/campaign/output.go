@@ -23,6 +23,9 @@ var csvHeader = []string{
 	"mean_nodes", "mean_crashed", "mean_border", "mean_domains",
 	"mean_decisions", "mean_msgs", "mean_bytes",
 	"latency_p50", "latency_p90", "latency_p99", "latency_max",
+	"latency_mean", "latency_count",
+	"net_delivered", "net_dropped", "net_retransmits", "net_duplicates",
+	"stall_rate", "decision_rate",
 	"agreement_rate",
 }
 
@@ -42,6 +45,11 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			f(c.MeanDecisions), f(c.MeanMsgs), f(c.MeanBytes),
 			strconv.FormatInt(c.LatencyP50, 10), strconv.FormatInt(c.LatencyP90, 10),
 			strconv.FormatInt(c.LatencyP99, 10), strconv.FormatInt(c.LatencyMax, 10),
+			f(c.LatencyMean), strconv.FormatInt(c.LatencyCount, 10),
+			f(c.MeanNetDelivered), f(c.MeanNetDropped),
+			f(c.MeanNetRetransmits), f(c.MeanNetDuplicates),
+			strconv.FormatFloat(c.StallRate, 'f', 3, 64),
+			strconv.FormatFloat(c.DecisionRate, 'f', 3, 64),
 			strconv.FormatFloat(c.AgreementRate, 'f', 3, 64),
 		}
 		if err := cw.Write(row); err != nil {
@@ -59,16 +67,18 @@ func (r *Report) WriteText(w io.Writer) error {
 		_, err = fmt.Fprintf(w, format, args...)
 		return err
 	}
-	if err := p("| cell | runs | err | viol | nodes | crashed | border | decisions | msgs | bytes | lat p50/p90/p99 | agreement |\n" +
-		"|------|-----:|----:|-----:|------:|--------:|-------:|----------:|-----:|------:|----------------:|----------:|\n"); err != nil {
+	if err := p("| cell | runs | err | viol | nodes | crashed | border | decisions | msgs | bytes | lat p50/p90/p99 | drop | rtx | stall | decide | agreement |\n" +
+		"|------|-----:|----:|-----:|------:|--------:|-------:|----------:|-----:|------:|----------------:|-----:|----:|------:|-------:|----------:|\n"); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if err := p("| %s | %d | %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.0f | %d/%d/%d | %.3f |\n",
+		if err := p("| %s | %d | %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.0f | %d/%d/%d | %.0f | %.0f | %.3f | %.3f | %.3f |\n",
 			c.Cell, c.Runs, c.Errors, c.Violations,
 			c.MeanNodes, c.MeanCrashed, c.MeanBorder, c.MeanDecisions,
 			c.MeanMsgs, c.MeanBytes,
-			c.LatencyP50, c.LatencyP90, c.LatencyP99, c.AgreementRate); err != nil {
+			c.LatencyP50, c.LatencyP90, c.LatencyP99,
+			c.MeanNetDropped, c.MeanNetRetransmits,
+			c.StallRate, c.DecisionRate, c.AgreementRate); err != nil {
 			return err
 		}
 	}

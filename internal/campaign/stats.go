@@ -27,10 +27,13 @@ type localityPoint struct {
 
 type cellAgg struct {
 	runs, errs, skipped, violations int
-	zeroDecision                    int
-	latencies                       []int64
+	zeroDecision, stalled           int
+	lat                             Hist
 	nodes, crashed, border, domains int64
 	decisions, msgs, bytes          int64
+	netDelivered, netDropped        int64
+	netRetransmits, netDuplicates   int64
+	expected, decidedExpected       int64
 	// outcomes groups fingerprints per seed: outcomes[seed][fingerprint]
 	// counts attempts, the raw material of the cross-run agreement rate.
 	outcomes map[int64]map[string]int
@@ -69,19 +72,33 @@ func (a *Aggregator) Add(job Job, s RunStats) {
 	c.decisions += int64(s.Decisions)
 	c.msgs += int64(s.Messages)
 	c.bytes += int64(s.Bytes)
+	c.netDelivered += s.NetDelivered
+	c.netDropped += s.NetDropped
+	c.netRetransmits += s.NetRetransmits
+	c.netDuplicates += s.NetDuplicates
+	c.expected += int64(s.ExpectedDeciders)
+	c.decidedExpected += int64(s.DecidedDeciders)
+	if s.Stalled {
+		c.stalled++
+	}
 	if s.Decisions == 0 {
 		c.zeroDecision++
-	} else {
-		c.latencies = append(c.latencies, s.DecideLatency)
+	}
+	if s.Lats != nil {
+		c.lat.Merge(s.Lats)
+	} else if s.Decisions > 0 {
+		c.lat.Add(s.DecideLatency)
 	}
 	if c.outcomes[job.Seed] == nil {
 		c.outcomes[job.Seed] = make(map[string]int)
 	}
 	c.outcomes[job.Seed][s.Fingerprint]++
-	a.points = append(a.points, localityPoint{
-		border: float64(s.Border), nodes: float64(s.Nodes),
-		msgs: float64(s.Messages), bytes: float64(s.Bytes),
-	})
+	if !s.SkipLocality {
+		a.points = append(a.points, localityPoint{
+			border: float64(s.Border), nodes: float64(s.Nodes),
+			msgs: float64(s.Messages), bytes: float64(s.Bytes),
+		})
+	}
 }
 
 // CellReport is the aggregated statistics of one campaign cell.
@@ -104,12 +121,36 @@ type CellReport struct {
 	MeanMsgs      float64 `json:"mean_msgs"`
 	MeanBytes     float64 `json:"mean_bytes"`
 
-	// Decision latency percentiles over deciding runs, in engine time
-	// units (virtual ticks for sim, logical event ticks for live).
-	LatencyP50 int64 `json:"latency_p50"`
-	LatencyP90 int64 `json:"latency_p90"`
-	LatencyP99 int64 `json:"latency_p99"`
-	LatencyMax int64 `json:"latency_max"`
+	// Per-decision latency distribution over every decision of the cell
+	// (each decision's lag against the most recent preceding crash), in
+	// engine time units (virtual ticks for sim, logical event ticks for
+	// live). Percentiles are resolved from the bounded HDR-style bucket
+	// histogram (≤ 0.8% relative error; Max is exact); LatencyBuckets is
+	// the full distribution for external analysis.
+	LatencyP50     int64        `json:"latency_p50"`
+	LatencyP90     int64        `json:"latency_p90"`
+	LatencyP99     int64        `json:"latency_p99"`
+	LatencyMax     int64        `json:"latency_max"`
+	LatencyMean    float64      `json:"latency_mean"`
+	LatencyCount   int64        `json:"latency_count"`
+	LatencyBuckets []HistBucket `json:"latency_buckets,omitempty"`
+
+	// Link-layer means over successful runs (zero for unconditioned
+	// cells): deliveries, raw-loss drops, retransmission-mode resends and
+	// duplicated copies per run.
+	MeanNetDelivered   float64 `json:"mean_net_delivered,omitempty"`
+	MeanNetDropped     float64 `json:"mean_net_dropped,omitempty"`
+	MeanNetRetransmits float64 `json:"mean_net_retransmits,omitempty"`
+	MeanNetDuplicates  float64 `json:"mean_net_duplicates,omitempty"`
+
+	// StallRate is the fraction of successful runs in which some faulty
+	// cluster with an alive border decided nothing — impossible under
+	// reliable channels (CD7), the headline degradation metric under raw
+	// loss. DecisionRate is the fraction of expected deciders (alive
+	// border nodes of final faulty domains) that actually decided, over
+	// the whole cell.
+	StallRate    float64 `json:"stall_rate"`
+	DecisionRate float64 `json:"decision_rate"`
 
 	// AgreementRate is the mean, over seeds, of (size of the largest
 	// identical-outcome class) / (attempts of that seed): 1.0 means every
@@ -185,11 +226,22 @@ func (a *Aggregator) Report() *Report {
 			cr.MeanDecisions = float64(c.decisions) / n
 			cr.MeanMsgs = float64(c.msgs) / n
 			cr.MeanBytes = float64(c.bytes) / n
+			cr.MeanNetDelivered = float64(c.netDelivered) / n
+			cr.MeanNetDropped = float64(c.netDropped) / n
+			cr.MeanNetRetransmits = float64(c.netRetransmits) / n
+			cr.MeanNetDuplicates = float64(c.netDuplicates) / n
+			cr.StallRate = float64(c.stalled) / n
 		}
-		cr.LatencyP50 = percentile(c.latencies, 50)
-		cr.LatencyP90 = percentile(c.latencies, 90)
-		cr.LatencyP99 = percentile(c.latencies, 99)
-		cr.LatencyMax = percentile(c.latencies, 100)
+		cr.LatencyP50 = c.lat.Percentile(50)
+		cr.LatencyP90 = c.lat.Percentile(90)
+		cr.LatencyP99 = c.lat.Percentile(99)
+		cr.LatencyMax = c.lat.Max()
+		cr.LatencyMean = c.lat.Mean()
+		cr.LatencyCount = c.lat.Count()
+		cr.LatencyBuckets = c.lat.Buckets()
+		if c.expected > 0 {
+			cr.DecisionRate = float64(c.decidedExpected) / float64(c.expected)
+		}
 		cr.AgreementRate = agreement(c.outcomes)
 		rep.Cells = append(rep.Cells, cr)
 
@@ -237,23 +289,6 @@ func (r *Report) CellByKey(k CellKey) *CellReport {
 		}
 	}
 	return nil
-}
-
-// percentile returns the p-th percentile (nearest-rank) of xs, or 0 when
-// empty. xs is sorted in place.
-func percentile(xs []int64, p int) int64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-	rank := (p*len(xs) + 99) / 100 // ceil(p/100 · n)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(xs) {
-		rank = len(xs)
-	}
-	return xs[rank-1]
 }
 
 // agreement computes the cross-run agreement rate: per seed, the largest

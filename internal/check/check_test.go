@@ -254,3 +254,91 @@ func TestViewReconstruction(t *testing.T) {
 		t.Errorf("region reconstruction broken: %s borders %v", r, r.Border())
 	}
 }
+
+// safetyRun folds events through an Online checker and returns the
+// safety-only report.
+func safetyRun(g *graph.Graph, events []trace.Event) Report {
+	o := NewOnline(g)
+	for _, e := range events {
+		o.Observe(e)
+	}
+	return o.SafetyReport()
+}
+
+// TestSafetyReportSkipsLiveness: a stalled run — messages lost, border
+// nodes never decide — is a CD4/CD7/conservation breach for the full
+// checker but clean for the safety subset.
+func TestSafetyReportSkipsLiveness(t *testing.T) {
+	events := []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+		{Time: 2, Kind: trace.KindDetect, Node: "a", Peer: "b"},
+		{Time: 3, Kind: trace.KindPropose, Node: "a", View: "b"},
+		// The proposal is lost on the wire: sent, never delivered.
+		{Time: 3, Kind: trace.KindSend, Node: "a", Peer: "c", View: "b", Round: 1, Bytes: 10},
+	}
+	full := Run(pathGraph(), events)
+	if !hasViolation(full, "CD7") || !hasViolation(full, "SANITY") {
+		t.Fatalf("full checker should flag the stall: %s", full)
+	}
+	safe := safetyRun(pathGraph(), events)
+	if !safe.Ok() {
+		t.Fatalf("safety report flagged a legitimate stall: %s", safe)
+	}
+	if safe.FaultyDomains != 1 || safe.Clusters != 1 || safe.DecidedClusters != 0 {
+		t.Errorf("safety report statistics wrong: %+v", safe)
+	}
+}
+
+// TestSafetyReportSkipsCD4: one border node decided, the other stalled —
+// CD4 for the full checker, clean for the safety subset.
+func TestSafetyReportSkipsCD4(t *testing.T) {
+	events := []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+		{Time: 2, Kind: trace.KindDetect, Node: "a", Peer: "b"},
+		{Time: 7, Kind: trace.KindDecide, Node: "a", View: "b", Value: "v"},
+	}
+	if full := Run(pathGraph(), events); !hasViolation(full, "CD4") {
+		t.Fatalf("full checker should flag CD4: %s", full)
+	}
+	if safe := safetyRun(pathGraph(), events); !safe.Ok() {
+		t.Fatalf("safety report flagged a stalled border node: %s", safe)
+	}
+}
+
+// TestSafetyReportKeepsSafety: genuine safety breaches — double decision,
+// disagreeing border values, live member in a view — still fire in the
+// safety-only report.
+func TestSafetyReportKeepsSafety(t *testing.T) {
+	dbl := append(cleanTrace(),
+		trace.Event{Time: 8, Kind: trace.KindDecide, Node: "a", View: "b", Value: "v"})
+	if rep := safetyRun(pathGraph(), dbl); !hasViolation(rep, "CD1") {
+		t.Fatalf("CD1 lost in safety mode: %s", rep)
+	}
+
+	disagree := cleanTrace()
+	disagree[len(disagree)-1].Value = "other"
+	if rep := safetyRun(pathGraph(), disagree); !hasViolation(rep, "CD5") {
+		t.Fatalf("CD5 lost in safety mode: %s", rep)
+	}
+
+	liveMember := []trace.Event{
+		{Time: 1, Kind: trace.KindCrash, Node: "b"},
+		{Time: 7, Kind: trace.KindDecide, Node: "a", View: "a,b", Value: "v"},
+	}
+	if rep := safetyRun(pathGraph(), liveMember); !hasViolation(rep, "CD2") {
+		t.Fatalf("CD2 lost in safety mode: %s", rep)
+	}
+}
+
+// TestSafetyReportAllowsDuplicates: more deliveries than sends (network
+// duplication) breaks conservation for the full checker only.
+func TestSafetyReportAllowsDuplicates(t *testing.T) {
+	events := append(cleanTrace(),
+		trace.Event{Time: 8, Kind: trace.KindDeliver, Node: "a", Peer: "c", View: "b", Round: 2, Bytes: 10})
+	if full := Run(pathGraph(), events); !hasViolation(full, "SANITY") {
+		t.Fatalf("full checker should flag duplication: %s", full)
+	}
+	if safe := safetyRun(pathGraph(), events); !safe.Ok() {
+		t.Fatalf("safety report flagged duplication: %s", safe)
+	}
+}

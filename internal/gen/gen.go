@@ -140,16 +140,7 @@ func growBlob(rng *rand.Rand, g *graph.Graph, crashed graph.Bitset, start int32,
 	in := graph.NewBitset(g.Len())
 	in.Set(start)
 	for len(blob) < size {
-		var cands []int32
-		seen := graph.NewBitset(g.Len())
-		for _, b := range blob {
-			for _, m := range g.NeighborIndices(b) {
-				if !in.Has(m) && !crashed.Has(m) && !seen.Has(m) {
-					seen.Set(m)
-					cands = append(cands, m)
-				}
-			}
-		}
+		cands := blobCandidates(g, crashed, blob, in)
 		if len(cands) == 0 {
 			break
 		}
@@ -158,4 +149,67 @@ func growBlob(rng *rand.Rand, g *graph.Graph, crashed graph.Bitset, start int32,
 		in.Set(pick)
 	}
 	return blob
+}
+
+// MaxBorderBlob grows a connected blob of up to size alive nodes that
+// greedily maximises the blob's alive border at every step — the
+// adversarial failure shape: since the protocol's cost is proportional to
+// the border of the crashed region (the paper's locality claim), a
+// max-border blob is the worst crash of its size. The start node is drawn
+// uniformly from the alive set; each growth step picks the candidate with
+// the most alive neighbours outside the blob (first occurrence wins ties,
+// which keeps the draw deterministic for a given rng). Returns nil when
+// no alive node exists.
+func MaxBorderBlob(rng *rand.Rand, g *graph.Graph, crashed graph.Bitset, size int) []int32 {
+	n := g.Len()
+	alive := make([]int32, 0, n)
+	for i := int32(0); i < int32(n); i++ {
+		if !crashed.Has(i) {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	start := alive[rng.Intn(len(alive))]
+	blob := []int32{start}
+	in := graph.NewBitset(n)
+	in.Set(start)
+	for len(blob) < size {
+		cands := blobCandidates(g, crashed, blob, in)
+		if len(cands) == 0 {
+			break
+		}
+		best, bestScore := cands[0], -1
+		for _, c := range cands {
+			score := 0
+			for _, m := range g.NeighborIndices(c) {
+				if !in.Has(m) && !crashed.Has(m) {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		blob = append(blob, best)
+		in.Set(best)
+	}
+	return blob
+}
+
+// blobCandidates lists the alive non-member neighbours of the blob, in
+// blob-insertion × CSR order (deterministic, duplicate-free).
+func blobCandidates(g *graph.Graph, crashed graph.Bitset, blob []int32, in graph.Bitset) []int32 {
+	var cands []int32
+	seen := graph.NewBitset(g.Len())
+	for _, b := range blob {
+		for _, m := range g.NeighborIndices(b) {
+			if !in.Has(m) && !crashed.Has(m) && !seen.Has(m) {
+				seen.Set(m)
+				cands = append(cands, m)
+			}
+		}
+	}
+	return cands
 }

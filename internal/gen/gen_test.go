@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cliffedge/internal/graph"
+	"cliffedge/internal/netem"
 )
 
 // TestFamilyDeterminism: the same seed must reproduce the same topology,
@@ -215,6 +216,136 @@ func TestBlobShapes(t *testing.T) {
 		}
 		if !touches {
 			t.Fatal("AdjacentBlob does not touch the crashed set")
+		}
+	}
+}
+
+// TestMaxBorderBlob: adversarial blobs are connected, alive-only, bounded
+// by size, and on average grow a larger alive border than uniform blobs
+// of the same size.
+func TestMaxBorderBlob(t *testing.T) {
+	g := graph.Grid(8, 8)
+	crashed := graph.NewBitset(g.Len())
+	border := func(blob []int32) int {
+		set := graph.NewBitset(g.Len())
+		for _, i := range blob {
+			set.Set(i)
+		}
+		return len(g.BorderOfIndices(blob, set))
+	}
+	rng := rand.New(rand.NewSource(5))
+	sumMax, sumUni := 0, 0
+	for i := 0; i < 60; i++ {
+		blob := MaxBorderBlob(rng, g, crashed, 6)
+		if len(blob) == 0 || len(blob) > 6 {
+			t.Fatalf("MaxBorderBlob size %d outside (0, 6]", len(blob))
+		}
+		set := make(map[graph.NodeID]bool, len(blob))
+		for _, idx := range blob {
+			if crashed.Has(idx) {
+				t.Fatal("MaxBorderBlob picked a crashed node")
+			}
+			set[g.ID(idx)] = true
+		}
+		if !g.IsConnectedSubset(set) {
+			t.Fatal("MaxBorderBlob is disconnected")
+		}
+		sumMax += border(blob)
+		sumUni += border(Blob(rng, g, crashed, 6))
+	}
+	if sumMax <= sumUni {
+		t.Fatalf("max-border growth not adversarial: border sum %d vs uniform %d", sumMax, sumUni)
+	}
+}
+
+// TestUpgradePlanShape: upgrade plans are rolling mark waves (chunks of
+// 1–2 nodes of one connected zone) optionally interleaved with one churn
+// crash wave, all quiescence-spaced.
+func TestUpgradePlanShape(t *testing.T) {
+	reg, ok := RegimeByName("upgrade")
+	if !ok {
+		t.Fatal("upgrade regime missing")
+	}
+	if reg.Check != CheckNone {
+		t.Fatalf("upgrade Check = %d, want CheckNone", reg.Check)
+	}
+	for _, fam := range Families() {
+		for seed := int64(0); seed < 20; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g, desc := fam.New(rng)
+			waves := reg.Plan(rng, g)
+			if err := Validate(g, waves); err != nil {
+				t.Fatalf("%s seed %d: %v", desc, seed, err)
+			}
+			marked := make(map[graph.NodeID]bool)
+			crashWaves := 0
+			for w, wave := range waves {
+				if wave.Time != int64(w+1)*WaveSpacing {
+					t.Fatalf("%s seed %d: wave %d at t=%d not quiescence-spaced", desc, seed, w, wave.Time)
+				}
+				if len(wave.Crash) > 0 && len(wave.Mark) > 0 {
+					t.Fatalf("%s seed %d: wave %d mixes crash and mark", desc, seed, w)
+				}
+				if len(wave.Crash) > 0 {
+					crashWaves++
+					continue
+				}
+				if len(wave.Mark) > 2 {
+					t.Fatalf("%s seed %d: mark wave %d has %d nodes, want ≤ 2 (rolling)", desc, seed, w, len(wave.Mark))
+				}
+				for _, n := range wave.Mark {
+					marked[n] = true
+				}
+			}
+			if len(marked) == 0 {
+				t.Fatalf("%s seed %d: upgrade plan marks nothing", desc, seed)
+			}
+			if crashWaves > 1 {
+				t.Fatalf("%s seed %d: %d churn waves, want ≤ 1", desc, seed, crashWaves)
+			}
+			if !g.IsConnectedSubset(marked) {
+				t.Fatalf("%s seed %d: marked zone disconnected", desc, seed)
+			}
+		}
+	}
+}
+
+// TestRegimeNetModels: flaky and lossy regimes draw deterministic,
+// well-formed network models of the right mode; the crash-only regimes
+// draw none.
+func TestRegimeNetModels(t *testing.T) {
+	for _, reg := range Regimes() {
+		m := reg.NetModel(rand.New(rand.NewSource(1)))
+		switch reg.Name {
+		case "flaky":
+			if m == nil || m.Mode != netem.Retransmit {
+				t.Fatalf("flaky model = %+v, want retransmit mode", m)
+			}
+			if reg.Check != CheckFull {
+				t.Fatalf("flaky Check = %d, want CheckFull", reg.Check)
+			}
+		case "lossy":
+			if m == nil || m.Mode != netem.RawLoss {
+				t.Fatalf("lossy model = %+v, want raw-loss mode", m)
+			}
+			if m.Default.DupProb == 0 {
+				t.Fatal("lossy model without duplication")
+			}
+			if reg.Check != CheckSafety {
+				t.Fatalf("lossy Check = %d, want CheckSafety", reg.Check)
+			}
+		default:
+			if m != nil {
+				t.Fatalf("regime %s draws a net model", reg.Name)
+			}
+			continue
+		}
+		if err := m.Default.Validate(); err != nil {
+			t.Fatalf("%s model invalid: %v", reg.Name, err)
+		}
+		m2 := reg.NetModel(rand.New(rand.NewSource(1)))
+		if m.Mode != m2.Mode || m.Default != m2.Default {
+			t.Fatalf("%s model draw not deterministic: %+v vs %+v", reg.Name, m, m2)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"cliffedge/internal/dsu"
 	"cliffedge/internal/graph"
+	"cliffedge/internal/netem"
 	"cliffedge/internal/proto"
 	"cliffedge/internal/region"
 	"cliffedge/internal/trace"
@@ -101,6 +102,7 @@ type Runtime struct {
 	// internally synchronised.
 	automata []proto.Automaton
 	boxes    []*mailbox
+	net      *netem.Net
 
 	mu      sync.Mutex
 	crashed graph.Bitset   // guarded by mu
@@ -122,6 +124,19 @@ type Options struct {
 	// DiscardEvents stops the trace from being retained; Result.Events is
 	// nil while Stats and Observer still see everything.
 	DiscardEvents bool
+	// Net, if non-nil, adjudicates every inter-node send through the
+	// deterministic link-fault model, keyed by the logical clock value of
+	// the send event. Drop verdicts discard the envelope (traced as a
+	// network drop), duplicate verdicts enqueue a second copy behind the
+	// first (mailbox FIFO keeps them ordered). ExtraDelay is accounted in
+	// the model's counters but not realised — wall-clock scheduling
+	// belongs to the Go runtime here, and injecting sleeps would tie the
+	// protocol's correctness to timing the live engine exists to vary.
+	// The verdict stream itself is identical to the simulator's for
+	// identical (from, to, sendTime) queries; sendTime being the logical
+	// clock is what makes live outcomes scheduler-dependent under raw
+	// loss, which is exactly what campaigns sample.
+	Net *netem.Net
 }
 
 // New builds and starts a live cluster: every automaton is instantiated
@@ -143,6 +158,7 @@ func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 		crashed:  graph.NewBitset(n),
 		subs:     make([]graph.Bitset, n),
 		regions:  dsu.New(n),
+		net:      opts.Net,
 	}
 	if opts.Observer != nil {
 		rt.log.Observe(opts.Observer)
@@ -172,9 +188,15 @@ func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 
 func (rt *Runtime) now() int64 { return rt.clock.Add(1) }
 
-func (rt *Runtime) emit(e trace.Event) {
-	e.Time = rt.now()
+func (rt *Runtime) emit(e trace.Event) { rt.emitT(e) }
+
+// emitT appends e stamped with a fresh logical-clock tick and returns the
+// tick — the send path uses it as the link-fault adjudication time.
+func (rt *Runtime) emitT(e trace.Event) int64 {
+	t := rt.now()
+	e.Time = t
 	rt.log.Append(e)
+	return t
 }
 
 // trackEnter/trackExit maintain the in-flight work counter used by
@@ -259,10 +281,30 @@ func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
 			if ti < 0 {
 				continue // automata only address graph members
 			}
-			rt.emit(trace.Event{Kind: trace.KindSend, Node: id, Peer: to,
+			sentAt := rt.emitT(trace.Event{Kind: trace.KindSend, Node: id, Peer: to,
 				View: view, Round: round, Bytes: size})
+			duplicate := false
+			if rt.net != nil && ti != i {
+				// Nonce 0: the logical clock already gives every send a
+				// unique adjudication time.
+				v := rt.net.Adjudicate(i, ti, sentAt, 0)
+				if v.Drop {
+					// Lost on the wire: trace the network drop, enqueue
+					// nothing (the ledger conserves: send = drop).
+					rt.emit(trace.Event{Kind: trace.KindDrop, Node: to, Peer: id,
+						Bytes: size})
+					continue
+				}
+				duplicate = v.Duplicate
+			}
 			rt.trackEnter()
 			rt.boxes[ti].put(envelope{from: i, payload: s.Payload})
+			if duplicate {
+				// Duplicated copy behind the original on the same channel;
+				// mailbox FIFO keeps the pair ordered.
+				rt.trackEnter()
+				rt.boxes[ti].put(envelope{from: i, payload: s.Payload})
+			}
 		}
 	}
 	if eff.Decision != nil {

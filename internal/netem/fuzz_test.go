@@ -1,0 +1,84 @@
+package netem
+
+import (
+	"testing"
+
+	"cliffedge/internal/graph"
+)
+
+// FuzzModel drives profile/flap/window composition with arbitrary
+// parameters: Bind must either reject the model or produce an adjudicator
+// whose verdicts are well-formed — no negative delays, no drops or
+// duplicates in Retransmit mode, outage-period flaps that always heal —
+// and purely functional (the same query twice returns the same verdict).
+func FuzzModel(f *testing.F) {
+	f.Add(uint8(0), 0.1, int64(0), int64(10), 0.01, int64(50), int64(200), 0.05,
+		int64(5), int64(3), int64(20), int64(2), int64(0), int64(0))
+	f.Add(uint8(1), 0.5, int64(2), int64(2), 0.5, int64(1), int64(1), 0.5,
+		int64(0), int64(1), int64(0), int64(0), int64(10), int64(0))
+	f.Add(uint8(1), 1.0, int64(-1), int64(5), 2.0, int64(9), int64(3), -0.5,
+		int64(-3), int64(0), int64(7), int64(-1), int64(3), int64(100))
+	f.Fuzz(func(t *testing.T, mode uint8, loss float64, jMin, jMax int64,
+		spikeP float64, sMin, sMax int64, dupP float64,
+		flapStart, flapDown, flapPeriod, flapCount int64,
+		winFrom, winUntil int64) {
+		g := graph.Grid(3, 3)
+		prof := Profile{
+			Loss: loss, JitterMin: jMin, JitterMax: jMax,
+			SpikeProb: spikeP, SpikeMin: sMin, SpikeMax: sMax, DupProb: dupP,
+		}
+		m := Model{
+			Mode:    Mode(mode % 2),
+			Default: prof,
+			Rules: []Rule{
+				{
+					A:       []graph.NodeID{graph.GridID(0, 0), graph.GridID(1, 1)},
+					Profile: prof,
+					Flap:    &Flap{Start: flapStart, Down: flapDown, Period: flapPeriod, Count: int(flapCount % 8)},
+					From:    winFrom, Until: winUntil,
+				},
+			},
+		}
+		n, err := m.Bind(g, 99)
+		if err != nil {
+			// Rejected models must be genuinely malformed: a valid profile
+			// plus a valid flap plus a valid window must always bind.
+			if prof.Validate() == nil && m.Rules[0].Flap.Validate() == nil &&
+				winFrom >= 0 && (winUntil == 0 || winUntil > winFrom) {
+				t.Fatalf("well-formed model rejected: %v", err)
+			}
+			return
+		}
+
+		// The bound flap must always heal: every down instant has a heal
+		// time strictly in the future.
+		fl := *m.Rules[0].Flap
+		for _, at := range []int64{0, 1, flapStart, flapStart + flapDown - 1, flapStart + flapDown,
+			flapStart + flapPeriod, flapStart + 3*flapPeriod + 1, 1 << 40} {
+			if at < 0 {
+				continue
+			}
+			if down, heal := fl.Outage(at); down && heal <= at {
+				t.Fatalf("flap %+v down at t=%d but heals at %d", fl, at, heal)
+			}
+		}
+
+		for from := int32(0); from < 4; from++ {
+			for _, at := range []int64{0, 1, flapStart, flapStart + 1, winFrom, winUntil, 1 << 40} {
+				if at < 0 {
+					continue
+				}
+				v := n.Adjudicate(from, (from+1)%9, at, uint64(at)%3)
+				if v.ExtraDelay < 0 {
+					t.Fatalf("negative delay %d for (%d, t=%d)", v.ExtraDelay, from, at)
+				}
+				if m.Mode == Retransmit && (v.Drop || v.Duplicate) {
+					t.Fatalf("retransmit mode produced %+v", v)
+				}
+				if v2 := n.Adjudicate(from, (from+1)%9, at, uint64(at)%3); v2 != v {
+					t.Fatalf("adjudication not pure: %+v then %+v", v, v2)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,353 @@
+package netem
+
+import (
+	"sync"
+	"testing"
+
+	"cliffedge/internal/graph"
+)
+
+func mustBind(t *testing.T, m Model, g *graph.Graph, seed int64) *Net {
+	t.Helper()
+	n, err := m.Bind(g, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestProfileValidate: malformed primitives are rejected, well-formed ones
+// accepted.
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{Loss: -0.1},
+		{Loss: 1.5},
+		{SpikeProb: 2},
+		{DupProb: -1},
+		{JitterMin: -1},
+		{JitterMin: 5, JitterMax: 2},
+		{SpikeMin: -3},
+		{SpikeMin: 10, SpikeMax: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d (%+v) accepted", i, p)
+		}
+	}
+	good := []Profile{
+		{},
+		{Loss: 1},
+		{Loss: 0.2, JitterMin: 1, JitterMax: 20, SpikeProb: 0.01, SpikeMin: 100, SpikeMax: 500, DupProb: 0.05},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestFlapOutage: the outage windows and heal times of one-shot, periodic
+// and bounded-count flaps.
+func TestFlapOutage(t *testing.T) {
+	oneShot := Flap{Start: 10, Down: 5}
+	cases := []struct {
+		t      int64
+		down   bool
+		healAt int64
+	}{
+		{0, false, 0}, {9, false, 0},
+		{10, true, 15}, {14, true, 15},
+		{15, false, 0}, {1000, false, 0},
+	}
+	for _, c := range cases {
+		if down, heal := oneShot.Outage(c.t); down != c.down || (down && heal != c.healAt) {
+			t.Errorf("one-shot at t=%d: got (%v, %d), want (%v, %d)", c.t, down, heal, c.down, c.healAt)
+		}
+	}
+
+	periodic := Flap{Start: 100, Down: 10, Period: 50}
+	for _, c := range []struct {
+		t      int64
+		down   bool
+		healAt int64
+	}{
+		{99, false, 0},
+		{100, true, 110}, {109, true, 110}, {110, false, 0},
+		{150, true, 160}, {205, true, 210}, {220, false, 0},
+	} {
+		if down, heal := periodic.Outage(c.t); down != c.down || (down && heal != c.healAt) {
+			t.Errorf("periodic at t=%d: got (%v, %d), want (%v, %d)", c.t, down, heal, c.down, c.healAt)
+		}
+	}
+
+	bounded := Flap{Start: 0, Down: 10, Period: 100, Count: 2}
+	if down, _ := bounded.Outage(105); !down {
+		t.Error("bounded flap: second occurrence missing")
+	}
+	if down, _ := bounded.Outage(205); down {
+		t.Error("bounded flap: third occurrence should not exist")
+	}
+}
+
+// TestFlapValidate: never-healing and malformed schedules are rejected.
+func TestFlapValidate(t *testing.T) {
+	bad := []Flap{
+		{Start: -1, Down: 5},
+		{Start: 0, Down: 0},
+		{Start: 0, Down: -2},
+		{Start: 0, Down: 10, Period: 10}, // never heals
+		{Start: 0, Down: 10, Period: 5},
+		{Start: 0, Down: 1, Period: 2, Count: -1},
+		// Overflow guards: time values beyond 2^48 would make heal-time
+		// arithmetic wrap to the past (negative ExtraDelay).
+		{Start: 1<<62 + 1, Down: 1, Period: 2},
+		{Start: 0, Down: 1 << 62},
+		{Start: 0, Down: 1, Period: 1 << 62},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("flap %d (%+v) accepted", i, f)
+		}
+	}
+	if err := (Flap{Start: 5, Down: 3, Period: 10, Count: 4}).Validate(); err != nil {
+		t.Errorf("valid flap rejected: %v", err)
+	}
+}
+
+// TestBindRejects: Bind validates profiles, flaps, windows and endpoints.
+func TestBindRejects(t *testing.T) {
+	g := graph.Grid(3, 3)
+	cases := []Model{
+		{Mode: 7},
+		{MaxResend: -1},
+		{RTO: -3},
+		{Default: Profile{Loss: 2}},
+		{Rules: []Rule{{Profile: Profile{Loss: -1}}}},
+		{Rules: []Rule{{Flap: &Flap{Down: 0}}}},
+		{Rules: []Rule{{From: -5}}},
+		{Rules: []Rule{{From: 10, Until: 10}}},
+		{Rules: []Rule{{A: []graph.NodeID{"ghost"}}}},
+	}
+	for i, m := range cases {
+		if _, err := m.Bind(g, 1); err == nil {
+			t.Errorf("model %d accepted: %+v", i, m)
+		}
+	}
+	if _, err := (&Model{}).Bind(g, 1); err != nil {
+		t.Errorf("zero model rejected: %v", err)
+	}
+}
+
+// TestAdjudicatePure: identical queries return identical verdicts, from
+// any number of goroutines in any order — the property both engines'
+// determinism rests on.
+func TestAdjudicatePure(t *testing.T) {
+	g := graph.Grid(4, 4)
+	m := Model{
+		Mode:    RawLoss,
+		Default: Profile{Loss: 0.3, JitterMin: 1, JitterMax: 25, SpikeProb: 0.1, SpikeMin: 50, SpikeMax: 200, DupProb: 0.15},
+	}
+	n := mustBind(t, m, g, 42)
+
+	type q struct {
+		from, to int32
+		at       int64
+	}
+	var queries []q
+	for from := int32(0); from < 8; from++ {
+		for to := int32(0); to < 8; to++ {
+			for _, at := range []int64{0, 1, 17, 1000, 1 << 30} {
+				queries = append(queries, q{from, to, at})
+			}
+		}
+	}
+	want := make([]Verdict, len(queries))
+	for i, qq := range queries {
+		want[i] = n.Adjudicate(qq.from, qq.to, qq.at, 0)
+	}
+
+	// Re-adjudicate concurrently, in shards, against a fresh binding.
+	n2 := mustBind(t, m, g, 42)
+	got := make([]Verdict, len(queries))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += 8 {
+				got[i] = n2.Adjudicate(queries[i].from, queries[i].to, queries[i].at, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range queries {
+		if got[i] != want[i] {
+			t.Fatalf("query %d (%+v): verdict diverged: %+v vs %+v", i, queries[i], got[i], want[i])
+		}
+	}
+}
+
+// TestSeedsDiffer: different binding seeds must produce different verdict
+// streams (otherwise every run of a campaign would see the same faults).
+func TestSeedsDiffer(t *testing.T) {
+	g := graph.Grid(4, 4)
+	m := Model{Mode: RawLoss, Default: Profile{Loss: 0.5}}
+	a := mustBind(t, m, g, 1)
+	b := mustBind(t, m, g, 2)
+	same := 0
+	const total = 500
+	for i := int64(0); i < total; i++ {
+		if a.Adjudicate(0, 1, i, 0) == b.Adjudicate(0, 1, i, 0) {
+			same++
+		}
+	}
+	if same == total {
+		t.Fatal("seeds 1 and 2 produced identical verdict streams")
+	}
+}
+
+// TestRetransmitReliable: in Retransmit mode nothing is ever dropped or
+// duplicated — losses, spikes and even outages surface as non-negative
+// delay only — and the counters account for the conversions.
+func TestRetransmitReliable(t *testing.T) {
+	g := graph.Grid(4, 4)
+	m := Model{
+		Default: Profile{Loss: 0.6, JitterMax: 10, SpikeProb: 0.2, SpikeMin: 30, SpikeMax: 90, DupProb: 0.9},
+		Rules: []Rule{
+			{A: []graph.NodeID{graph.GridID(0, 0)}, Flap: &Flap{Start: 100, Down: 50, Period: 200}},
+		},
+	}
+	n := mustBind(t, m, g, 7)
+	for from := int32(0); from < 4; from++ {
+		for to := int32(4); to < 8; to++ {
+			for at := int64(0); at < 400; at += 13 {
+				v := n.Adjudicate(from, to, at, 0)
+				if v.Drop || v.Duplicate {
+					t.Fatalf("retransmit mode dropped or duplicated: %+v", v)
+				}
+				if v.ExtraDelay < 0 {
+					t.Fatalf("negative delay %d", v.ExtraDelay)
+				}
+			}
+		}
+	}
+	s := n.Stats()
+	if s.Dropped != 0 || s.Duplicates != 0 {
+		t.Fatalf("retransmit counters report loss: %+v", s)
+	}
+	if s.Retransmits == 0 {
+		t.Fatalf("loss 0.6 produced no retransmissions: %+v", s)
+	}
+	if s.Delivered != s.Sent {
+		t.Fatalf("delivered %d != sent %d", s.Delivered, s.Sent)
+	}
+}
+
+// TestRetransmitOutageDelay: a send during an outage is delayed past the
+// heal time.
+func TestRetransmitOutageDelay(t *testing.T) {
+	g := graph.Grid(2, 2)
+	m := Model{Rules: []Rule{{Flap: &Flap{Start: 1000, Down: 500}}}}
+	n := mustBind(t, m, g, 3)
+	v := n.Adjudicate(0, 1, 1200, 0)
+	if v.Drop {
+		t.Fatal("outage dropped in retransmit mode")
+	}
+	if got := 1200 + v.ExtraDelay; got < 1500 {
+		t.Fatalf("delivery at %d lands inside the outage (heals at 1500)", got)
+	}
+	if v2 := n.Adjudicate(0, 1, 1600, 0); v2.ExtraDelay != 0 {
+		t.Fatalf("healed link still delayed by %d", v2.ExtraDelay)
+	}
+}
+
+// TestRawLossDropsAndHeals: RawLoss drops during outages and with the
+// loss probability, duplicates with DupProb, and the frequencies roughly
+// match the configured rates.
+func TestRawLossStatistics(t *testing.T) {
+	g := graph.Grid(4, 4)
+	m := Model{Mode: RawLoss, Default: Profile{Loss: 0.25, DupProb: 0.1, JitterMax: 5}}
+	n := mustBind(t, m, g, 11)
+	const total = 20000
+	drops, dups := 0, 0
+	for i := int64(0); i < total; i++ {
+		v := n.Adjudicate(int32(i%4), int32(4+i%4), i, 0)
+		if v.Drop {
+			drops++
+		}
+		if v.Duplicate {
+			dups++
+		}
+	}
+	if f := float64(drops) / total; f < 0.22 || f > 0.28 {
+		t.Fatalf("drop rate %.3f far from 0.25", f)
+	}
+	// Duplication is drawn only on delivered messages: ≈ 0.75 · 0.1.
+	if f := float64(dups) / total; f < 0.055 || f > 0.095 {
+		t.Fatalf("dup rate %.3f far from 0.075", f)
+	}
+	s := n.Stats()
+	if s.Sent != total || s.Dropped != int64(drops) || s.Duplicates != int64(dups) {
+		t.Fatalf("counters inconsistent: %+v (drops %d, dups %d)", s, drops, dups)
+	}
+	if s.Delivered != total-int64(drops)+int64(dups) {
+		t.Fatalf("delivered %d, want %d", s.Delivered, total-int64(drops)+int64(dups))
+	}
+}
+
+// TestRuleComposition: first matching profile wins; flaps union across
+// rules; windows gate both; zone rules match either orientation.
+func TestRuleComposition(t *testing.T) {
+	g := graph.Grid(3, 3)
+	zone := []graph.NodeID{graph.GridID(0, 0), graph.GridID(0, 1)}
+	m := Model{
+		Mode:    RawLoss,
+		Default: Profile{JitterMin: 1, JitterMax: 1},
+		Rules: []Rule{
+			// Flap-only rule: transparent for profiles.
+			{A: zone, Flap: &Flap{Start: 50, Down: 10}},
+			// Zone degradation, active from t=100 on.
+			{A: zone, Profile: Profile{Loss: 1}, From: 100},
+		},
+	}
+	n := mustBind(t, m, g, 5)
+	inZone := g.Index(graph.GridID(0, 0))
+	out := g.Index(graph.GridID(2, 2))
+
+	// Before the degradation window: default profile applies (jitter 1).
+	if v := n.Adjudicate(inZone, out, 10, 0); v.Drop || v.ExtraDelay != 1 {
+		t.Fatalf("t=10: want default jitter 1, got %+v", v)
+	}
+	// During the flap: dropped regardless of profile.
+	if v := n.Adjudicate(out, inZone, 55, 0); !v.Drop {
+		t.Fatalf("t=55: flap outage not applied (reverse orientation): %+v", v)
+	}
+	// After From=100: Loss=1 means every transmission drops.
+	if v := n.Adjudicate(inZone, out, 150, 0); !v.Drop {
+		t.Fatalf("t=150: zone degradation not applied: %+v", v)
+	}
+	// Links not touching the zone never see either rule.
+	mid := g.Index(graph.GridID(2, 0))
+	if v := n.Adjudicate(out, mid, 150, 0); v.Drop {
+		t.Fatalf("t=150: rule leaked onto non-zone link: %+v", v)
+	}
+}
+
+// TestNonceDecorrelates: transmissions sharing (from, to, sendTime) but
+// carrying different nonces (the simulator's same-tick burst case) draw
+// independently instead of sharing fate.
+func TestNonceDecorrelates(t *testing.T) {
+	g := graph.Grid(2, 2)
+	m := Model{Mode: RawLoss, Default: Profile{Loss: 0.5}}
+	n := mustBind(t, m, g, 13)
+	drops := 0
+	const total = 2000
+	for nonce := uint64(0); nonce < total; nonce++ {
+		if n.Adjudicate(0, 1, 77, nonce).Drop {
+			drops++
+		}
+	}
+	if f := float64(drops) / total; f < 0.45 || f > 0.55 {
+		t.Fatalf("drop rate %.3f over nonces far from 0.5 — nonce not decorrelating", f)
+	}
+}

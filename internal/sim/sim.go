@@ -46,6 +46,7 @@ import (
 	"math/rand"
 
 	"cliffedge/internal/graph"
+	"cliffedge/internal/netem"
 	"cliffedge/internal/proto"
 	"cliffedge/internal/trace"
 )
@@ -88,6 +89,14 @@ type Config struct {
 	NetLatency LatencyModel
 	// FDLatency delays failure detections; defaults to Uniform{1, 10}.
 	FDLatency LatencyModel
+	// Net, if non-nil, adjudicates every inter-node transmission through
+	// the deterministic link-fault model: extra delay is added before the
+	// FIFO-floor clamp (per-channel FIFO is preserved), raw-loss drops
+	// are traced as network drops at send time, and duplicates schedule a
+	// second delivery on the same channel. Self-deliveries (injections,
+	// triggers) bypass the model. Failure-detector notifications are a
+	// separate abstract service and are never adjudicated.
+	Net *netem.Net
 	// Crashes are the scheduled failures.
 	Crashes []CrashAt
 	// Triggers are the event-triggered failures.
@@ -175,6 +184,11 @@ type Runner struct {
 	triggers  []Trigger
 	fired     []bool
 	processed int
+	// netNonce counts link-fault adjudications, disambiguating multiple
+	// sends on one channel within a single virtual tick so their netem
+	// draws stay independent (the kernel is single-threaded, so this is
+	// deterministic across runs and GOMAXPROCS settings).
+	netNonce uint64
 
 	// Quiet-mode counters (see Config.Quiet).
 	qMsgs, qDeliveries, qDrops, qBytes, qMaxRound int
@@ -478,7 +492,6 @@ func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
 	}
 	for _, to := range s.To {
 		lat := r.cfg.NetLatency.Latency(fromID, to, r.rng)
-		at := r.now + lat
 		toIdx := r.g.Index(to)
 		if toIdx < 0 {
 			// A send to a node outside the graph is a programmer error in
@@ -486,10 +499,14 @@ func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
 			// index panic deep in the bookkeeping.
 			panic(fmt.Sprintf("sim: %s sends to unknown node %q", fromID, to))
 		}
-		if at < floors[toIdx] {
-			at = floors[toIdx]
+		// Link-fault adjudication. The verdict is a pure function of
+		// (seed, from, to, now) — no allocation, no RNG-stream coupling —
+		// so enabling the model never perturbs the latency draws above.
+		var verdict netem.Verdict
+		if r.cfg.Net != nil && toIdx != from {
+			verdict = r.cfg.Net.Adjudicate(from, toIdx, r.now, r.netNonce)
+			r.netNonce++
 		}
-		floors[toIdx] = at
 		if r.cfg.Quiet {
 			r.qMsgs++
 			r.qBytes += int(size)
@@ -497,8 +514,32 @@ func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
 			r.emit(trace.Event{Kind: trace.KindSend, Node: fromID, Peer: to,
 				View: view, Round: round, Bytes: int(size)})
 		}
+		if verdict.Drop {
+			// Raw-loss mode lost the message on the wire: trace the drop
+			// at send time and leave the FIFO floor untouched (nothing
+			// will be delivered on the channel for this send).
+			if r.cfg.Quiet {
+				r.qDrops++
+			} else {
+				r.emit(trace.Event{Kind: trace.KindDrop, Node: to, Peer: fromID,
+					Bytes: int(size)})
+			}
+			continue
+		}
+		at := r.now + lat + verdict.ExtraDelay
+		if at < floors[toIdx] {
+			at = floors[toIdx]
+		}
+		floors[toIdx] = at
 		r.schedule(event{time: at, kind: evDeliver, node: toIdx, peer: from,
 			view: view, round: int32(round), bytes: size, payload: s.Payload})
+		if verdict.Duplicate {
+			// The network duplicated the copy: a second delivery on the
+			// same channel, behind the original (same floor), with no
+			// matching send — visible to conservation checks by design.
+			r.schedule(event{time: at, kind: evDeliver, node: toIdx, peer: from,
+				view: view, round: int32(round), bytes: size, payload: s.Payload})
+		}
 	}
 }
 

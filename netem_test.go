@@ -1,0 +1,192 @@
+package cliffedge
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file covers the public network-conditions surface: WithNetModel,
+// Plan.FlapLink/Plan.Degrade, Result.Net, the checker's automatic
+// safety-only downgrade under raw loss, and the cross-engine determinism
+// contract (same seed + same profile ⇒ bit-identical simulator traces
+// across runs and GOMAXPROCS; identical quiescent-regime decisions on the
+// live engine).
+
+func netemTestModel(mode NetMode) *NetModel {
+	return &NetModel{
+		Mode: mode,
+		Default: NetProfile{
+			Loss: 0.2, JitterMax: 15, SpikeProb: 0.05, SpikeMin: 40, SpikeMax: 120,
+		},
+	}
+}
+
+func netemRun(t *testing.T, opts []Option, plan *Plan) *Result {
+	t.Helper()
+	topo := Grid(6, 6)
+	c, err := New(topo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func blockPlan() *Plan {
+	return NewPlan().At(10).Crash(CenterBlock(6, 6, 2)...)
+}
+
+// TestNetModelSimDeterministicTrace: the paper-facing determinism
+// guarantee at the API level, for both modes, across GOMAXPROCS.
+func TestNetModelSimDeterministicTrace(t *testing.T) {
+	for _, mode := range []NetMode{NetRetransmit, NetRawLoss} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			render := func() string {
+				res := netemRun(t, []Option{WithSeed(11), WithNetModel(netemTestModel(mode))}, blockPlan())
+				var sb strings.Builder
+				for _, e := range res.Events() {
+					fmt.Fprintln(&sb, e)
+				}
+				fmt.Fprintf(&sb, "net=%+v\n", *res.Net)
+				return sb.String()
+			}
+			want := render()
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, procs := range []int{1, 4, prev} {
+				runtime.GOMAXPROCS(procs)
+				if got := render(); got != want {
+					t.Fatalf("GOMAXPROCS=%d: trace or counters diverged", procs)
+				}
+			}
+		})
+	}
+}
+
+// TestNetModelLiveQuiescentDecisions: on the live engine, a quiescent
+// single-wave plan under retransmission-mode degradation must reproduce
+// its decisions across repeated runs (the interleaving-independent
+// regime) and match the simulator's decisions for the same workload.
+func TestNetModelLiveQuiescentDecisions(t *testing.T) {
+	model := netemTestModel(NetRetransmit)
+	decide := func(engine Engine) string {
+		res := netemRun(t, []Option{
+			WithSeed(4), WithNetModel(model), WithChecker(),
+			WithEngine(engine), WithLiveTimeout(time.Minute),
+		}, blockPlan())
+		var sb strings.Builder
+		for _, d := range res.Decisions {
+			fmt.Fprintf(&sb, "%s→{%s}=%s;", d.Node, d.View.Key(), d.Value)
+		}
+		return sb.String()
+	}
+	want := decide(Sim())
+	if want == "" {
+		t.Fatal("sim decided nothing")
+	}
+	for i := 0; i < 3; i++ {
+		if got := decide(Live()); got != want {
+			t.Fatalf("live run %d diverged:\nsim:  %s\nlive: %s", i, want, got)
+		}
+	}
+}
+
+// TestNetModelCheckerDowngrade: a checked cluster accepts raw-loss runs —
+// stalls and duplicates are judged by the safety subset only — while a
+// genuine violation would still surface (covered in internal/check).
+func TestNetModelCheckerDowngrade(t *testing.T) {
+	model := &NetModel{
+		Mode:    NetRawLoss,
+		Default: NetProfile{Loss: 0.25, DupProb: 0.2},
+	}
+	res := netemRun(t, []Option{WithSeed(2), WithNetModel(model), WithChecker()}, blockPlan())
+	if res.Net == nil || res.Net.Dropped == 0 {
+		t.Fatalf("raw loss dropped nothing: %+v", res.Net)
+	}
+	if res.Net.Duplicates == 0 {
+		t.Fatalf("dup 0.2 duplicated nothing: %+v", res.Net)
+	}
+}
+
+// TestPlanFlapLink: a flapped link drops everything inside its outage
+// window in raw-loss mode, and a run without any model attached carries
+// no Net stats.
+func TestPlanFlapLink(t *testing.T) {
+	res := netemRun(t, []Option{WithSeed(1)}, blockPlan())
+	if res.Net != nil {
+		t.Fatalf("unconditioned run has Net stats: %+v", res.Net)
+	}
+
+	// Flap the link between two adjacent survivors for the whole
+	// convergence window; raw-loss mode so drops are observable.
+	a, b := GridID(0, 0), GridID(0, 1)
+	model := &NetModel{Mode: NetRawLoss}
+	plan := blockPlan().At(0).FlapLink(a, b, 1<<40)
+	res = netemRun(t, []Option{WithSeed(1), WithNetModel(model)}, plan)
+	if res.Net == nil {
+		t.Fatal("flapped run has no Net stats")
+	}
+	for _, e := range res.Events() {
+		if e.Kind == EventDeliver &&
+			((e.Node == a && e.Peer == b) || (e.Node == b && e.Peer == a)) {
+			t.Fatalf("delivery across a downed link: %s", e)
+		}
+	}
+}
+
+// TestPlanDegrade: a zone degradation clause imposes its profile on links
+// touching the zone from the cursor time on — observable as retransmit
+// counters attributable to the zone — and validates its nodes.
+func TestPlanDegrade(t *testing.T) {
+	// Nodes on the crashed block's border — CD3 locality means only the
+	// domain ∪ border cone carries traffic, so degrading anywhere else
+	// would be unobservable.
+	zone := []NodeID{GridID(1, 2), GridID(2, 1)}
+	plan := blockPlan().At(0).Degrade(NetProfile{Loss: 0.9}, zone...)
+	res := netemRun(t, []Option{WithSeed(6)}, plan)
+	if res.Net == nil || res.Net.Retransmits == 0 {
+		t.Fatalf("degraded zone produced no retransmissions: %+v", res.Net)
+	}
+
+	topo := Grid(6, 6)
+	c, err := New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewPlan().At(0).Degrade(NetProfile{Loss: 0.5}, "ghost")
+	if _, err := c.Run(context.Background(), bad); err == nil {
+		t.Fatal("unknown node in Degrade accepted")
+	}
+	invalid := NewPlan().At(0).Degrade(NetProfile{Loss: 2})
+	if _, err := c.Run(context.Background(), invalid); err == nil {
+		t.Fatal("malformed profile accepted")
+	}
+	onEvent := NewPlan().OnEvent(func(Event) bool { return true }, 1).
+		FlapLink(GridID(0, 0), GridID(0, 1), 10)
+	if _, err := c.Run(context.Background(), onEvent); err == nil {
+		t.Fatal("netem clause under OnEvent cursor accepted")
+	}
+}
+
+// TestWithNetModelValidation: nil models are rejected at construction,
+// malformed models at run time (binding).
+func TestWithNetModelValidation(t *testing.T) {
+	if _, err := New(Grid(3, 3), WithNetModel(nil)); err == nil {
+		t.Fatal("nil NetModel accepted")
+	}
+	bad := &NetModel{Default: NetProfile{Loss: -1}}
+	c, err := New(Grid(3, 3), WithNetModel(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), nil); err == nil {
+		t.Fatal("malformed NetModel bound successfully")
+	}
+}

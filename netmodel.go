@@ -1,0 +1,95 @@
+package cliffedge
+
+import (
+	"fmt"
+
+	"cliffedge/internal/netem"
+)
+
+// NetModel declares the network conditions of a run: a mode, a default
+// link profile and an ordered rule list. Attach one to a Cluster with
+// [WithNetModel]; Plans add dynamic clauses on top with [Plan.FlapLink]
+// and [Plan.Degrade]. See the internal/netem package documentation for
+// the full semantics; the short version:
+//
+//   - NetRetransmit (default) keeps the paper's reliable-FIFO channel
+//     abstraction intact — losses, spikes and link flaps surface as
+//     extra delivery delay only (a link layer doing bounded resends).
+//     Every property CD1–CD7 remains checkable.
+//   - NetRawLoss really drops (and occasionally duplicates) messages,
+//     deliberately breaking the proof assumptions so campaigns can
+//     quantify stall and decision rates. A checked Cluster automatically
+//     downgrades to the safety-only property subset for such runs.
+//
+// Verdicts are pure functions of (cluster seed, sender, recipient, send
+// time): simulator runs stay bit-for-bit reproducible with a model
+// attached, and the live runtime adjudicates locklessly from any number
+// of goroutines.
+type NetModel = netem.Model
+
+// NetProfile composes per-link condition primitives: loss probability,
+// jitter band, heavy-tail spikes, duplication.
+type NetProfile = netem.Profile
+
+// NetRule scopes a NetProfile (and optionally a NetFlap) to a set of
+// links during an active time window.
+type NetRule = netem.Rule
+
+// NetFlap is a scheduled link outage with heal times — one-shot or
+// periodic.
+type NetFlap = netem.Flap
+
+// NetStats are the link-layer counters of one run: transmissions,
+// deliveries, drops, retransmissions, duplicates and total imposed delay.
+type NetStats = netem.Stats
+
+// NetMode selects how a NetModel treats the transmissions it disturbs:
+// NetRetransmit or NetRawLoss.
+type NetMode = netem.Mode
+
+// Network-model modes.
+const (
+	// NetRetransmit converts losses and outages into bounded extra delay;
+	// delivery stays exactly-once FIFO.
+	NetRetransmit = netem.Retransmit
+	// NetRawLoss drops and duplicates messages for real.
+	NetRawLoss = netem.RawLoss
+)
+
+// WithNetModel attaches a network-condition model to every run of the
+// cluster. The model is bound per run against the topology and the
+// cluster seed; Plan.FlapLink/Plan.Degrade clauses are prepended to its
+// rule list at run time. Binding errors (malformed profiles or flap
+// schedules, unknown nodes) surface from Cluster.Run.
+func WithNetModel(m *NetModel) Option {
+	return func(c *Cluster) error {
+		if m == nil {
+			return fmt.Errorf("cliffedge: nil NetModel")
+		}
+		c.netModel = m
+		return nil
+	}
+}
+
+// bindNet composes the cluster's network model with the plan's netem
+// clauses and binds the result to the topology and seed. Plan clauses are
+// prepended — a flap or degradation scheduled by the plan takes
+// precedence over the model's static rules — and a nil result means the
+// run is unconditioned (the engines skip adjudication entirely).
+func (c *Cluster) bindNet(plan *Plan) (*netem.Net, error) {
+	var rules []netem.Rule
+	if plan != nil {
+		rules = plan.netemRules()
+	}
+	if c.netModel == nil && len(rules) == 0 {
+		return nil, nil
+	}
+	var m NetModel
+	if c.netModel != nil {
+		m = *c.netModel
+	}
+	if len(rules) > 0 {
+		m.Rules = append(rules, m.Rules...)
+	}
+	return m.Bind(c.topo, c.seed)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cliffedge/internal/netem"
 	"cliffedge/internal/predicate"
 	"cliffedge/internal/sim"
 )
@@ -26,6 +27,13 @@ import (
 // waves and does not support OnEvent).
 type Plan struct {
 	steps []planStep
+	// netSteps are the plan's network-condition clauses (FlapLink,
+	// Degrade), lowered into netem rules and prepended to the cluster's
+	// NetModel at run time.
+	netSteps []netem.Rule
+	// netOnEvent records a netem clause attached under an OnEvent cursor,
+	// which has no time window to compile into; validate rejects it.
+	netOnEvent bool
 
 	// Cursor state for the builder.
 	at    int64
@@ -68,6 +76,50 @@ func (p *Plan) Crash(nodes ...NodeID) *Plan { return p.add(false, nodes) }
 // WithChecker, whose properties are specified against crash ground truth.
 func (p *Plan) Mark(nodes ...NodeID) *Plan { return p.add(true, nodes) }
 
+// FlapLink schedules an outage of the link between a and b (both
+// directions): the link goes down at the cursor time and heals `down`
+// ticks later. While down, transmissions on the link are dropped in
+// raw-loss mode and delayed past the heal time in retransmission mode.
+// FlapLink requires a timed (At) cursor.
+func (p *Plan) FlapLink(a, b NodeID, down int64) *Plan {
+	if p.when != nil {
+		p.netOnEvent = true
+		return p
+	}
+	p.netSteps = append(p.netSteps, netem.Rule{
+		A:    []NodeID{a},
+		B:    []NodeID{b},
+		Flap: &netem.Flap{Start: p.at, Down: down},
+	})
+	return p
+}
+
+// Degrade applies prof to every link touching one of the given nodes
+// (the zone-degradation clause), from the cursor time to the end of the
+// run. With no nodes the whole network degrades. Plan clauses take
+// precedence over the rules of the cluster's WithNetModel model; among
+// themselves, earlier clauses win. Degrade requires a timed (At) cursor.
+func (p *Plan) Degrade(prof NetProfile, nodes ...NodeID) *Plan {
+	if p.when != nil {
+		p.netOnEvent = true
+		return p
+	}
+	p.netSteps = append(p.netSteps, netem.Rule{
+		A:       append([]NodeID(nil), nodes...),
+		Profile: prof,
+		From:    p.at,
+	})
+	return p
+}
+
+// netemRules returns the plan's compiled network-condition clauses.
+func (p *Plan) netemRules() []netem.Rule {
+	if len(p.netSteps) == 0 {
+		return nil
+	}
+	return append([]netem.Rule(nil), p.netSteps...)
+}
+
 func (p *Plan) add(mark bool, nodes []NodeID) *Plan {
 	if len(nodes) == 0 {
 		return p
@@ -90,12 +142,24 @@ func (p *Plan) hasMarks() bool {
 	return false
 }
 
-// validate checks every referenced node against the topology.
+// validate checks every referenced node against the topology and rejects
+// netem clauses attached under an OnEvent cursor (they compile into time
+// windows, which an event condition does not provide).
 func (p *Plan) validate(t *Topology) error {
+	if p.netOnEvent {
+		return fmt.Errorf("cliffedge: FlapLink/Degrade require a timed At cursor, not OnEvent")
+	}
 	for _, s := range p.steps {
 		for _, n := range s.nodes {
 			if !t.Has(n) {
 				return fmt.Errorf("cliffedge: plan references unknown node %q", n)
+			}
+		}
+	}
+	for _, r := range p.netSteps {
+		for _, n := range append(append([]NodeID(nil), r.A...), r.B...) {
+			if !t.Has(n) {
+				return fmt.Errorf("cliffedge: plan network clause references unknown node %q", n)
 			}
 		}
 	}
