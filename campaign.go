@@ -61,6 +61,65 @@ type CampaignCell = campaign.CellReport
 // cell of a campaign grid.
 type CampaignCellKey = campaign.CellKey
 
+// CampaignJob identifies one run of a campaign grid: a cell plus the seed
+// and attempt that pin its workload.
+type CampaignJob = campaign.Job
+
+// CampaignRunStats is the constant-size summary one campaign run produces.
+type CampaignRunStats = campaign.RunStats
+
+// CampaignSpec is the serialisable description of a Campaign — the wire
+// form a campaign server accepts and the manifest form the store persists.
+// It round-trips: NewCampaignFromSpec(c.Spec()) builds a campaign with the
+// identical grid, and identical seeds mean identical workloads, so a spec
+// fully names a sweep. Cluster options (WithClusterOptions) are runtime
+// configuration, not part of the spec; frontends re-apply them when
+// rebuilding a campaign from a persisted spec.
+type CampaignSpec struct {
+	Topologies []string `json:"topologies"`
+	Regimes    []string `json:"regimes"`
+	Engines    []string `json:"engines"`
+	SeedStart  int64    `json:"seed_start"`
+	Seeds      int      `json:"seeds"`
+	Repeats    int      `json:"repeats"`
+	// Workers is advisory: the pool size a dedicated runner should use
+	// (0 = GOMAXPROCS). A shared server schedules its own pool and
+	// ignores it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Spec returns the campaign's serialisable description.
+func (c *Campaign) Spec() CampaignSpec {
+	s := CampaignSpec{
+		SeedStart: c.seed, Seeds: c.seeds, Repeats: c.repeats, Workers: c.workers,
+	}
+	for _, f := range c.families {
+		s.Topologies = append(s.Topologies, f.Name)
+	}
+	for _, r := range c.regimes {
+		s.Regimes = append(s.Regimes, r.Name)
+	}
+	s.Engines = append(s.Engines, c.engines...)
+	return s
+}
+
+// NewCampaignFromSpec rebuilds a Campaign from its serialised description,
+// validating every name and range exactly as the options would. Extra
+// options (typically WithClusterOptions) apply on top of the spec.
+func NewCampaignFromSpec(s CampaignSpec, extra ...CampaignOption) (*Campaign, error) {
+	opts := []CampaignOption{
+		WithTopologies(s.Topologies...),
+		WithRegimes(s.Regimes...),
+		WithCampaignEngines(s.Engines...),
+		WithSeedRange(s.SeedStart, s.Seeds),
+		WithRepeats(s.Repeats),
+	}
+	if s.Workers != 0 {
+		opts = append(opts, WithWorkers(s.Workers))
+	}
+	return NewCampaign(append(opts, extra...)...)
+}
+
 // NewCampaign builds a Campaign. Defaults: every topology family, every
 // fault regime, the sim engine only, seeds 1–16, one attempt per seed,
 // GOMAXPROCS workers.
@@ -213,15 +272,45 @@ func (c *Campaign) cells() []campaign.CellKey {
 	return out
 }
 
+// Jobs expands the campaign's full grid — cells × seeds × attempts — in
+// deterministic order. A persistent frontend uses the job list as the
+// resume cursor: jobs whose results are already on disk are skipped, the
+// rest re-run, and determinism makes the merged report indistinguishable
+// from an uninterrupted sweep.
+func (c *Campaign) Jobs() []CampaignJob {
+	return campaign.Grid(c.cells(), c.seed, c.seeds, c.repeats)
+}
+
+// Workers returns the configured dedicated-pool size (0 = GOMAXPROCS).
+func (c *Campaign) Workers() int { return c.workers }
+
 // Run executes the campaign. The returned report is complete when err is
 // nil and partial when ctx was cancelled; every run that started is
 // reflected either way.
 func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
-	jobs := campaign.Grid(c.cells(), c.seed, c.seeds, c.repeats)
 	runner := &campaign.Runner{Workers: c.workers, Run: func(j campaign.Job) campaign.RunStats {
 		return c.runJob(ctx, j)
 	}}
-	return runner.Execute(ctx, jobs)
+	return runner.Execute(ctx, c.Jobs())
+}
+
+// RunJob executes a single job of the campaign's grid and returns its
+// constant-size summary. This is the unit a campaign server schedules: the
+// run is single-threaded and a pure function of the job for sim cells, so
+// any executor — a dedicated pool, a fair-shared server pool, a remote
+// worker — produces the same result. Jobs outside the campaign's grid
+// report an error.
+func (c *Campaign) RunJob(ctx context.Context, job CampaignJob) CampaignRunStats {
+	if _, ok := gen.FamilyByName(job.Cell.Topology); !ok {
+		return campaign.RunStats{Err: fmt.Sprintf("unknown topology family %q", job.Cell.Topology)}
+	}
+	if _, ok := gen.RegimeByName(job.Cell.Regime); !ok {
+		return campaign.RunStats{Err: fmt.Sprintf("unknown fault regime %q", job.Cell.Regime)}
+	}
+	if job.Cell.Engine != "sim" && job.Cell.Engine != "live" {
+		return campaign.RunStats{Err: fmt.Sprintf("unknown engine %q", job.Cell.Engine)}
+	}
+	return c.runJob(ctx, job)
 }
 
 // runJob executes one campaign run: draw the workload from the seed

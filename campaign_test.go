@@ -2,6 +2,8 @@ package cliffedge
 
 import (
 	"context"
+	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -335,5 +337,95 @@ func TestCampaignUpgrade(t *testing.T) {
 	}
 	if rep.Locality.Points != 0 {
 		t.Errorf("upgrade runs leaked %d points into the locality fit", rep.Locality.Points)
+	}
+}
+
+// TestCampaignSpecRoundTrip: Spec → JSON → NewCampaignFromSpec → Spec is a
+// fixed point, and the rebuilt campaign expands the identical job grid —
+// what a campaign server relies on when it reconstructs sweeps from
+// persisted manifests.
+func TestCampaignSpecRoundTrip(t *testing.T) {
+	camp, err := NewCampaign(
+		WithTopologies("grid", "ring", "datacenter"),
+		WithRegimes("quiescent", "flaky"),
+		WithCampaignEngines("sim", "live"),
+		WithSeedRange(7, 5),
+		WithRepeats(3),
+		WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := camp.Spec()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded CampaignSpec
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewCampaignFromSpec(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rebuilt.Spec(); !reflect.DeepEqual(got, spec) {
+		t.Fatalf("spec not a fixed point:\n got %+v\nwant %+v", got, spec)
+	}
+	a, b := camp.Jobs(), rebuilt.Jobs()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("rebuilt campaign expands a different grid: %d vs %d jobs", len(b), len(a))
+	}
+	if len(a) != 3*2*2*5*3 {
+		t.Fatalf("grid has %d jobs, want %d", len(a), 3*2*2*5*3)
+	}
+	if rebuilt.Workers() != 2 {
+		t.Fatalf("workers = %d, want 2", rebuilt.Workers())
+	}
+
+	// Validation carries over: a forged spec fails exactly like the options.
+	if _, err := NewCampaignFromSpec(CampaignSpec{
+		Topologies: []string{"nope"}, Regimes: []string{"quiescent"},
+		Engines: []string{"sim"}, SeedStart: 1, Seeds: 1, Repeats: 1,
+	}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+// TestCampaignRunJob: single-job execution is deterministic (same job,
+// same stats) and matches what a whole-campaign run aggregates; jobs
+// outside any known grid report errors instead of panicking.
+func TestCampaignRunJob(t *testing.T) {
+	camp, err := NewCampaign(
+		WithTopologies("grid"),
+		WithRegimes("quiescent"),
+		WithSeedRange(3, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := camp.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs, want 1", len(jobs))
+	}
+	a := camp.RunJob(context.Background(), jobs[0])
+	b := camp.RunJob(context.Background(), jobs[0])
+	if a.Err != "" || b.Err != "" {
+		t.Fatalf("run errors: %q / %q", a.Err, b.Err)
+	}
+	if a.Fingerprint != b.Fingerprint || a.Messages != b.Messages || a.Decisions != b.Decisions {
+		t.Fatalf("sim job not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Decisions == 0 {
+		t.Fatal("job decided nothing")
+	}
+	for _, bad := range []CampaignJob{
+		{Cell: CampaignCellKey{Topology: "nope", Regime: "quiescent", Engine: "sim"}, Seed: 1},
+		{Cell: CampaignCellKey{Topology: "grid", Regime: "nope", Engine: "sim"}, Seed: 1},
+		{Cell: CampaignCellKey{Topology: "grid", Regime: "quiescent", Engine: "nope"}, Seed: 1},
+	} {
+		if s := camp.RunJob(context.Background(), bad); s.Err == "" {
+			t.Fatalf("forged job %+v accepted", bad)
+		}
 	}
 }

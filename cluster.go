@@ -36,6 +36,7 @@ type Cluster struct {
 	noBuffer    bool
 	engine      Engine
 	liveTimeout time.Duration
+	liveTick    time.Duration
 	maxEvents   int
 	netModel    *NetModel
 }
@@ -182,6 +183,25 @@ func WithLiveTimeout(d time.Duration) Option {
 			return fmt.Errorf("cliffedge: non-positive live timeout %v", d)
 		}
 		c.liveTimeout = d
+		return nil
+	}
+}
+
+// WithLiveTick makes the live engine realise the network model's extra
+// delays in wall time: a delivery the model delayed by d ticks sleeps
+// d × tick in the receiving node's loop, in queue order, so per-link FIFO
+// is preserved and the run's wall-clock timing takes the netem shape —
+// jitter bands, retransmission backoff and outage heal waits become
+// observable pauses instead of counters. The default (no tick) leaves
+// timing entirely to the Go scheduler; the simulator, whose virtual clock
+// already carries the delays, ignores the option. Only meaningful together
+// with WithNetModel.
+func WithLiveTick(tick time.Duration) Option {
+	return func(c *Cluster) error {
+		if tick <= 0 {
+			return fmt.Errorf("cliffedge: non-positive live tick %v", tick)
+		}
+		c.liveTick = tick
 		return nil
 	}
 }

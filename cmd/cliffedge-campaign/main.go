@@ -11,10 +11,20 @@
 //	cliffedge-campaign -regimes flaky -seeds 24 -fail         # degraded net, full checker
 //	cliffedge-campaign -regimes lossy -seeds 24               # raw loss: stall/decision rates
 //	cliffedge-campaign -seeds 64 -json report.json -csv report.csv
+//
+// With -store the sweep is persistent: every completed run is appended to
+// a durable log, and a sweep interrupted by ^C or a crash is picked up
+// where it left off with -resume — the merged report is byte-identical to
+// an uninterrupted run, because each run is a pure function of its seed.
+// The same store directory can be served over HTTP by cliffedged.
+//
+//	cliffedge-campaign -store ./data -seeds 512               # durable sweep, prints its ID
+//	cliffedge-campaign -store ./data -resume c000001          # continue after an interruption
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,22 +35,26 @@ import (
 
 	"cliffedge"
 	"cliffedge/internal/gen"
+	"cliffedge/internal/serve"
+	"cliffedge/internal/store"
 )
 
 func main() {
 	var (
-		topos   = flag.String("topos", "all", "comma-separated topology families ("+strings.Join(gen.FamilyNames(), ", ")+") or all")
-		regimes = flag.String("regimes", "all", "comma-separated fault regimes ("+strings.Join(gen.RegimeNames(), ", ")+") or all")
-		engines = flag.String("engines", "sim", "comma-separated engines (sim, live)")
-		seeds   = flag.Int("seeds", 16, "seeds per cell (each seed is one workload)")
-		seed0   = flag.Int64("seed-start", 1, "first seed of the range")
-		repeats = flag.Int("repeats", 1, "attempts per workload (repeats > 1 measure cross-run agreement)")
-		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
-		jsonOut = flag.String("json", "", "write the JSON report to this file (- for stdout)")
-		csvOut  = flag.String("csv", "", "write the per-cell CSV to this file (- for stdout)")
-		quiet   = flag.Bool("quiet", false, "suppress the text summary")
-		fail    = flag.Bool("fail", false, "exit non-zero on any run error, property violation or zero-decision cell")
+		topos    = flag.String("topos", "all", "comma-separated topology families ("+strings.Join(gen.FamilyNames(), ", ")+") or all")
+		regimes  = flag.String("regimes", "all", "comma-separated fault regimes ("+strings.Join(gen.RegimeNames(), ", ")+") or all")
+		engines  = flag.String("engines", "sim", "comma-separated engines (sim, live)")
+		seeds    = flag.Int("seeds", 16, "seeds per cell (each seed is one workload)")
+		seed0    = flag.Int64("seed-start", 1, "first seed of the range")
+		repeats  = flag.Int("repeats", 1, "attempts per workload (repeats > 1 measure cross-run agreement)")
+		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
+		jsonOut  = flag.String("json", "", "write the JSON report to this file (- for stdout)")
+		csvOut   = flag.String("csv", "", "write the per-cell CSV to this file (- for stdout)")
+		quiet    = flag.Bool("quiet", false, "suppress the text summary")
+		fail     = flag.Bool("fail", false, "exit non-zero on any run error, property violation or zero-decision cell")
+		storeDir = flag.String("store", "", "persist the sweep under this directory (resumable; shared with cliffedged)")
+		resume   = flag.String("resume", "", "resume the persisted campaign with this ID (requires -store; grid flags are ignored — the stored spec wins)")
 	)
 	flag.Parse()
 
@@ -74,7 +88,16 @@ func main() {
 	}
 
 	start := time.Now()
-	rep, runErr := camp.Run(ctx)
+	var rep *cliffedge.CampaignReport
+	var runErr error
+	if *storeDir != "" {
+		rep, runErr = runPersistent(ctx, *storeDir, *resume, camp, *workers)
+	} else {
+		if *resume != "" {
+			fatal(errors.New("-resume requires -store"))
+		}
+		rep, runErr = camp.Run(ctx)
+	}
 	elapsed := time.Since(start)
 	if rep == nil {
 		fatal(runErr)
@@ -102,6 +125,51 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "cliffedge-campaign: warning:", err)
 	}
+}
+
+// runPersistent executes the campaign as a durable sweep in dir: a fresh
+// sweep under a newly allocated ID, or — with resumeID — the remainder of
+// an interrupted one. Both paths go through the same serve.Sweep the HTTP
+// server uses, so every completed run is committed to the store's result
+// log before the next begins and an interruption costs nothing but the
+// in-flight runs.
+func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Campaign, workers int) (*cliffedge.CampaignReport, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	var sw *serve.Sweep
+	if resumeID != "" {
+		m, err := st.Manifest(resumeID)
+		if err != nil {
+			return nil, err
+		}
+		if m.Status != store.StatusRunning {
+			return nil, fmt.Errorf("campaign %s is %s, not resumable", resumeID, m.Status)
+		}
+		if sw, err = serve.Open(st, resumeID); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "cliffedge-campaign: resuming %s (%d/%d runs already committed)\n",
+			resumeID, sw.Completed(), sw.Total())
+	} else {
+		id, err := serve.AllocateID(st)
+		if err != nil {
+			return nil, err
+		}
+		if sw, err = serve.Create(st, id, "cli", time.Now().UTC(), camp.Spec()); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "cliffedge-campaign: persistent sweep %s (%d runs) in %s\n",
+			id, sw.Total(), dir)
+	}
+	defer sw.Close()
+	rep, err := sw.Run(ctx, workers)
+	if err != nil && ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "cliffedge-campaign: interrupted at %d/%d; resume with: cliffedge-campaign -store %s -resume %s\n",
+			sw.Completed(), sw.Total(), dir, sw.ID)
+	}
+	return rep, err
 }
 
 // emit writes through fn to path ("" = skip, "-" = stdout).

@@ -1,0 +1,97 @@
+// Command cliffedged serves campaigns over HTTP: clients POST a campaign
+// spec, follow per-run progress over SSE, and fetch the final report as
+// JSON or CSV. All campaigns share one fair-share worker pool — a small
+// sweep submitted behind a large one starts immediately and both advance
+// at the same per-campaign rate — with a per-client cap on concurrently
+// active campaigns.
+//
+// Every completed run is committed to an append-only store before the
+// next begins, so the daemon can be killed (even -9) at any moment: on
+// restart it replays the logs, resumes every interrupted sweep where it
+// left off, and the eventual reports are byte-identical to uninterrupted
+// ones. The same store directory is shared with cliffedge-campaign
+// -store/-resume.
+//
+//	cliffedged -addr :8080 -store ./data -workers 8
+//
+//	curl -X POST localhost:8080/api/v1/campaigns -d '{
+//	    "topologies": ["grid", "ring"], "regimes": ["quiescent"],
+//	    "engines": ["sim"], "seed_start": 1, "seeds": 64, "repeats": 1}'
+//	curl -N localhost:8080/api/v1/campaigns/c000001/events   # SSE stream
+//	curl    localhost:8080/api/v1/campaigns/c000001/report.csv
+//	curl -X DELETE localhost:8080/api/v1/campaigns/c000001   # cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cliffedge"
+	"cliffedge/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		storeDir  = flag.String("store", "cliffedged-data", "campaign store directory (created if absent)")
+		workers   = flag.Int("workers", 0, "shared worker-pool size (0 = GOMAXPROCS)")
+		maxClient = flag.Int("max-client", 4, "max concurrently active campaigns per client")
+		liveTick  = flag.Duration("live-tick", 0, "realise network-model delays of live-engine runs in wall time, this long per tick (0 = off)")
+	)
+	flag.Parse()
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	var copts []cliffedge.Option
+	if *liveTick > 0 {
+		copts = append(copts, cliffedge.WithLiveTick(*liveTick))
+	}
+
+	logger := log.New(os.Stderr, "cliffedged: ", log.LstdFlags)
+	srv, err := serve.NewServer(*storeDir, serve.Config{
+		Workers:        *workers,
+		MaxPerClient:   *maxClient,
+		ClusterOptions: copts,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s, store %s, %d workers", *addr, *storeDir, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+	case err := <-errCh:
+		logger.Printf("http server: %v", err)
+		srv.Shutdown()
+		os.Exit(1)
+	}
+
+	// Stop accepting requests, then stop the scheduler: in-flight runs
+	// abort and unfinished sweeps keep their "running" manifests, so the
+	// next start resumes them.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	srv.Shutdown()
+	fmt.Fprintln(os.Stderr, "cliffedged: stopped")
+}

@@ -104,7 +104,8 @@ func (liveEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, err
 func runLiveWaves(ctx context.Context, c *Cluster, net *netem.Net, marks bool, waves []liveWave, barrier bool, pause func(wave int)) (*Result, error) {
 	online, observer := c.instrument()
 	rt := livenet.NewRuntime(c.topo, c.factory(marks),
-		livenet.Options{Observer: observer, DiscardEvents: c.noBuffer, Net: net})
+		livenet.Options{Observer: observer, DiscardEvents: c.noBuffer, Net: net,
+			TickEvery: c.liveTick})
 	defer rt.Stop()
 	if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
 		return nil, err

@@ -35,6 +35,17 @@ func (k CellKey) String() string {
 	return k.Topology + "/" + k.Regime + "/" + k.Engine
 }
 
+// less orders jobs for stable reports and resume cursors.
+func (j Job) less(o Job) bool {
+	if j.Cell != o.Cell {
+		return j.Cell.less(o.Cell)
+	}
+	if j.Seed != o.Seed {
+		return j.Seed < o.Seed
+	}
+	return j.Attempt < o.Attempt
+}
+
 // less orders cells for stable reports.
 func (k CellKey) less(o CellKey) bool {
 	if k.Topology != o.Topology {
@@ -139,6 +150,20 @@ type Runner struct {
 	// Run executes one job. It must be safe for concurrent use: the pool
 	// calls it from Workers goroutines at once.
 	Run func(Job) RunStats
+	// OnResult, if non-nil, is invoked exactly once per executed job,
+	// immediately after that job's result has been folded into the
+	// aggregate — a callback that snapshots the aggregator therefore
+	// always sees its own job included. Callbacks run concurrently on the
+	// worker goroutines, and Execute returns only after every callback
+	// has returned. Cancellation stops dispatch, but jobs already
+	// dispatched still complete and still report: a persistence hook sees
+	// exactly the runs the partial report contains, no more, no fewer.
+	OnResult func(Job, RunStats)
+	// Agg, if non-nil, is the aggregator results fold into. Pre-loading
+	// it (Aggregator.Add with persisted results) before Execute resumes
+	// an interrupted sweep: the returned report covers the pre-loaded and
+	// the freshly executed runs together. Nil starts fresh.
+	Agg *Aggregator
 }
 
 // Execute runs every job through the pool and aggregates the results.
@@ -156,7 +181,10 @@ func (r *Runner) Execute(ctx context.Context, jobs []Job) (*Report, error) {
 		workers = len(jobs)
 	}
 
-	agg := NewAggregator()
+	agg := r.Agg
+	if agg == nil {
+		agg = NewAggregator()
+	}
 	feed := make(chan Job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -164,7 +192,11 @@ func (r *Runner) Execute(ctx context.Context, jobs []Job) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for job := range feed {
-				agg.Add(job, r.Run(job))
+				res := r.Run(job)
+				agg.Add(job, res)
+				if r.OnResult != nil {
+					r.OnResult(job, res)
+				}
 			}
 		}()
 	}

@@ -322,3 +322,200 @@ func TestAggregationSkipLocality(t *testing.T) {
 		t.Fatalf("locality used %d skipped points", fit.Points)
 	}
 }
+
+// TestRunnerOnResult pins the per-result callback contract: exactly one
+// callback per executed job, fired only after the result is in the
+// aggregate, never after Execute returns.
+func TestRunnerOnResult(t *testing.T) {
+	agg := NewAggregator()
+	var mu sync.Mutex
+	seen := make(map[Job]int)
+	var returned atomic.Bool
+	r := &Runner{
+		Workers: 4,
+		Agg:     agg,
+		Run: func(j Job) RunStats {
+			return RunStats{Nodes: 10, Decisions: 1, DecideLatency: 5, Fingerprint: "x"}
+		},
+		OnResult: func(j Job, s RunStats) {
+			if returned.Load() {
+				t.Error("OnResult after Execute returned")
+			}
+			// The callback's own job is already aggregated: the cell's run
+			// count includes at least this run.
+			if c := agg.Report().CellByKey(j.Cell); c == nil || c.Runs < 1 {
+				t.Error("OnResult fired before aggregation")
+			}
+			mu.Lock()
+			seen[j]++
+			mu.Unlock()
+		},
+	}
+	jobs := Grid([]CellKey{simCell}, 0, 10, 2)
+	rep, err := r.Execute(context.Background(), jobs)
+	returned.Store(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("callbacks for %d distinct jobs, want %d", len(seen), len(jobs))
+	}
+	for j, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %+v reported %d times", j, n)
+		}
+	}
+	if rep.Totals.Runs != len(jobs) {
+		t.Fatalf("report counts %d runs, want %d", rep.Totals.Runs, len(jobs))
+	}
+}
+
+// TestRunnerOnResultCancellation: under cancellation the callback fires for
+// exactly the jobs the partial report contains — dispatched jobs complete
+// and report, undispatched jobs are never seen.
+func TestRunnerOnResultCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran, reported atomic.Int32
+	r := &Runner{
+		Workers: 2,
+		Run: func(j Job) RunStats {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return RunStats{Nodes: 1, Decisions: 1, Fingerprint: "x"}
+		},
+		OnResult: func(Job, RunStats) { reported.Add(1) },
+	}
+	rep, err := r.Execute(ctx, Grid([]CellKey{simCell}, 0, 1000, 1))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := int(reported.Load()); got != rep.Totals.Runs {
+		t.Fatalf("%d callbacks vs %d aggregated runs — a persistence hook would drift from the report", got, rep.Totals.Runs)
+	}
+	if int(reported.Load()) >= 1000 {
+		t.Fatal("callbacks did not stop with dispatch")
+	}
+}
+
+// syntheticStats derives a deterministic, hand-varied RunStats for a job —
+// shared input for the determinism and resume tests.
+func syntheticStats(j Job) RunStats {
+	k := int(j.Seed)*7 + j.Attempt*3
+	h := &Hist{}
+	h.Add(int64(10 + k))
+	h.Add(int64(40 + k*2))
+	return RunStats{
+		Nodes: 50 + k, Crashed: 4, Border: 6 + k%5, Domains: 1,
+		Decisions: 3, Messages: 200 + 11*k, Deliveries: 300, Bytes: 4000 + k,
+		DecideLatency: int64(40 + k*2), Lats: h,
+		Fingerprint:      fmt.Sprintf("fp-%d", k%4),
+		ExpectedDeciders: 6, DecidedDeciders: 5,
+	}
+}
+
+// TestAggregatorOrderIndependence: the encoded report is a pure function
+// of the result multiset — forward and reversed add orders produce
+// byte-identical JSON. Resume-from-store replays results in log order,
+// not completion order, so persistence correctness rides on this.
+func TestAggregatorOrderIndependence(t *testing.T) {
+	jobs := Grid([]CellKey{simCell, liveCell}, 3, 9, 2)
+	render := func(order []Job) []byte {
+		agg := NewAggregator()
+		for _, j := range order {
+			agg.Add(j, syntheticStats(j))
+		}
+		var buf bytes.Buffer
+		if err := agg.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	fwd := render(jobs)
+	rev := make([]Job, len(jobs))
+	for i, j := range jobs {
+		rev[len(jobs)-1-i] = j
+	}
+	if !bytes.Equal(fwd, render(rev)) {
+		t.Fatal("report bytes depend on add order")
+	}
+}
+
+// TestRunnerResume: pre-loading the aggregator with half the results and
+// executing only the other half yields a report byte-identical to a full
+// uninterrupted execution — the in-memory form of crash recovery.
+func TestRunnerResume(t *testing.T) {
+	jobs := Grid([]CellKey{simCell, liveCell}, 1, 8, 1)
+	full := &Runner{Workers: 3, Run: syntheticStats}
+	fullRep, err := full.Execute(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullBuf bytes.Buffer
+	if err := fullRep.WriteJSON(&fullBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	agg := NewAggregator()
+	for _, j := range jobs[:len(jobs)/2] { // "replayed from the store"
+		agg.Add(j, syntheticStats(j))
+	}
+	resumed := &Runner{Workers: 3, Run: syntheticStats, Agg: agg}
+	resRep, err := resumed.Execute(context.Background(), jobs[len(jobs)/2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resBuf bytes.Buffer
+	if err := resRep.WriteJSON(&resBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullBuf.Bytes(), resBuf.Bytes()) {
+		t.Fatal("resumed report differs from uninterrupted report")
+	}
+}
+
+// TestHistJSONRoundTrip: the histogram wire format is exact — a decoded
+// histogram answers every query and merges identically to the original.
+func TestHistJSONRoundTrip(t *testing.T) {
+	h := &Hist{}
+	for _, v := range []int64{0, 1, 5, 127, 128, 1000, 1 << 20, 3} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Mean() != h.Mean() || back.Max() != h.Max() {
+		t.Fatalf("moments changed: %d/%v/%d vs %d/%v/%d",
+			back.Count(), back.Mean(), back.Max(), h.Count(), h.Mean(), h.Max())
+	}
+	for _, p := range []int{0, 50, 90, 99, 100} {
+		if back.Percentile(p) != h.Percentile(p) {
+			t.Fatalf("p%d changed: %d vs %d", p, back.Percentile(p), h.Percentile(p))
+		}
+	}
+	re, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatalf("re-encoding not a fixed point:\n%s\n%s", data, re)
+	}
+
+	var empty Hist
+	data, err = json.Marshal(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backEmpty Hist
+	if err := json.Unmarshal(data, &backEmpty); err != nil {
+		t.Fatal(err)
+	}
+	if backEmpty.Count() != 0 || backEmpty.Percentile(50) != 0 {
+		t.Fatal("empty histogram round-trip broken")
+	}
+}

@@ -1,6 +1,9 @@
 package campaign
 
-import "math/bits"
+import (
+	"encoding/json"
+	"math/bits"
+)
 
 // histSubBits is the sub-bucket resolution of Hist: 2^histSubBits linear
 // sub-buckets per power-of-two octave, giving ≤ 1/2^histSubBits ≈ 0.8%
@@ -119,6 +122,36 @@ func (h *Hist) Percentile(p int) int64 {
 		}
 	}
 	return h.max
+}
+
+// histJSON is the persistence form of Hist: the trailing-zero-trimmed
+// bucket counts plus the exact moments the buckets alone would lose.
+type histJSON struct {
+	Counts []uint32 `json:"counts,omitempty"`
+	N      int64    `json:"n,omitempty"`
+	Sum    int64    `json:"sum,omitempty"`
+	Max    int64    `json:"max,omitempty"`
+}
+
+// MarshalJSON encodes the histogram exactly: a round-tripped Hist merges,
+// queries and re-encodes identically to the original. This is what lets
+// persisted cell results reconstruct the aggregate bit for bit on resume.
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	counts := h.counts
+	for len(counts) > 0 && counts[len(counts)-1] == 0 {
+		counts = counts[:len(counts)-1]
+	}
+	return json.Marshal(histJSON{Counts: counts, N: h.n, Sum: h.sum, Max: h.max})
+}
+
+// UnmarshalJSON decodes a histogram previously encoded by MarshalJSON.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var w histJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.counts, h.n, h.sum, h.max = w.Counts, w.N, w.Sum, w.Max
+	return nil
 }
 
 // HistBucket is one non-empty bucket of an exported distribution:

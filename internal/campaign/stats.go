@@ -12,15 +12,25 @@ import (
 // locality-fit point cloud. It is safe for concurrent Add calls (the
 // worker pool feeds it directly); memory is O(cells × seeds), never
 // O(trace).
+//
+// The report is a pure function of the *multiset* of added (job, stats)
+// pairs: add order never changes a byte of the encoded report. All
+// integer statistics commute trivially; the two float-sensitive
+// reductions — the locality regression and the per-seed agreement mean —
+// re-sort their inputs into job order before summing. Persistence relies
+// on this: a sweep resumed from replayed results finishes with a report
+// byte-identical to an uninterrupted run's.
 type Aggregator struct {
 	mu    sync.Mutex
 	cells map[CellKey]*cellAgg
 	// points feeds the locality regression: one (border, nodes, msgs,
-	// bytes) sample per successful run.
+	// bytes) sample per successful run, keyed by job for the stable
+	// re-sort in Report.
 	points []localityPoint
 }
 
 type localityPoint struct {
+	job           Job
 	border, nodes float64
 	msgs, bytes   float64
 }
@@ -95,6 +105,7 @@ func (a *Aggregator) Add(job Job, s RunStats) {
 	c.outcomes[job.Seed][s.Fingerprint]++
 	if !s.SkipLocality {
 		a.points = append(a.points, localityPoint{
+			job:    job,
 			border: float64(s.Border), nodes: float64(s.Nodes),
 			msgs: float64(s.Messages), bytes: float64(s.Bytes),
 		})
@@ -251,6 +262,10 @@ func (a *Aggregator) Report() *Report {
 		rep.Totals.Violations += c.violations
 		rep.Totals.Decisions += int(c.decisions)
 	}
+	// Re-sort the point cloud into job order before the float reduction:
+	// worker completion order (or a resume replay) must not perturb the
+	// fit's last bits.
+	sort.Slice(a.points, func(i, j int) bool { return a.points[i].job.less(a.points[j].job) })
 	rep.Locality = fitLocality(a.points)
 	return rep
 }
@@ -293,15 +308,22 @@ func (r *Report) CellByKey(k CellKey) *CellReport {
 
 // agreement computes the cross-run agreement rate: per seed, the largest
 // identical-outcome class over the attempts of that seed; averaged over
-// seeds. 1.0 when every seed has a single outcome class.
+// seeds in ascending seed order, so the float sum is independent of map
+// iteration (and hence of add order). 1.0 when every seed has a single
+// outcome class.
 func agreement(outcomes map[int64]map[string]int) float64 {
 	if len(outcomes) == 0 {
 		return 0
 	}
+	seeds := make([]int64, 0, len(outcomes))
+	for s := range outcomes {
+		seeds = append(seeds, s)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
 	sum := 0.0
-	for _, classes := range outcomes {
+	for _, s := range seeds {
 		total, best := 0, 0
-		for _, n := range classes {
+		for _, n := range outcomes[s] {
 			total += n
 			if n > best {
 				best = n
@@ -309,7 +331,7 @@ func agreement(outcomes map[int64]map[string]int) float64 {
 		}
 		sum += float64(best) / float64(total)
 	}
-	return sum / float64(len(outcomes))
+	return sum / float64(len(seeds))
 }
 
 // fitLocality solves the two-variable least squares

@@ -38,6 +38,10 @@ type envelope struct {
 	crashNotify bool
 	from        int32 // sender (message) or crashed node (notify)
 	payload     proto.Payload
+	// delay is the link-fault model's ExtraDelay verdict for this
+	// delivery, realised as wall-clock sleep when Options.TickEvery is
+	// set; zero otherwise.
+	delay int64
 }
 
 // mailbox is an unbounded FIFO queue. Unboundedness matters: with bounded
@@ -103,6 +107,7 @@ type Runtime struct {
 	automata []proto.Automaton
 	boxes    []*mailbox
 	net      *netem.Net
+	tick     time.Duration
 
 	mu      sync.Mutex
 	crashed graph.Bitset   // guarded by mu
@@ -137,6 +142,16 @@ type Options struct {
 	// clock is what makes live outcomes scheduler-dependent under raw
 	// loss, which is exactly what campaigns sample.
 	Net *netem.Net
+	// TickEvery, when positive, realises the network model's ExtraDelay
+	// verdicts in wall time: a delivery delayed by d ticks sleeps
+	// d × TickEvery in the receiving node's loop, immediately before
+	// processing. The sleep happens in queue order, so per-link FIFO is
+	// untouched — only timing degrades, which is exactly the retransmit-
+	// mode contract — and netem-shaped behaviour (jitter bands, backoff,
+	// outage heal waits) becomes observable wall-clock timing instead of
+	// a counter. Zero (the default) leaves delays unrealised: scheduling
+	// belongs to the Go runtime. Meaningless without Net.
+	TickEvery time.Duration
 }
 
 // New builds and starts a live cluster: every automaton is instantiated
@@ -159,6 +174,7 @@ func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 		subs:     make([]graph.Bitset, n),
 		regions:  dsu.New(n),
 		net:      opts.Net,
+		tick:     opts.TickEvery,
 	}
 	if opts.Observer != nil {
 		rt.log.Observe(opts.Observer)
@@ -226,6 +242,11 @@ func (rt *Runtime) nodeLoop(i int32) {
 }
 
 func (rt *Runtime) process(i int32, env envelope) {
+	if rt.tick > 0 && env.delay > 0 {
+		// Realise the link-imposed delay in the consumer, so it applies in
+		// queue order and cannot reorder the channel's FIFO.
+		time.Sleep(time.Duration(env.delay) * rt.tick)
+	}
 	rt.mu.Lock()
 	dead := rt.crashed.Has(i)
 	rt.mu.Unlock()
@@ -284,6 +305,7 @@ func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
 			sentAt := rt.emitT(trace.Event{Kind: trace.KindSend, Node: id, Peer: to,
 				View: view, Round: round, Bytes: size})
 			duplicate := false
+			var delay int64
 			if rt.net != nil && ti != i {
 				// Nonce 0: the logical clock already gives every send a
 				// unique adjudication time.
@@ -296,14 +318,15 @@ func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
 					continue
 				}
 				duplicate = v.Duplicate
+				delay = v.ExtraDelay
 			}
 			rt.trackEnter()
-			rt.boxes[ti].put(envelope{from: i, payload: s.Payload})
+			rt.boxes[ti].put(envelope{from: i, payload: s.Payload, delay: delay})
 			if duplicate {
 				// Duplicated copy behind the original on the same channel;
 				// mailbox FIFO keeps the pair ordered.
 				rt.trackEnter()
-				rt.boxes[ti].put(envelope{from: i, payload: s.Payload})
+				rt.boxes[ti].put(envelope{from: i, payload: s.Payload, delay: delay})
 			}
 		}
 	}

@@ -134,3 +134,48 @@ func TestNetemLiveDuplicates(t *testing.T) {
 		}
 	}
 }
+
+// TestTickEveryRealisesDelay: with Options.TickEvery set, the link-fault
+// model's ExtraDelay verdicts become wall-clock sleeps — a run whose every
+// delivery is jitter-delayed by 20 ticks at 1ms/tick must take at least
+// one full delay longer than zero, while still reaching the same
+// quiescent outcome (sleeps happen in queue order, so FIFO and hence the
+// single-wave decision set are untouched).
+func TestTickEveryRealisesDelay(t *testing.T) {
+	g := graph.Grid(3, 3)
+	model := &netem.Model{Default: netem.Profile{JitterMin: 20, JitterMax: 20}}
+	run := func(tick time.Duration) (*Result, time.Duration) {
+		net, err := model.Bind(g, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := NewRuntime(g, netemFactory(g), Options{Net: net, TickEvery: tick})
+		defer rt.Stop()
+		start := time.Now()
+		if err := rt.WaitIdle(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		rt.CrashAll(graph.CenterBlock(3, 3, 1)...)
+		if err := rt.WaitIdle(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		rt.Stop()
+		return rt.Result(), elapsed
+	}
+	plain, _ := run(0)
+	ticked, elapsed := run(time.Millisecond)
+	if len(ticked.Decisions) == 0 {
+		t.Fatal("nobody decided under realised delays")
+	}
+	if len(ticked.Decisions) != len(plain.Decisions) {
+		t.Fatalf("realised delays changed the outcome: %d vs %d decisions",
+			len(ticked.Decisions), len(plain.Decisions))
+	}
+	// Every delivery slept 20 ticks × 1ms; even a single one bounds the
+	// run from below. (Sleeps only ever overshoot, so this cannot flake
+	// on a slow box.)
+	if min := 20 * time.Millisecond; elapsed < min {
+		t.Fatalf("elapsed %v with TickEvery, want ≥ %v", elapsed, min)
+	}
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"cliffedge/internal/campaign"
+)
+
+// Task is one sweep's worth of work submitted to the scheduler. Run and
+// Commit are injected so the scheduler stays a pure dispatch policy —
+// the server wires them to Sweep.RunJob/Sweep.Commit, tests to recorders.
+type Task struct {
+	ID   string
+	Jobs []campaign.Job
+	// Run executes one job under the task's context.
+	Run func(ctx context.Context, job campaign.Job) campaign.RunStats
+	// Commit records one finished run. persist is false when the run was
+	// aborted by cancellation or shutdown (see Sweep.Commit).
+	Commit func(job campaign.Job, stats campaign.RunStats, persist bool)
+	// Done fires exactly once, after the last in-flight job of a finished
+	// or cancelled task has committed. It is NOT called for tasks still
+	// pending when the scheduler stops — their manifests stay "running",
+	// which is precisely what makes a restart resume them.
+	Done func(cancelled bool)
+
+	cursor    int
+	inflight  int
+	cancelled bool
+	finished  bool
+	ctx       context.Context
+	cancel    context.CancelFunc
+}
+
+// Scheduler fair-shares one worker pool across concurrently running
+// sweeps: workers pick jobs strictly round-robin over the active tasks,
+// one job per turn, so an 8-cell quick sweep submitted behind a
+// 10000-job marathon starts making progress immediately and both advance
+// at the same per-task rate.
+type Scheduler struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tasks  []*Task // round-robin ring, submission order
+	next   int     // ring index the next pick starts from
+	ctx    context.Context
+	stop   context.CancelFunc
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewScheduler builds a scheduler with the given pool size (≥ 1) and
+// starts its workers.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	sc := &Scheduler{workers: workers}
+	sc.cond = sync.NewCond(&sc.mu)
+	sc.ctx, sc.stop = context.WithCancel(context.Background())
+	for i := 0; i < workers; i++ {
+		sc.wg.Add(1)
+		go sc.worker()
+	}
+	return sc
+}
+
+// Workers returns the pool size.
+func (sc *Scheduler) Workers() int { return sc.workers }
+
+// Submit enters a task into the round-robin ring. The task's context
+// descends from the scheduler's, so Stop aborts its in-flight runs.
+func (sc *Scheduler) Submit(t *Task) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.closed {
+		return
+	}
+	t.ctx, t.cancel = context.WithCancel(sc.ctx)
+	sc.tasks = append(sc.tasks, t)
+	sc.cond.Broadcast()
+}
+
+// Cancel aborts the named task: no further jobs are dispatched, in-flight
+// runs see their context cancelled, and Done(true) fires once the last of
+// them drains. Returns false if the task is not active.
+func (sc *Scheduler) Cancel(id string) bool {
+	sc.mu.Lock()
+	var t *Task
+	for _, c := range sc.tasks {
+		if c.ID == id && !c.finished && !c.cancelled {
+			t = c
+			break
+		}
+	}
+	if t == nil {
+		sc.mu.Unlock()
+		return false
+	}
+	t.cancelled = true
+	t.cancel()
+	done := sc.maybeFinishLocked(t)
+	sc.mu.Unlock()
+	if done != nil {
+		done()
+	}
+	return true
+}
+
+// Active returns the number of tasks not yet finished.
+func (sc *Scheduler) Active() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	n := 0
+	for _, t := range sc.tasks {
+		if !t.finished {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveFunc counts active tasks whose ID satisfies match — the server's
+// per-client admission check.
+func (sc *Scheduler) ActiveFunc(match func(id string) bool) int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	n := 0
+	for _, t := range sc.tasks {
+		if !t.finished && match(t.ID) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop cancels every in-flight run and waits for the workers to drain.
+// Pending tasks are abandoned without Done — the restart-resume path.
+func (sc *Scheduler) Stop() {
+	sc.mu.Lock()
+	sc.closed = true
+	sc.mu.Unlock()
+	sc.stop()
+	sc.mu.Lock()
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+	sc.wg.Wait()
+}
+
+// pickLocked claims the next job in strict round-robin order: scan the
+// ring starting at next, take one job from the first task that has any,
+// and advance next past it so the following pick starts at the next task.
+func (sc *Scheduler) pickLocked() (*Task, campaign.Job, bool) {
+	n := len(sc.tasks)
+	for i := 0; i < n; i++ {
+		idx := (sc.next + i) % n
+		t := sc.tasks[idx]
+		if t.finished || t.cancelled || t.cursor >= len(t.Jobs) {
+			continue
+		}
+		job := t.Jobs[t.cursor]
+		t.cursor++
+		t.inflight++
+		sc.next = (idx + 1) % n
+		return t, job, true
+	}
+	return nil, campaign.Job{}, false
+}
+
+// maybeFinishLocked retires a task whose dispatch is exhausted (or
+// cancelled) and whose last in-flight run has drained. It returns the
+// Done invocation to run outside the lock, or nil.
+func (sc *Scheduler) maybeFinishLocked(t *Task) func() {
+	if t.finished || t.inflight > 0 {
+		return nil
+	}
+	if !t.cancelled && t.cursor < len(t.Jobs) {
+		return nil
+	}
+	t.finished = true
+	t.cancel()
+	// Compact the ring so long-retired tasks don't slow the scan.
+	live := sc.tasks[:0]
+	for _, c := range sc.tasks {
+		if !c.finished {
+			live = append(live, c)
+		}
+	}
+	sc.tasks = live
+	if sc.next >= len(sc.tasks) {
+		sc.next = 0
+	}
+	if t.Done == nil {
+		return nil
+	}
+	cancelled := t.cancelled
+	done := t.Done
+	return func() { done(cancelled) }
+}
+
+func (sc *Scheduler) worker() {
+	defer sc.wg.Done()
+	for {
+		sc.mu.Lock()
+		var t *Task
+		var job campaign.Job
+		for {
+			if sc.closed {
+				sc.mu.Unlock()
+				return
+			}
+			var ok bool
+			if t, job, ok = sc.pickLocked(); ok {
+				break
+			}
+			sc.cond.Wait()
+		}
+		ctx := t.ctx
+		sc.mu.Unlock()
+
+		stats := t.Run(ctx, job)
+		// A run aborted by cancellation or shutdown must not be persisted:
+		// its context-error stats would replay on resume as a completed
+		// job. Clean results are kept even when cancellation raced in
+		// after the run finished.
+		persist := ctx.Err() == nil || stats.Err == ""
+		if t.Commit != nil {
+			t.Commit(job, stats, persist)
+		}
+
+		sc.mu.Lock()
+		t.inflight--
+		done := sc.maybeFinishLocked(t)
+		sc.cond.Broadcast()
+		sc.mu.Unlock()
+		if done != nil {
+			done()
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"cliffedge/internal/campaign"
+)
+
+func schedJobs(cell string, n int) []campaign.Job {
+	jobs := make([]campaign.Job, n)
+	for i := range jobs {
+		jobs[i] = campaign.Job{
+			Cell: campaign.CellKey{Topology: cell, Regime: "r", Engine: "sim"},
+			Seed: int64(i),
+		}
+	}
+	return jobs
+}
+
+// TestSchedulerFairShare pins the fair-share policy: with one worker and
+// two active tasks, dispatch strictly alternates — the second sweep is
+// not starved behind the first one's backlog.
+func TestSchedulerFairShare(t *testing.T) {
+	sc := NewScheduler(1)
+	defer sc.Stop()
+
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	doneA, doneB := make(chan bool, 1), make(chan bool, 1)
+
+	mkTask := func(id string, n int, done chan bool) *Task {
+		return &Task{
+			ID:   id,
+			Jobs: schedJobs(id, n),
+			Run: func(ctx context.Context, job campaign.Job) campaign.RunStats {
+				<-gate // hold the single worker until both tasks are queued
+				return campaign.RunStats{}
+			},
+			Commit: func(job campaign.Job, stats campaign.RunStats, persist bool) {
+				if !persist {
+					t.Errorf("job %v committed with persist=false", job)
+				}
+				mu.Lock()
+				order = append(order, job.Cell.Topology)
+				mu.Unlock()
+			},
+			Done: func(cancelled bool) { done <- cancelled },
+		}
+	}
+	sc.Submit(mkTask("a", 4, doneA))
+	sc.Submit(mkTask("b", 4, doneB))
+	close(gate)
+
+	for _, ch := range []chan bool{doneA, doneB} {
+		select {
+		case cancelled := <-ch:
+			if cancelled {
+				t.Fatal("task reported cancelled")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("task never completed")
+		}
+	}
+
+	if len(order) != 8 {
+		t.Fatalf("executed %d jobs, want 8: %v", len(order), order)
+	}
+	// The single worker claimed one "a" job before "b" was submitted; from
+	// then on the round-robin ring alternates strictly.
+	for i := 1; i+1 < len(order); i++ {
+		if order[i] == order[i+1] {
+			t.Fatalf("dispatch not fair-shared: %v", order)
+		}
+	}
+}
+
+// TestSchedulerCancel pins the cancellation contract: no further jobs
+// dispatch, in-flight runs see their context cancelled and commit with
+// persist=false, and Done(true) fires exactly once after the drain.
+func TestSchedulerCancel(t *testing.T) {
+	sc := NewScheduler(1)
+	defer sc.Stop()
+
+	started := make(chan struct{}, 5)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock() // keep a failed assertion from deadlocking sc.Stop
+	var mu sync.Mutex
+	var commits []bool
+	done := make(chan bool, 2)
+
+	sc.Submit(&Task{
+		ID:   "c",
+		Jobs: schedJobs("c", 5),
+		Run: func(ctx context.Context, job campaign.Job) campaign.RunStats {
+			started <- struct{}{}
+			<-release
+			if ctx.Err() != nil {
+				return campaign.RunStats{Err: ctx.Err().Error()}
+			}
+			return campaign.RunStats{}
+		},
+		Commit: func(job campaign.Job, stats campaign.RunStats, persist bool) {
+			mu.Lock()
+			commits = append(commits, persist)
+			mu.Unlock()
+		},
+		Done: func(cancelled bool) { done <- cancelled },
+	})
+
+	<-started // first job is in flight
+	if !sc.Cancel("c") {
+		t.Fatal("Cancel returned false for an active task")
+	}
+	if sc.Cancel("c") {
+		t.Fatal("second Cancel returned true")
+	}
+	unblock()
+
+	select {
+	case cancelled := <-done:
+		if !cancelled {
+			t.Fatal("Done(false) after Cancel")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Done never fired")
+	}
+	select {
+	case <-done:
+		t.Fatal("Done fired twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(commits) != 1 {
+		t.Fatalf("%d commits after cancelling with 1 in flight, want 1", len(commits))
+	}
+	if commits[0] {
+		t.Fatal("aborted in-flight run committed with persist=true")
+	}
+}
+
+// TestSchedulerStopAbandonsPending pins the restart-resume contract:
+// Stop drains in-flight runs but never calls Done for unfinished tasks,
+// leaving their manifests in the resumable state.
+func TestSchedulerStopAbandonsPending(t *testing.T) {
+	sc := NewScheduler(1)
+	started := make(chan struct{})
+	doneFired := make(chan bool, 1)
+	sc.Submit(&Task{
+		ID:   "s",
+		Jobs: schedJobs("s", 100),
+		Run: func(ctx context.Context, job campaign.Job) campaign.RunStats {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-ctx.Done()
+			return campaign.RunStats{Err: ctx.Err().Error()}
+		},
+		Done: func(cancelled bool) { doneFired <- cancelled },
+	})
+	<-started
+	sc.Stop()
+	select {
+	case <-doneFired:
+		t.Fatal("Done fired for a task abandoned by Stop")
+	default:
+	}
+}

@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cliffedge"
+	"cliffedge/internal/campaign"
+	"cliffedge/internal/store"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the shared pool size (≤ 0: GOMAXPROCS via scheduler
+	// default of 1? no — the caller resolves; cliffedged passes its flag).
+	Workers int
+	// MaxPerClient caps a single client's concurrently active campaigns
+	// (≤ 0: 4). Clients identify via the X-Client-ID header; without one,
+	// the remote address's host is used.
+	MaxPerClient int
+	// ClusterOptions apply to every run of every sweep — runtime
+	// configuration (live tick, latency bands) outside the spec.
+	ClusterOptions []cliffedge.Option
+	// Logf receives operational log lines (nil: log.Printf).
+	Logf func(format string, args ...any)
+	// now stamps campaign creation times (tests override; nil: time.Now).
+	now func() time.Time
+}
+
+// Server is the campaign service: REST submission and lifecycle, SSE
+// progress streaming, persistent sweeps resumed at startup. Create one
+// with NewServer, mount Handler, and Shutdown on exit — a SIGKILL
+// instead merely means the next start resumes every running sweep.
+type Server struct {
+	st    *store.Store
+	sched *Scheduler
+	cfg   Config
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex
+	sweeps map[string]*Sweep // active (running) sweeps only
+	owner  map[string]string // campaign ID → client, active only
+	// history retains the full event stream of recently finished
+	// campaigns (bounded FIFO), so a subscriber that arrives after — or
+	// reconnects across — completion still replays every event exactly
+	// once. Campaigns finished before the last restart stream a single
+	// synthesized terminal event instead.
+	history    map[string][]Event
+	historyIDs []string
+	nextID     int
+}
+
+// historyLimit bounds how many finished campaigns keep their event
+// streams in memory.
+const historyLimit = 64
+
+// NewServer opens the store, resumes every campaign whose manifest is
+// still "running" (the crash/shutdown leftovers) and starts the shared
+// scheduler.
+func NewServer(dataDir string, cfg Config) (*Server, error) {
+	st, err := store.Open(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxPerClient <= 0 {
+		cfg.MaxPerClient = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		st:      st,
+		sched:   NewScheduler(cfg.Workers),
+		cfg:     cfg,
+		logf:    logf,
+		sweeps:  make(map[string]*Sweep),
+		owner:   make(map[string]string),
+		history: make(map[string][]Event),
+		nextID:  1,
+	}
+	manifests, err := st.List()
+	if err != nil {
+		s.sched.Stop()
+		return nil, err
+	}
+	for _, m := range manifests {
+		if n := parseID(m.ID); n >= s.nextID {
+			s.nextID = n + 1
+		}
+		if m.Status != store.StatusRunning {
+			continue
+		}
+		sw, err := Open(st, m.ID, cfg.ClusterOptions...)
+		if err != nil {
+			s.logf("serve: cannot resume campaign %s: %v", m.ID, err)
+			continue
+		}
+		s.logf("serve: resumed campaign %s (%d/%d done)", m.ID, sw.Completed(), sw.Total())
+		s.submit(sw, m.Client)
+	}
+	return s, nil
+}
+
+// AllocateID returns the next unused c%06d campaign ID in st — the same
+// scheme the server uses, so CLI-created and server-created campaigns
+// share one namespace.
+func AllocateID(st *store.Store) (string, error) {
+	manifests, err := st.List()
+	if err != nil {
+		return "", err
+	}
+	n := 0
+	for _, m := range manifests {
+		if k := parseID(m.ID); k > n {
+			n = k
+		}
+	}
+	return fmt.Sprintf("c%06d", n+1), nil
+}
+
+// parseID extracts the numeric part of a server-allocated c%06d ID
+// (0 for foreign IDs).
+func parseID(id string) int {
+	if !strings.HasPrefix(id, "c") {
+		return 0
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Shutdown stops the scheduler (in-flight runs abort, manifests of
+// unfinished sweeps stay "running" for the next start) and closes every
+// active sweep's log.
+func (s *Server) Shutdown() {
+	s.sched.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sw := range s.sweeps {
+		sw.Close()
+	}
+	s.sweeps = make(map[string]*Sweep)
+}
+
+// submit registers the sweep and enters its remaining jobs into the
+// fair-share ring.
+func (s *Server) submit(sw *Sweep, client string) {
+	s.mu.Lock()
+	s.sweeps[sw.ID] = sw
+	s.owner[sw.ID] = client
+	s.mu.Unlock()
+	s.sched.Submit(&Task{
+		ID:   sw.ID,
+		Jobs: sw.Remaining(),
+		Run:  sw.RunJob,
+		Commit: func(job campaign.Job, stats campaign.RunStats, persist bool) {
+			if err := sw.Commit(job, stats, persist); err != nil {
+				s.logf("serve: campaign %s: commit: %v", sw.ID, err)
+			}
+		},
+		Done: func(cancelled bool) {
+			var err error
+			if cancelled {
+				err = sw.Cancel()
+			} else {
+				err = sw.Finish()
+			}
+			if err != nil {
+				s.logf("serve: campaign %s: finish: %v", sw.ID, err)
+			}
+			s.logf("serve: campaign %s %s (%d/%d)", sw.ID,
+				map[bool]string{false: "done", true: "cancelled"}[cancelled],
+				sw.Completed(), sw.Total())
+			evs, _ := sw.EventsSince(0)
+			s.mu.Lock()
+			delete(s.sweeps, sw.ID)
+			delete(s.owner, sw.ID)
+			s.history[sw.ID] = evs
+			s.historyIDs = append(s.historyIDs, sw.ID)
+			if len(s.historyIDs) > historyLimit {
+				delete(s.history, s.historyIDs[0])
+				s.historyIDs = s.historyIDs[1:]
+			}
+			s.mu.Unlock()
+			sw.Close()
+		},
+	})
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReportJSON)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/report.json", s.handleReportJSON)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/report.csv", s.handleReportCSV)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// clientID identifies the submitting client for fair admission: the
+// X-Client-ID header when present, else the connection's host address.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// campaignInfo is the status document of one campaign.
+type campaignInfo struct {
+	ID        string    `json:"id"`
+	Client    string    `json:"client,omitempty"`
+	Created   time.Time `json:"created"`
+	Status    string    `json:"status"`
+	Completed int       `json:"completed"`
+	Total     int       `json:"total"`
+}
+
+func (s *Server) info(m store.Manifest) campaignInfo {
+	info := campaignInfo{
+		ID: m.ID, Client: m.Client, Created: m.Created, Status: m.Status,
+	}
+	s.mu.Lock()
+	sw := s.sweeps[m.ID]
+	s.mu.Unlock()
+	if sw != nil {
+		info.Completed, info.Total = sw.Completed(), sw.Total()
+	} else if m.Status == store.StatusDone {
+		// Finished campaigns completed their whole grid by definition;
+		// rebuild the count from the spec rather than reopening the log.
+		var spec cliffedge.CampaignSpec
+		if json.Unmarshal(m.Spec, &spec) == nil {
+			if camp, err := cliffedge.NewCampaignFromSpec(spec); err == nil {
+				info.Total = len(camp.Jobs())
+				info.Completed = info.Total
+			}
+		}
+	}
+	return info
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec cliffedge.CampaignSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	client := clientID(r)
+	s.mu.Lock()
+	active := 0
+	for _, owner := range s.owner {
+		if owner == client {
+			active++
+		}
+	}
+	if active >= s.cfg.MaxPerClient {
+		s.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests,
+			"client %q already has %d active campaigns (limit %d)", client, active, s.cfg.MaxPerClient)
+		return
+	}
+	id := fmt.Sprintf("c%06d", s.nextID)
+	s.nextID++
+	s.mu.Unlock()
+
+	now := time.Now
+	if s.cfg.now != nil {
+		now = s.cfg.now
+	}
+	sw, err := Create(s.st, id, client, now().UTC(), spec, s.cfg.ClusterOptions...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.logf("serve: campaign %s submitted by %q (%d jobs)", id, client, sw.Total())
+	s.submit(sw, client)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id": id, "status": store.StatusRunning, "total": sw.Total(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	manifests, err := s.st.List()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	infos := make([]campaignInfo, 0, len(manifests))
+	for _, m := range manifests {
+		infos = append(infos, s.info(m))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": infos})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, err := s.st.Manifest(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(m))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.sched.Cancel(id) {
+		s.logf("serve: campaign %s cancel requested", id)
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": "cancelling"})
+		return
+	}
+	if _, err := s.st.Manifest(id); err != nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	httpError(w, http.StatusConflict, "campaign %q is not running", id)
+}
+
+func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if data, err := s.st.Report(id); err == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "no report for campaign %q", id)
+		return
+	}
+	// Running sweep: a partial snapshot over everything committed so far.
+	w.Header().Set("Content-Type", "application/json")
+	sw.Report().WriteJSON(w)
+}
+
+func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, err := s.loadReport(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no report for campaign %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	rep.WriteCSV(w)
+}
+
+// loadReport materialises the campaign's report: the persisted one for
+// finished campaigns (decoded — the Hist JSON codec makes that lossless),
+// a live snapshot for running ones.
+func (s *Server) loadReport(id string) (*campaign.Report, error) {
+	if data, err := s.st.Report(id); err == nil {
+		var rep campaign.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		return &rep, nil
+	}
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		return nil, fmt.Errorf("no report")
+	}
+	return sw.Report(), nil
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var since int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		since, _ = strconv.ParseInt(v, 10, 64)
+	} else if v := r.URL.Query().Get("since"); v != "" {
+		since, _ = strconv.ParseInt(v, 10, 64)
+	}
+
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	hist, inHistory := s.history[id]
+	s.mu.Unlock()
+
+	if sw == nil {
+		if !inHistory {
+			// Unknown, or finished before the last restart: stream the
+			// terminal state from the manifest (or 404).
+			m, err := s.st.Manifest(id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, "no campaign %q", id)
+				return
+			}
+			hist = []Event{{Seq: since + 1, Type: m.Status}}
+			if m.Status == store.StatusDone {
+				if data, err := s.st.Report(id); err == nil {
+					hist[0].Report = data
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		for _, ev := range hist {
+			if ev.Seq <= since {
+				continue
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+		}
+		flusher.Flush()
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ctx := r.Context()
+	for {
+		events, wake := sw.EventsSince(since)
+		for _, ev := range events {
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			since = ev.Seq
+			if ev.Terminal() {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one event: the seq as the SSE id (reconnect cursor),
+// the type as the SSE event name, the JSON document as data.
+func writeSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}

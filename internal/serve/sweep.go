@@ -1,0 +1,347 @@
+// Package serve turns campaigns into a service: a Sweep binds one
+// campaign to its persisted state (manifest, append-only result log,
+// final report) and a seq-numbered event history; a Scheduler fair-shares
+// a single worker pool across any number of concurrent sweeps; a Server
+// exposes both over HTTP with SSE progress streaming. Because every run
+// is a pure function of its job, the persisted result multiset fully
+// determines the report — a sweep resumed after a crash merges on-disk
+// and re-run results into a report byte-identical to an uninterrupted
+// sweep's.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"cliffedge"
+	"cliffedge/internal/campaign"
+	"cliffedge/internal/store"
+)
+
+// Event is one entry of a sweep's progress stream. Seq numbers are dense
+// and start at 1; they double as SSE event IDs, so a subscriber that
+// reconnects with Last-Event-ID resumes exactly where it left off. After
+// a server restart the history is rebuilt from the result log in log
+// order, which is the order the events were first emitted — seqs are
+// stable across restarts.
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"` // "result", "done" or "cancelled"
+
+	// Result events: the completed job and its headline outcome.
+	Job        *campaign.Job `json:"job,omitempty"`
+	Err        string        `json:"err,omitempty"`
+	Decisions  int           `json:"decisions,omitempty"`
+	Violations int           `json:"violations,omitempty"`
+
+	// Aggregate counters, cumulative as of this event.
+	Completed       int `json:"completed"`
+	Total           int `json:"total"`
+	TotalErrors     int `json:"total_errors"`
+	TotalViolations int `json:"total_violations"`
+
+	// Terminal events: the final report ("done" only).
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// Terminal reports whether the event ends the stream.
+func (e Event) Terminal() bool { return e.Type == "done" || e.Type == "cancelled" }
+
+// Sweep is one campaign bound to its persistent state: every completed
+// run goes through Commit (or the Run loop), which aggregates it, appends
+// it to the durable result log and publishes a progress event — one write
+// path shared by the dedicated CLI runner and the server's scheduler.
+type Sweep struct {
+	ID   string
+	st   *store.Store
+	camp *cliffedge.Campaign
+	jobs []campaign.Job
+
+	mu         sync.Mutex
+	agg        *campaign.Aggregator
+	results    *store.Results
+	done       map[campaign.Job]bool
+	events     []Event
+	errors     int
+	violations int
+	notify     chan struct{}
+	closed     bool
+}
+
+// Create validates spec, persists the campaign's manifest and empty
+// result log, and returns the ready-to-run sweep. Cluster options (copts)
+// are runtime configuration applied on top of the spec — both frontends
+// must pass the same ones for resumed runs to be comparable.
+func Create(st *store.Store, id, client string, created time.Time, spec cliffedge.CampaignSpec, copts ...cliffedge.Option) (*Sweep, error) {
+	camp, err := buildCampaign(spec, copts)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Create(store.Manifest{
+		ID: id, Created: created, Client: client,
+		Status: store.StatusRunning, Spec: raw,
+	}); err != nil {
+		return nil, err
+	}
+	results, _, err := st.OpenResults(id)
+	if err != nil {
+		return nil, err
+	}
+	return newSweep(st, id, camp, results, nil), nil
+}
+
+// Open rebinds a persisted campaign: the manifest's spec rebuilds the
+// grid, the result log replays into a fresh aggregator and the event
+// history, and the sweep resumes with exactly the jobs that never
+// completed. Records for jobs outside the grid (or duplicates) are
+// rejected — they would mean the spec or the log was tampered with.
+func Open(st *store.Store, id string, copts ...cliffedge.Option) (*Sweep, error) {
+	m, err := st.Manifest(id)
+	if err != nil {
+		return nil, err
+	}
+	var spec cliffedge.CampaignSpec
+	if err := json.Unmarshal(m.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("serve: campaign %s: bad spec: %w", id, err)
+	}
+	camp, err := buildCampaign(spec, copts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: campaign %s: %w", id, err)
+	}
+	results, recs, err := st.OpenResults(id)
+	if err != nil {
+		return nil, err
+	}
+	s := newSweep(st, id, camp, results, recs)
+	if s == nil {
+		results.Close()
+		return nil, fmt.Errorf("serve: campaign %s: result log does not match spec grid", id)
+	}
+	return s, nil
+}
+
+func buildCampaign(spec cliffedge.CampaignSpec, copts []cliffedge.Option) (*cliffedge.Campaign, error) {
+	var extra []cliffedge.CampaignOption
+	if len(copts) > 0 {
+		extra = append(extra, cliffedge.WithClusterOptions(copts...))
+	}
+	return cliffedge.NewCampaignFromSpec(spec, extra...)
+}
+
+// newSweep assembles the in-memory state, folding replayed records into
+// the aggregator and the event history. Returns nil if a record does not
+// belong to the grid or repeats a job.
+func newSweep(st *store.Store, id string, camp *cliffedge.Campaign, results *store.Results, recs []store.Record) *Sweep {
+	s := &Sweep{
+		ID: id, st: st, camp: camp, jobs: camp.Jobs(),
+		agg:     campaign.NewAggregator(),
+		results: results,
+		done:    make(map[campaign.Job]bool),
+		notify:  make(chan struct{}),
+	}
+	inGrid := make(map[campaign.Job]bool, len(s.jobs))
+	for _, j := range s.jobs {
+		inGrid[j] = true
+	}
+	for _, rec := range recs {
+		job := rec.Job()
+		if !inGrid[job] || s.done[job] {
+			return nil
+		}
+		s.agg.Add(job, rec.Stats)
+		s.done[job] = true
+		s.appendEventLocked(job, rec.Stats)
+	}
+	return s
+}
+
+// Total returns the size of the campaign's full grid.
+func (s *Sweep) Total() int { return len(s.jobs) }
+
+// Completed returns how many jobs have committed so far.
+func (s *Sweep) Completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Remaining lists the grid jobs that have not committed, in grid order —
+// the resume cursor.
+func (s *Sweep) Remaining() []campaign.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []campaign.Job
+	for _, j := range s.jobs {
+		if !s.done[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RunJob executes one job of the sweep's grid.
+func (s *Sweep) RunJob(ctx context.Context, job campaign.Job) campaign.RunStats {
+	return s.camp.RunJob(ctx, job)
+}
+
+// Commit folds one completed run into the aggregate, durably appends it
+// to the result log (when persist is true) and publishes its progress
+// event. Callers pass persist=false for runs aborted by cancellation or
+// shutdown — their error stats would otherwise be replayed on resume as
+// if the job had genuinely completed, poisoning the resumed report.
+func (s *Sweep) Commit(job campaign.Job, stats campaign.RunStats, persist bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.agg.Add(job, stats)
+	return s.afterAddLocked(job, stats, persist)
+}
+
+// record persists and publishes a run that some other component already
+// folded into the aggregator (the campaign.Runner of the Run loop adds to
+// its Agg before OnResult fires).
+func (s *Sweep) record(job campaign.Job, stats campaign.RunStats, persist bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.afterAddLocked(job, stats, persist)
+}
+
+func (s *Sweep) afterAddLocked(job campaign.Job, stats campaign.RunStats, persist bool) error {
+	if persist {
+		if err := s.results.Append(store.Record{
+			Cell: job.Cell, Seed: job.Seed, Attempt: job.Attempt, Stats: stats,
+		}); err != nil {
+			return err
+		}
+		s.done[job] = true
+	}
+	s.appendEventLocked(job, stats)
+	s.wakeLocked()
+	return nil
+}
+
+func (s *Sweep) appendEventLocked(job campaign.Job, stats campaign.RunStats) {
+	if stats.Err != "" {
+		s.errors++
+	}
+	s.violations += stats.Violations
+	j := job
+	s.events = append(s.events, Event{
+		Seq: int64(len(s.events) + 1), Type: "result",
+		Job: &j, Err: stats.Err, Decisions: stats.Decisions, Violations: stats.Violations,
+		Completed: len(s.events) + 1, Total: len(s.jobs),
+		TotalErrors: s.errors, TotalViolations: s.violations,
+	})
+}
+
+// Run executes every remaining job on a dedicated pool (workers ≤ 0:
+// GOMAXPROCS) — the CLI frontend's loop. On clean completion it finishes
+// the sweep (report rendered and persisted, manifest marked done);
+// cancelled sweeps return the partial report with the manifest left
+// running, so a later -resume carries on.
+func (s *Sweep) Run(ctx context.Context, workers int) (*campaign.Report, error) {
+	s.mu.Lock()
+	agg := s.agg
+	s.mu.Unlock()
+	runner := &campaign.Runner{
+		Workers: workers,
+		Agg:     agg,
+		Run: func(j campaign.Job) campaign.RunStats {
+			return s.RunJob(ctx, j)
+		},
+		OnResult: func(j campaign.Job, st campaign.RunStats) {
+			s.record(j, st, ctx.Err() == nil || st.Err == "")
+		},
+	}
+	rep, err := runner.Execute(ctx, s.Remaining())
+	if err != nil {
+		return rep, err
+	}
+	if err := s.Finish(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Report snapshots the aggregate over everything committed so far.
+func (s *Sweep) Report() *campaign.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.Report()
+}
+
+// Finish renders the final report, persists it, marks the manifest done
+// and publishes the terminal "done" event carrying the report.
+func (s *Sweep) Finish() error {
+	var buf bytes.Buffer
+	if err := s.Report().WriteJSON(&buf); err != nil {
+		return err
+	}
+	if err := s.st.WriteReport(s.ID, buf.Bytes()); err != nil {
+		return err
+	}
+	if err := s.st.SetStatus(s.ID, store.StatusDone); err != nil {
+		return err
+	}
+	s.terminal("done", buf.Bytes())
+	return nil
+}
+
+// Cancel marks the manifest cancelled and publishes the terminal
+// "cancelled" event. A cancelled campaign is not resumed at restart.
+func (s *Sweep) Cancel() error {
+	if err := s.st.SetStatus(s.ID, store.StatusCancelled); err != nil {
+		return err
+	}
+	s.terminal("cancelled", nil)
+	return nil
+}
+
+func (s *Sweep) terminal(typ string, report []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, Event{
+		Seq: int64(len(s.events) + 1), Type: typ,
+		Completed: len(s.done), Total: len(s.jobs),
+		TotalErrors: s.errors, TotalViolations: s.violations,
+		Report: report,
+	})
+	s.wakeLocked()
+}
+
+func (s *Sweep) wakeLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// EventsSince returns every event with Seq > since plus a channel that
+// closes when further events arrive — the SSE handler's wait loop. Each
+// subscriber walks the shared history by sequence number, so every event
+// reaches every subscriber exactly once regardless of reconnects.
+func (s *Sweep) EventsSince(since int64) ([]Event, <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	if since < int64(len(s.events)) {
+		out = append(out, s.events[since:]...)
+	}
+	return out, s.notify
+}
+
+// Close releases the result log. The sweep must not commit afterwards.
+func (s *Sweep) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.results.Close()
+}

@@ -1,0 +1,123 @@
+// Package store persists campaign state under a data directory: one
+// subdirectory per campaign holding a JSON manifest (the submitted spec
+// plus lifecycle status), an append-only segment log of completed cell
+// results, and — once the sweep finishes — the rendered report. The log
+// is length-prefixed and CRC-checked, so a process killed mid-write costs
+// at most the torn tail record: reopening truncates the log to its
+// longest clean prefix and the sweep resumes from the first unfinished
+// job. Runs are pure functions of their seed, so nothing lost from the
+// tail needs recovering — it is simply re-run, and the merged report is
+// indistinguishable from an uninterrupted sweep's.
+//
+// Everything is stdlib. Records are JSON inside binary frames: the frame
+// gives torn-write atomicity and corruption detection, the JSON keeps the
+// payload debuggable and version-tolerant.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Frame layout: a 4-byte little-endian payload length, the 4-byte IEEE
+// CRC32 of the payload, then the payload itself.
+const frameHeader = 8
+
+// MaxPayload bounds a single record. A corrupt length field above it is
+// treated as end-of-log, not as an allocation request.
+const MaxPayload = 1 << 26
+
+// Segment is an append-only record log. Appends are single write calls,
+// so a crash tears at most the final frame, which replay detects and
+// discards.
+type Segment struct {
+	f   *os.File
+	buf []byte
+}
+
+// OpenSegment opens (creating if absent) the segment log at path, replays
+// every clean record, truncates any torn or corrupt tail, and positions
+// the file for appending. The returned payloads alias fresh memory.
+func OpenSegment(path string) (*Segment, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	payloads, clean, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(clean); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Segment{f: f}, payloads, nil
+}
+
+// replay reads frames until the log ends or stops making sense — a torn
+// header or payload, a zero or oversized length, a checksum mismatch —
+// and returns the clean payloads plus the byte length of the clean
+// prefix. Zero-length payloads are corruption by definition (Append
+// refuses them), so a zeroed or preallocated tail never replays as a run
+// of valid empty records.
+func replay(r io.Reader) ([][]byte, int64, error) {
+	br := bufio.NewReader(r)
+	var payloads [][]byte
+	var clean int64
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return payloads, clean, nil
+			}
+			return nil, 0, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > MaxPayload {
+			return payloads, clean, nil
+		}
+		p := make([]byte, n)
+		if _, err := io.ReadFull(br, p); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return payloads, clean, nil
+			}
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(p) != sum {
+			return payloads, clean, nil
+		}
+		payloads = append(payloads, p)
+		clean += frameHeader + int64(n)
+	}
+}
+
+// Append frames payload and writes it in one call. The data reaches the
+// OS immediately (no userspace buffering); fsync is deliberately omitted
+// — losing the tail to a crash only costs re-running those jobs.
+func (s *Segment) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("store: empty record")
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("store: record of %d bytes exceeds MaxPayload", len(payload))
+	}
+	s.buf = s.buf[:0]
+	s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(len(payload)))
+	s.buf = binary.LittleEndian.AppendUint32(s.buf, crc32.ChecksumIEEE(payload))
+	s.buf = append(s.buf, payload...)
+	_, err := s.f.Write(s.buf)
+	return err
+}
+
+// Close closes the underlying file.
+func (s *Segment) Close() error { return s.f.Close() }

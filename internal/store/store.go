@@ -1,0 +1,269 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cliffedge/internal/campaign"
+)
+
+// Campaign lifecycle statuses recorded in the manifest. A campaign found
+// in StatusRunning at startup was interrupted (crash or shutdown) and is
+// resumed; StatusCancelled means a client explicitly abandoned it, so a
+// restart leaves it alone.
+const (
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusCancelled = "cancelled"
+)
+
+// Manifest is the durable identity of a campaign: who submitted what,
+// when, and where its sweep stands. Spec is kept as raw JSON so the store
+// never needs to understand (or migrate) the spec schema.
+type Manifest struct {
+	ID      string          `json:"id"`
+	Created time.Time       `json:"created"`
+	Client  string          `json:"client,omitempty"`
+	Status  string          `json:"status"`
+	Spec    json.RawMessage `json:"spec"`
+}
+
+// Record is one completed run, the unit of resumable progress. Persisting
+// (job, stats) pairs — rather than aggregator state — keeps the log a
+// plain fact table: resume rebuilds the aggregator by re-adding records,
+// so the merged report is computed by exactly the code an uninterrupted
+// sweep uses.
+type Record struct {
+	Cell    campaign.CellKey  `json:"cell"`
+	Seed    int64             `json:"seed"`
+	Attempt int               `json:"attempt"`
+	Stats   campaign.RunStats `json:"stats"`
+}
+
+// Job reassembles the record's job key.
+func (r Record) Job() campaign.Job {
+	return campaign.Job{Cell: r.Cell, Seed: r.Seed, Attempt: r.Attempt}
+}
+
+// Store is a directory of campaigns, one subdirectory per ID holding
+// manifest.json, results.log and (after completion) report.json. All
+// methods are safe for concurrent use on distinct campaigns; per-campaign
+// callers serialise through Results' own lock and the manifest's
+// atomic-rename writes.
+type Store struct {
+	dir string
+}
+
+// Open ensures dir exists and returns the store rooted there.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validID rejects anything that could escape the store directory or
+// collide with the store's own filenames. IDs come from HTTP paths and
+// CLI flags, so this is a security boundary, not a style check.
+func validID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("store: invalid campaign id %q", id)
+	}
+	for _, r := range id {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+			return fmt.Errorf("store: invalid campaign id %q", id)
+		}
+	}
+	return nil
+}
+
+func (s *Store) campaignDir(id string) (string, error) {
+	if err := validID(id); err != nil {
+		return "", err
+	}
+	return filepath.Join(s.dir, id), nil
+}
+
+// Create allocates the campaign directory and writes its manifest. It
+// fails if the ID already exists.
+func (s *Store) Create(m Manifest) error {
+	dir, err := s.campaignDir(m.ID)
+	if err != nil {
+		return err
+	}
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return err
+	}
+	return writeJSONAtomic(filepath.Join(dir, "manifest.json"), m)
+}
+
+// Manifest reads the campaign's manifest.
+func (s *Store) Manifest(id string) (Manifest, error) {
+	dir, err := s.campaignDir(id)
+	if err != nil {
+		return Manifest{}, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("store: campaign %s: %w", id, err)
+	}
+	return m, nil
+}
+
+// SetStatus rewrites the manifest with a new lifecycle status.
+func (s *Store) SetStatus(id, status string) error {
+	m, err := s.Manifest(id)
+	if err != nil {
+		return err
+	}
+	m.Status = status
+	dir, _ := s.campaignDir(id)
+	return writeJSONAtomic(filepath.Join(dir, "manifest.json"), m)
+}
+
+// List returns every campaign's manifest, sorted by ID. Entries whose
+// manifest is missing or unreadable are skipped: a crash between Mkdir
+// and the manifest write leaves a junk directory, not a broken store.
+func (s *Store) List() ([]Manifest, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Manifest
+	for _, e := range entries {
+		if !e.IsDir() || validID(e.Name()) != nil {
+			continue
+		}
+		m, err := s.Manifest(e.Name())
+		if err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Delete removes a campaign and everything it persisted.
+func (s *Store) Delete(id string) error {
+	dir, err := s.campaignDir(id)
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
+}
+
+// WriteReport persists the rendered final report.
+func (s *Store) WriteReport(id string, data []byte) error {
+	dir, err := s.campaignDir(id)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, "report.json"), data)
+}
+
+// Report reads the persisted final report.
+func (s *Store) Report(id string) ([]byte, error) {
+	dir, err := s.campaignDir(id)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(filepath.Join(dir, "report.json"))
+}
+
+// Results is the campaign's append-only run log. Append is safe for
+// concurrent use — results arrive from a worker pool.
+type Results struct {
+	mu  sync.Mutex
+	seg *Segment
+}
+
+// OpenResults opens (creating if absent) the campaign's result log and
+// replays every record already on disk. Undecodable records — possible
+// only if the schema changed under an old log, since the segment layer
+// already discarded torn or corrupt frames — abort the open rather than
+// silently dropping progress.
+func (s *Store) OpenResults(id string) (*Results, []Record, error) {
+	dir, err := s.campaignDir(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	seg, payloads, err := OpenSegment(filepath.Join(dir, "results.log"))
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([]Record, 0, len(payloads))
+	for i, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			seg.Close()
+			return nil, nil, fmt.Errorf("store: campaign %s: record %d: %w", id, i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return &Results{seg: seg}, recs, nil
+}
+
+// Append durably records one completed run.
+func (r *Results) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seg.Append(payload)
+}
+
+// Close closes the underlying log.
+func (r *Results) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seg.Close()
+}
+
+// writeJSONAtomic marshals v (indented, for hand inspection) and installs
+// it via writeFileAtomic.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// writeFileAtomic writes to a temp file in the target directory and
+// renames it into place, so readers never observe a partial file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"cliffedge/internal/campaign"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Cell:    campaign.CellKey{Topology: "ring", Regime: "quiescent", Engine: "sim"},
+		Seed:    int64(100 + i),
+		Attempt: i % 3,
+		Stats: campaign.RunStats{
+			Nodes:     64,
+			Crashed:   i,
+			Border:    2 * i,
+			Domains:   1,
+			Decisions: 64 - i,
+			Messages:  1000 + i,
+		},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	seg, payloads, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 0 {
+		t.Fatalf("fresh segment replayed %d payloads", len(payloads))
+	}
+	want := []string{"one", "two", `{"three":3}`}
+	for _, p := range want {
+		if err := seg.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg, payloads, err = OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if len(payloads) != len(want) {
+		t.Fatalf("replayed %d payloads, want %d", len(payloads), len(want))
+	}
+	for i, p := range payloads {
+		if string(p) != want[i] {
+			t.Errorf("payload %d = %q, want %q", i, p, want[i])
+		}
+	}
+}
+
+func TestSegmentTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	seg, _, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"alpha", "beta", "gamma"} {
+		if err := seg.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg.Close()
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the last frame (keep its header plus one
+	// payload byte) — the shape a SIGKILL mid-write leaves behind.
+	cut := len(full) - len("gamma") + 1
+	if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	seg, payloads, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 2 || string(payloads[0]) != "alpha" || string(payloads[1]) != "beta" {
+		t.Fatalf("after torn tail, payloads = %q", payloads)
+	}
+	// The open must have truncated the torn bytes and positioned for
+	// appending: a new record followed by reopen yields exactly three.
+	if err := seg.Append([]byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	seg.Close()
+	seg, payloads, err = OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if len(payloads) != 3 || string(payloads[2]) != "delta" {
+		t.Fatalf("after re-append, payloads = %q", payloads)
+	}
+}
+
+func TestSegmentRejectsCorruptAndZeroFrames(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	seg, _, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.Append([]byte("keep"))
+	seg.Close()
+
+	full, _ := os.ReadFile(path)
+
+	t.Run("crc-flip", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "seg.log")
+		bad := append(append([]byte{}, full...), full...)
+		bad[len(full)+frameHeader] ^= 0xff // corrupt second record's payload
+		os.WriteFile(p, bad, 0o644)
+		seg, payloads, err := OpenSegment(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		if len(payloads) != 1 || string(payloads[0]) != "keep" {
+			t.Fatalf("payloads = %q, want just %q", payloads, "keep")
+		}
+	})
+
+	t.Run("zero-filled-tail", func(t *testing.T) {
+		// A preallocated-then-crashed file ends in zero bytes. A zero
+		// length field must read as corruption, not as an endless run of
+		// valid empty records.
+		p := filepath.Join(t.TempDir(), "seg.log")
+		bad := append(append([]byte{}, full...), make([]byte, 64)...)
+		os.WriteFile(p, bad, 0o644)
+		seg, payloads, err := OpenSegment(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		if len(payloads) != 1 {
+			t.Fatalf("zero tail replayed as %d payloads, want 1", len(payloads))
+		}
+		info, _ := os.Stat(p)
+		if info.Size() != int64(len(full)) {
+			t.Fatalf("zero tail not truncated: size %d, want %d", info.Size(), len(full))
+		}
+	})
+
+	t.Run("oversized-length", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "seg.log")
+		var hdr [frameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], MaxPayload+1)
+		bad := append(append([]byte{}, full...), hdr[:]...)
+		os.WriteFile(p, bad, 0o644)
+		seg, payloads, err := OpenSegment(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		if len(payloads) != 1 {
+			t.Fatalf("oversized length replayed as %d payloads, want 1", len(payloads))
+		}
+	})
+}
+
+func TestSegmentAppendRejectsEmpty(t *testing.T) {
+	seg, _, err := OpenSegment(filepath.Join(t.TempDir(), "seg.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if err := seg.Append(nil); err == nil {
+		t.Fatal("Append(nil) succeeded, want error")
+	}
+}
+
+func TestStoreManifestLifecycle(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := json.Marshal(map[string]any{"seeds": 4})
+	m := Manifest{
+		ID:      "c000001",
+		Created: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		Client:  "t",
+		Status:  StatusRunning,
+		Spec:    spec,
+	}
+	if err := s.Create(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(m); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	got, err := s.Manifest(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spec is raw JSON; the indent-for-humans manifest write may reflow
+	// its whitespace, so compare it compacted.
+	var gc, wc bytes.Buffer
+	json.Compact(&gc, got.Spec)
+	json.Compact(&wc, m.Spec)
+	if gc.String() != wc.String() {
+		t.Fatalf("spec round trip: got %s, want %s", gc.String(), wc.String())
+	}
+	got.Spec, m.Spec = nil, nil
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("manifest round trip:\n got %+v\nwant %+v", got, m)
+	}
+	m.Spec = spec
+	if err := s.SetStatus(m.ID, StatusDone); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Manifest(m.ID)
+	if got.Status != StatusDone {
+		t.Fatalf("status = %q, want %q", got.Status, StatusDone)
+	}
+
+	if err := s.Create(Manifest{ID: "c000000", Status: StatusRunning, Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != "c000000" || list[1].ID != "c000001" {
+		t.Fatalf("List = %+v", list)
+	}
+
+	if err := s.Delete("c000000"); err != nil {
+		t.Fatal(err)
+	}
+	list, _ = s.List()
+	if len(list) != 1 || list[0].ID != "c000001" {
+		t.Fatalf("after Delete, List = %+v", list)
+	}
+}
+
+func TestStoreRejectsBadIDs(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "a/b", "UPPER", "x y", "ok..", string(make([]byte, 65))} {
+		if err := s.Create(Manifest{ID: id, Status: StatusRunning}); err == nil {
+			t.Errorf("Create(%q) succeeded, want error", id)
+		}
+		if _, err := s.Manifest(id); err == nil {
+			t.Errorf("Manifest(%q) succeeded, want error", id)
+		}
+	}
+}
+
+func TestStoreResultsRoundTrip(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(Manifest{ID: "c000001", Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	res, recs, err := s.OpenResults("c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh results replayed %d records", len(recs))
+	}
+	var want []Record
+	for i := 0; i < 5; i++ {
+		rec := testRecord(i)
+		want = append(want, rec)
+		if err := res.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res.Close()
+
+	res, recs, err = s.OpenResults("c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("records round trip:\n got %+v\nwant %+v", recs, want)
+	}
+	if j := recs[2].Job(); j != (campaign.Job{Cell: recs[2].Cell, Seed: recs[2].Seed, Attempt: recs[2].Attempt}) {
+		t.Fatalf("Job() = %+v", j)
+	}
+}
+
+func TestStoreReport(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(Manifest{ID: "c000001", Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Report("c000001"); err == nil {
+		t.Fatal("Report before WriteReport succeeded")
+	}
+	body := []byte(`{"totals":{}}`)
+	if err := s.WriteReport("c000001", body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Report("c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("report = %q, want %q", got, body)
+	}
+}
+
+// buildFrame assembles a valid frame for corpus seeds and tests.
+func buildFrame(payload []byte) []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end crash-recovery smoke test of cliffedged.
+#
+# Starts the daemon, submits a sweep over HTTP, follows the SSE stream
+# until several runs have committed, SIGKILLs the process mid-sweep,
+# restarts it on the same store, and verifies that the sweep resumes
+# cleanly and completes with a full, violation-free report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18436
+BASE="http://$ADDR"
+DATA=$(mktemp -d)
+LOG1=$(mktemp)
+LOG2=$(mktemp)
+BIN=$(mktemp -d)/cliffedged
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$DATA" "$LOG1" "$LOG2" "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/cliffedged
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "serve-smoke: server never became healthy" >&2
+    return 1
+}
+
+"$BIN" -addr "$ADDR" -store "$DATA" -workers 2 >"$LOG1" 2>&1 &
+PID=$!
+wait_healthy
+
+ID=$(curl -fsS -X POST "$BASE/api/v1/campaigns" -H 'X-Client-ID: smoke' -d '{
+  "topologies": ["ring"], "regimes": ["quiescent"], "engines": ["sim"],
+  "seed_start": 1, "seeds": 1000, "repeats": 1}' |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+echo "serve-smoke: submitted $ID (1000 runs)"
+
+# Follow the SSE stream until five results have arrived, proving runs are
+# committing, then kill the daemon without ceremony. (Closing the stream
+# early kills curl with SIGPIPE — expected, hence the || true.)
+SEEN=$(timeout 60 curl -fsS -N "$BASE/api/v1/campaigns/$ID/events" 2>/dev/null |
+    grep --line-buffered '^data: ' | head -n 5 || true)
+if [ "$(printf '%s\n' "$SEEN" | wc -l)" -lt 5 ]; then
+    echo "serve-smoke: saw fewer than 5 SSE results before interrupting" >&2
+    exit 1
+fi
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+echo "serve-smoke: SIGKILLed mid-sweep"
+
+"$BIN" -addr "$ADDR" -store "$DATA" -workers 2 >"$LOG2" 2>&1 &
+PID=$!
+wait_healthy
+grep -q "resumed campaign $ID" "$LOG2" || {
+    echo "serve-smoke: restart did not resume $ID" >&2
+    cat "$LOG2" >&2
+    exit 1
+}
+echo "serve-smoke: restart resumed $ID"
+
+# Follow the resumed stream to the terminal event; it must be "done".
+TERMINAL=$(timeout 300 curl -fsS -N "$BASE/api/v1/campaigns/$ID/events" 2>/dev/null |
+    grep --line-buffered -m1 '^event: \(done\|cancelled\)$' || true)
+if [ "$TERMINAL" != "event: done" ]; then
+    echo "serve-smoke: stream ended with '$TERMINAL', want 'event: done'" >&2
+    exit 1
+fi
+echo "serve-smoke: sweep completed after resume"
+
+curl -fsS "$BASE/api/v1/campaigns/$ID/report.json" | python3 -c '
+import json, sys
+totals = json.load(sys.stdin)["totals"]
+assert totals["runs"] == 1000, "runs %r != 1000" % totals["runs"]
+assert totals["violations"] == 0, "violations %r" % totals["violations"]
+assert totals["errors"] == 0, "errors %r" % totals["errors"]
+print("serve-smoke: report complete:", totals)
+'
+curl -fsS "$BASE/api/v1/campaigns/$ID/report.csv" | head -n 1 | grep -q '^topology,regime,engine'
+echo "serve-smoke: OK"
