@@ -18,13 +18,16 @@ type Task struct {
 	// Commit records one finished run. persist is false when the run was
 	// aborted by cancellation or shutdown (see Sweep.Commit).
 	Commit func(job campaign.Job, stats campaign.RunStats, persist bool)
-	// Done fires exactly once, after the last in-flight job of a finished
-	// or cancelled task has committed. It is NOT called for tasks still
-	// pending when the scheduler stops — their manifests stay "running",
-	// which is precisely what makes a restart resume them.
+	// Done fires exactly once, after every job of a task has committed
+	// with persist=true (or the task was cancelled) and its last in-flight
+	// run has drained. It is NOT called for tasks interrupted by Stop —
+	// their aborted runs never commit, the task stays unfinished, and its
+	// manifest stays "running", which is precisely what makes a restart
+	// resume it.
 	Done func(cancelled bool)
 
-	cursor    int
+	cursor    int // jobs dispatched
+	committed int // jobs committed with persist=true
 	inflight  int
 	cancelled bool
 	finished  bool
@@ -70,16 +73,23 @@ func NewScheduler(workers int) *Scheduler {
 func (sc *Scheduler) Workers() int { return sc.workers }
 
 // Submit enters a task into the round-robin ring. The task's context
-// descends from the scheduler's, so Stop aborts its in-flight runs.
+// descends from the scheduler's, so Stop aborts its in-flight runs. A
+// task with no jobs — a resumed sweep whose grid had fully committed
+// before the crash — finishes immediately.
 func (sc *Scheduler) Submit(t *Task) {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	if sc.closed {
+		sc.mu.Unlock()
 		return
 	}
 	t.ctx, t.cancel = context.WithCancel(sc.ctx)
 	sc.tasks = append(sc.tasks, t)
+	done := sc.maybeFinishLocked(t)
 	sc.cond.Broadcast()
+	sc.mu.Unlock()
+	if done != nil {
+		done()
+	}
 }
 
 // Cancel aborts the named task: no further jobs are dispatched, in-flight
@@ -168,14 +178,17 @@ func (sc *Scheduler) pickLocked() (*Task, campaign.Job, bool) {
 	return nil, campaign.Job{}, false
 }
 
-// maybeFinishLocked retires a task whose dispatch is exhausted (or
-// cancelled) and whose last in-flight run has drained. It returns the
-// Done invocation to run outside the lock, or nil.
+// maybeFinishLocked retires a task that was cancelled, or whose every
+// job committed with persist=true, once its last in-flight run has
+// drained. Dispatch exhaustion is not enough: during Stop the in-flight
+// tail aborts without committing, and retiring the task then would
+// finalize an incomplete sweep that the next start must instead resume.
+// It returns the Done invocation to run outside the lock, or nil.
 func (sc *Scheduler) maybeFinishLocked(t *Task) func() {
 	if t.finished || t.inflight > 0 {
 		return nil
 	}
-	if !t.cancelled && t.cursor < len(t.Jobs) {
+	if !t.cancelled && t.committed < len(t.Jobs) {
 		return nil
 	}
 	t.finished = true
@@ -231,6 +244,9 @@ func (sc *Scheduler) worker() {
 
 		sc.mu.Lock()
 		t.inflight--
+		if persist {
+			t.committed++
+		}
 		done := sc.maybeFinishLocked(t)
 		sc.cond.Broadcast()
 		sc.mu.Unlock()

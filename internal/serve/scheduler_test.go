@@ -174,3 +174,68 @@ func TestSchedulerStopAbandonsPending(t *testing.T) {
 	default:
 	}
 }
+
+// TestSchedulerStopDoesNotFinalizeTail is the graceful-shutdown guard:
+// when Stop hits a task whose every job has been dispatched but whose
+// last in-flight runs abort without committing — the common tail of any
+// sweep — the task must NOT retire. Done(false) there would finalize an
+// incomplete sweep's manifest and the restart would never resume it.
+func TestSchedulerStopDoesNotFinalizeTail(t *testing.T) {
+	sc := NewScheduler(2)
+	started := make(chan struct{}, 2)
+	doneFired := make(chan bool, 1)
+	var mu sync.Mutex
+	var persisted []bool
+	sc.Submit(&Task{
+		ID:   "tail",
+		Jobs: schedJobs("tail", 2), // one per worker: dispatch exhausts immediately
+		Run: func(ctx context.Context, job campaign.Job) campaign.RunStats {
+			started <- struct{}{}
+			<-ctx.Done()
+			return campaign.RunStats{Err: ctx.Err().Error()}
+		},
+		Commit: func(job campaign.Job, stats campaign.RunStats, persist bool) {
+			mu.Lock()
+			persisted = append(persisted, persist)
+			mu.Unlock()
+		},
+		Done: func(cancelled bool) { doneFired <- cancelled },
+	})
+	<-started
+	<-started // both jobs in flight, cursor == len(Jobs)
+	sc.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, p := range persisted {
+		if p {
+			t.Fatal("aborted tail run committed with persist=true")
+		}
+	}
+	select {
+	case <-doneFired:
+		t.Fatal("Done fired for a task whose in-flight tail aborted at Stop")
+	default:
+	}
+}
+
+// TestSchedulerEmptyTaskFinishes: a task submitted with no jobs — a
+// resumed sweep whose grid had fully committed before the crash — must
+// finish immediately with Done(false), so the server finalizes its
+// report instead of leaving the manifest "running" forever.
+func TestSchedulerEmptyTaskFinishes(t *testing.T) {
+	sc := NewScheduler(1)
+	defer sc.Stop()
+	done := make(chan bool, 1)
+	sc.Submit(&Task{ID: "empty", Done: func(c bool) { done <- c }})
+	select {
+	case cancelled := <-done:
+		if cancelled {
+			t.Fatal("empty task reported cancelled")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("empty task never finished")
+	}
+	if sc.Active() != 0 {
+		t.Fatalf("%d active tasks after empty task finished, want 0", sc.Active())
+	}
+}

@@ -301,6 +301,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id := fmt.Sprintf("c%06d", s.nextID)
 	s.nextID++
+	// Reserve the owner slot in the same critical section as the admission
+	// check, so N racing submits from one client cannot all pass it.
+	s.owner[id] = client
 	s.mu.Unlock()
 
 	now := time.Now
@@ -309,6 +312,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sw, err := Create(s.st, id, client, now().UTC(), spec, s.cfg.ClusterOptions...)
 	if err != nil {
+		s.mu.Lock()
+		delete(s.owner, id)
+		s.mu.Unlock()
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -418,6 +424,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		since, _ = strconv.ParseInt(v, 10, 64)
 	} else if v := r.URL.Query().Get("since"); v != "" {
 		since, _ = strconv.ParseInt(v, 10, 64)
+	}
+	if since < 0 { // unparseable or hostile cursors read from the start
+		since = 0
 	}
 
 	s.mu.Lock()

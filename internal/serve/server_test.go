@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cliffedge/internal/campaign"
+	"cliffedge/internal/store"
 )
 
 func newTestServer(t *testing.T, dir string, workers, maxPerClient int) (*Server, *httptest.Server) {
@@ -244,6 +245,50 @@ func TestServerRestartResumes(t *testing.T) {
 	}
 }
 
+// TestServerRestartFinalizesCompleted covers the narrowest crash window:
+// every job of the sweep committed, but the crash hit before Finish wrote
+// the report and flipped the manifest. The restarted server must detect
+// the fully-committed sweep (an empty task) and finalize it immediately —
+// with a report byte-identical to an uninterrupted run — rather than
+// leaving its manifest "running" forever.
+func TestServerRestartFinalizesCompleted(t *testing.T) {
+	spec := testSpec(4)
+	want := runClean(t, spec)
+
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Create(st, "c000001", "finisher", testCreated, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, j := range sw.Remaining() {
+		if err := sw.Commit(j, sw.RunJob(ctx, j), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw.Close() // "crash": all results durable, Finish never ran
+
+	srv, ts := newTestServer(t, dir, 1, 4)
+	defer srv.Shutdown()
+	events := followSSE(t, ts.URL, "c000001", 0)
+	if last := events[len(events)-1]; last.Type != "done" {
+		t.Fatalf("finalized campaign ended with %q, want done", last.Type)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/campaigns/c000001/report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("finalized report differs from uninterrupted report:\n got: %.400s\nwant: %.400s", got, want)
+	}
+}
+
 // TestServerClientLimit pins per-client admission: the limit counts only
 // that client's active campaigns, and other clients are unaffected. The
 // busy client is simulated by seeding the owner table directly — real
@@ -386,6 +431,20 @@ func TestServerEndpoints(t *testing.T) {
 	lines := strings.Count(strings.TrimSpace(string(csvBody)), "\n") + 1
 	if lines != 2 { // header + the single ring/quiescent/sim cell
 		t.Fatalf("csv has %d lines, want 2:\n%s", lines, csvBody)
+	}
+
+	// A hostile negative cursor must not panic the SSE handler: the
+	// stream replays from the start.
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/campaigns/"+id+"/events?since=-1", nil)
+	req.Header.Set("Last-Event-ID", "-1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(negBody), "event: done") {
+		t.Fatalf("events with negative cursor: %s\n%.200s", resp.Status, negBody)
 	}
 
 	for _, path := range []string{

@@ -24,10 +24,11 @@ import (
 
 // Event is one entry of a sweep's progress stream. Seq numbers are dense
 // and start at 1; they double as SSE event IDs, so a subscriber that
-// reconnects with Last-Event-ID resumes exactly where it left off. After
-// a server restart the history is rebuilt from the result log in log
-// order, which is the order the events were first emitted — seqs are
-// stable across restarts.
+// reconnects with Last-Event-ID resumes exactly where it left off. Only
+// persisted runs enter the stream — aborted ones don't, so the history
+// mirrors the result log exactly: after a server restart it is rebuilt
+// from the log in log order, which is the order the events were first
+// emitted, and seqs are stable across restarts.
 type Event struct {
 	Seq  int64  `json:"seq"`
 	Type string `json:"type"` // "result", "done" or "cancelled"
@@ -52,9 +53,9 @@ type Event struct {
 func (e Event) Terminal() bool { return e.Type == "done" || e.Type == "cancelled" }
 
 // Sweep is one campaign bound to its persistent state: every completed
-// run goes through Commit (or the Run loop), which aggregates it, appends
-// it to the durable result log and publishes a progress event — one write
-// path shared by the dedicated CLI runner and the server's scheduler.
+// run goes through Commit, which aggregates it, appends it to the durable
+// result log and publishes a progress event — one write path shared by
+// the dedicated CLI runner (via Run) and the server's scheduler.
 type Sweep struct {
 	ID   string
 	st   *store.Store
@@ -193,35 +194,26 @@ func (s *Sweep) RunJob(ctx context.Context, job campaign.Job) campaign.RunStats 
 }
 
 // Commit folds one completed run into the aggregate, durably appends it
-// to the result log (when persist is true) and publishes its progress
-// event. Callers pass persist=false for runs aborted by cancellation or
-// shutdown — their error stats would otherwise be replayed on resume as
-// if the job had genuinely completed, poisoning the resumed report.
+// to the result log and publishes its progress event. Callers pass
+// persist=false for runs aborted by cancellation or shutdown, and those
+// are dropped entirely: not aggregated (their context-error stats would
+// poison partial reports and, replayed on resume, the final one), not
+// logged (resume must re-run them) and not published (the seq space then
+// contains exactly the committed runs, keeping seqs stable across
+// restarts).
 func (s *Sweep) Commit(job campaign.Job, stats campaign.RunStats, persist bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.agg.Add(job, stats)
-	return s.afterAddLocked(job, stats, persist)
-}
-
-// record persists and publishes a run that some other component already
-// folded into the aggregator (the campaign.Runner of the Run loop adds to
-// its Agg before OnResult fires).
-func (s *Sweep) record(job campaign.Job, stats campaign.RunStats, persist bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.afterAddLocked(job, stats, persist)
-}
-
-func (s *Sweep) afterAddLocked(job campaign.Job, stats campaign.RunStats, persist bool) error {
-	if persist {
-		if err := s.results.Append(store.Record{
-			Cell: job.Cell, Seed: job.Seed, Attempt: job.Attempt, Stats: stats,
-		}); err != nil {
-			return err
-		}
-		s.done[job] = true
+	if !persist {
+		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.results.Append(store.Record{
+		Cell: job.Cell, Seed: job.Seed, Attempt: job.Attempt, Stats: stats,
+	}); err != nil {
+		return err
+	}
+	s.agg.Add(job, stats)
+	s.done[job] = true
 	s.appendEventLocked(job, stats)
 	s.wakeLocked()
 	return nil
@@ -236,7 +228,7 @@ func (s *Sweep) appendEventLocked(job campaign.Job, stats campaign.RunStats) {
 	s.events = append(s.events, Event{
 		Seq: int64(len(s.events) + 1), Type: "result",
 		Job: &j, Err: stats.Err, Decisions: stats.Decisions, Violations: stats.Violations,
-		Completed: len(s.events) + 1, Total: len(s.jobs),
+		Completed: len(s.done), Total: len(s.jobs),
 		TotalErrors: s.errors, TotalViolations: s.violations,
 	})
 }
@@ -247,27 +239,41 @@ func (s *Sweep) appendEventLocked(job campaign.Job, stats campaign.RunStats) {
 // cancelled sweeps return the partial report with the manifest left
 // running, so a later -resume carries on.
 func (s *Sweep) Run(ctx context.Context, workers int) (*campaign.Report, error) {
-	s.mu.Lock()
-	agg := s.agg
-	s.mu.Unlock()
+	var cmu sync.Mutex
+	var commitErr error
 	runner := &campaign.Runner{
 		Workers: workers,
-		Agg:     agg,
 		Run: func(j campaign.Job) campaign.RunStats {
 			return s.RunJob(ctx, j)
 		},
+		// Everything flows through Commit: the sweep's own aggregator (not
+		// the Runner's throwaway one) is the source of truth, and aborted
+		// runs never touch it — the partial report of a cancelled sweep
+		// covers exactly the committed runs, like the server's.
 		OnResult: func(j campaign.Job, st campaign.RunStats) {
-			s.record(j, st, ctx.Err() == nil || st.Err == "")
+			persist := ctx.Err() == nil || st.Err == ""
+			if err := s.Commit(j, st, persist); err != nil {
+				cmu.Lock()
+				if commitErr == nil {
+					commitErr = err
+				}
+				cmu.Unlock()
+			}
 		},
 	}
-	rep, err := runner.Execute(ctx, s.Remaining())
+	_, err := runner.Execute(ctx, s.Remaining())
+	if err == nil {
+		cmu.Lock()
+		err = commitErr
+		cmu.Unlock()
+	}
 	if err != nil {
-		return rep, err
+		return s.Report(), err
 	}
 	if err := s.Finish(); err != nil {
-		return rep, err
+		return s.Report(), err
 	}
-	return rep, nil
+	return s.Report(), nil
 }
 
 // Report snapshots the aggregate over everything committed so far.
@@ -325,9 +331,13 @@ func (s *Sweep) wakeLocked() {
 // closes when further events arrive — the SSE handler's wait loop. Each
 // subscriber walks the shared history by sequence number, so every event
 // reaches every subscriber exactly once regardless of reconnects.
+// Negative cursors (a client's bogus Last-Event-ID) read from the start.
 func (s *Sweep) EventsSince(since int64) ([]Event, <-chan struct{}) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if since < 0 {
+		since = 0
+	}
 	var out []Event
 	if since < int64(len(s.events)) {
 		out = append(out, s.events[since:]...)

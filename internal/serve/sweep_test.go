@@ -117,8 +117,10 @@ func TestSweepCrashRecoveryByteIdentical(t *testing.T) {
 }
 
 // TestSweepCancelledRunsNotPersisted pins the persist=false path: a run
-// committed as aborted is reported in the event stream but never written
-// to the log, so resume re-runs it.
+// committed as aborted is dropped entirely — no log record (so resume
+// re-runs it), no aggregation (its context-error stats must not poison
+// reports) and no event (the seq space holds exactly the committed runs,
+// keeping seqs stable across restarts).
 func TestSweepCancelledRunsNotPersisted(t *testing.T) {
 	st, err := store.Open(filepath.Join(t.TempDir(), "data"))
 	if err != nil {
@@ -138,8 +140,15 @@ func TestSweepCancelledRunsNotPersisted(t *testing.T) {
 		t.Fatal(err)
 	}
 	events, _ := sw.EventsSince(0)
-	if len(events) != 2 {
-		t.Fatalf("%d events, want 2", len(events))
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1 (aborted run must not enter the stream)", len(events))
+	}
+	if ev := events[0]; ev.Completed != 1 || ev.TotalErrors != 0 {
+		t.Fatalf("event counters = %d completed, %d errors, want 1, 0", ev.Completed, ev.TotalErrors)
+	}
+	if rep := sw.Report(); rep.Totals.Errors != 0 || rep.Totals.Runs != 1 {
+		t.Fatalf("partial report totals = %d runs, %d errors, want 1, 0",
+			rep.Totals.Runs, rep.Totals.Errors)
 	}
 	sw.Close()
 
@@ -194,5 +203,11 @@ func TestSweepEventStream(t *testing.T) {
 	tail, _ := sw.EventsSince(2)
 	if len(tail) != 2 || tail[0].Seq != 3 {
 		t.Fatalf("EventsSince(2) = %+v", tail)
+	}
+	// A negative cursor (bogus client Last-Event-ID) must not panic and
+	// reads from the start.
+	neg, _ := sw.EventsSince(-1)
+	if len(neg) != 4 {
+		t.Fatalf("EventsSince(-1) returned %d events, want 4", len(neg))
 	}
 }
