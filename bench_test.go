@@ -289,6 +289,36 @@ func BenchmarkKernelCascade64(b *testing.B) {
 	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
 }
 
+// BenchmarkKernelCascade128 doubles the headline kernel workload in each
+// grid dimension — a 128×128 grid losing its centre 32×32 block plus
+// eight stragglers — to expose superlinear growth (borders, and with
+// them vectors and waiting bitsets, scale with the crash perimeter)
+// that the 64×64 point alone cannot show.
+func BenchmarkKernelCascade128(b *testing.B) {
+	b.ReportAllocs()
+	spec := scenario.CascadeSpec(128, 128, 32, 8, 25, 1)
+	b.ResetTimer()
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		r, err := sim.NewRunner(sim.Config{
+			Graph:         spec.Graph,
+			Factory:       scenario.CoreFactory(spec.Graph),
+			Seed:          spec.Seed,
+			Crashes:       spec.Crashes,
+			DiscardEvents: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += res.Stats.Messages
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
 // BenchmarkLiveCascade32 is the live counterpart of the KERNEL workload:
 // a 32×32 grid (one goroutine per node) loses its centre 8×8 block at
 // once, then four more nodes race into the in-flight agreement with no
@@ -344,7 +374,8 @@ func BenchmarkCoreOnMessage(b *testing.B) {
 	view := region.New(g, []graph.NodeID{victim})
 	border := view.Border()
 	msg := core.Message{Round: 1, View: view, Border: border,
-		Opinions: core.Vector{border[1]: {Kind: core.Accept, Value: "v"}}}
+		Opinions: core.VectorOf(border,
+			map[graph.NodeID]core.Opinion{border[1]: {Kind: core.Accept, Value: "v"}})}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := core.New(core.Config{ID: border[0], Graph: g})

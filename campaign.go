@@ -1,9 +1,12 @@
 package cliffedge
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -45,6 +48,7 @@ type Campaign struct {
 	repeats  int
 	workers  int
 	copts    []Option
+	traceDir string
 }
 
 // CampaignOption configures a Campaign at construction time.
@@ -259,6 +263,25 @@ func WithClusterOptions(opts ...Option) CampaignOption {
 	}
 }
 
+// WithTraceDir makes every run of the campaign stream its full event
+// trace into dir, one binary-format file per job named Job.TraceName()
+// (convert with cliffedge-trace). The write path composes with the
+// campaign's constant-memory posture: runs execute under
+// WithoutTraceBuffer and the trace streams straight to disk, so memory
+// stays bounded by the topology no matter how large the trace grows. Like
+// WithClusterOptions, this is runtime configuration, not part of the
+// campaign's Spec. The directory must exist; a job whose trace file
+// cannot be created or written reports the failure as its run error.
+func WithTraceDir(dir string) CampaignOption {
+	return func(c *Campaign) error {
+		if dir == "" {
+			return fmt.Errorf("cliffedge: empty trace directory")
+		}
+		c.traceDir = dir
+		return nil
+	}
+}
+
 // cells expands the configured grid.
 func (c *Campaign) cells() []campaign.CellKey {
 	var out []campaign.CellKey
@@ -380,8 +403,29 @@ func (c *Campaign) runJob(ctx context.Context, job campaign.Job) campaign.RunSta
 	if netModel != nil {
 		opts = append(opts, WithNetModel(netModel))
 	}
+	// Per-job trace persistence (WithTraceDir): the run streams its binary
+	// trace straight to disk through the buffered writer, and a failed run
+	// leaves no partial file behind — resume re-runs the job, so a trace
+	// file's existence means "this job's full trace", never a torn prefix.
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if c.traceDir != "" {
+		f, err := os.Create(filepath.Join(c.traceDir, job.TraceName()))
+		if err != nil {
+			return campaign.RunStats{Err: err.Error()}
+		}
+		traceFile, traceBuf = f, bufio.NewWriter(f)
+		opts = append(opts, WithTraceWriter(traceBuf))
+	}
+	discardTrace := func() {
+		if traceFile != nil {
+			traceFile.Close()
+			os.Remove(traceFile.Name())
+		}
+	}
 	cl, err := New(topo, opts...)
 	if err != nil {
+		discardTrace()
 		return campaign.RunStats{Err: err.Error()}
 	}
 
@@ -398,7 +442,18 @@ func (c *Campaign) runJob(ctx context.Context, job campaign.Job) campaign.RunSta
 		res, err = cl.Run(ctx, plan)
 	}
 	if err != nil {
+		discardTrace()
 		return campaign.RunStats{Err: err.Error()}
+	}
+	if traceFile != nil {
+		err := traceBuf.Flush()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(traceFile.Name())
+			return campaign.RunStats{Err: fmt.Sprintf("trace sink %s: %v", traceFile.Name(), err)}
+		}
 	}
 	return summarize(topo, res, online, reg, lats, maxLag)
 }

@@ -1,11 +1,69 @@
 package cliffedge
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
+
+	"cliffedge/internal/trace"
 )
+
+// TestCampaignTraceDir: WithTraceDir persists one decodable binary trace
+// per job, and — because each sim run is a pure function of its job —
+// two sweeps of the same grid write byte-identical trace files. This
+// pins the whole streaming path: runJob's WithoutTraceBuffer posture,
+// WithTraceWriter's binary sink, and Job.TraceName's naming.
+func TestCampaignTraceDir(t *testing.T) {
+	build := func(dir string) *Campaign {
+		camp, err := NewCampaign(
+			WithTopologies("grid"),
+			WithRegimes("quiescent"),
+			WithSeedRange(1, 2),
+			WithTraceDir(dir),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return camp
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dirA, dirB} {
+		rep, err := build(dir).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("unhealthy campaign: %v", err)
+		}
+	}
+	for _, job := range build(dirA).Jobs() {
+		a, err := os.ReadFile(filepath.Join(dirA, job.TraceName()))
+		if err != nil {
+			t.Fatalf("job %v: %v", job, err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, job.TraceName()))
+		if err != nil {
+			t.Fatalf("job %v: %v", job, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("job %v: trace files differ between identical sweeps", job)
+		}
+		events, err := trace.ReadBinary(bytes.NewReader(a))
+		if err != nil {
+			t.Fatalf("job %v: decode: %v", job, err)
+		}
+		if len(events) == 0 {
+			t.Errorf("job %v: empty trace", job)
+		}
+		if s := trace.Summarize(events); s.Decisions == 0 {
+			t.Errorf("job %v: trace records no decisions", job)
+		}
+	}
+}
 
 // TestCampaignSim: a small sim sweep must be healthy — zero violations,
 // zero errors — and, because the simulator is deterministic, every

@@ -3,6 +3,7 @@ package cliffedge
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"cliffedge/internal/check"
@@ -39,6 +40,7 @@ type Cluster struct {
 	liveTick    time.Duration
 	maxEvents   int
 	netModel    *NetModel
+	traceW      io.Writer
 }
 
 // Option configures a Cluster at construction time.
@@ -162,6 +164,25 @@ func WithObserver(fn Observer) Option {
 // memory.
 func WithoutTraceBuffer() Option {
 	return func(c *Cluster) error { c.noBuffer = true; return nil }
+}
+
+// WithTraceWriter streams every event of the run to w in the binary trace
+// format (see the trace package; convert with cliffedge-trace). This is
+// the default on-disk sink: paired with WithoutTraceBuffer the full trace
+// lands on disk while the run itself stays in constant memory. The stream
+// is flushed when the run finishes; a write error fails the run. Events
+// from the simulator arrive in sequence order; the live engine writes in
+// per-node batch order, with the Time field providing the global total
+// order (sort by Time to reconstruct it). The writer is owned by the run:
+// do not share one writer between concurrent runs.
+func WithTraceWriter(w io.Writer) Option {
+	return func(c *Cluster) error {
+		if w == nil {
+			return fmt.Errorf("cliffedge: nil trace writer")
+		}
+		c.traceW = w
+		return nil
+	}
 }
 
 // WithEngine selects the execution backend; the default is Sim().

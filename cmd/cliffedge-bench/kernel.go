@@ -26,7 +26,7 @@ type kernelPoint = benchjson.KernelPoint
 // the fastest wall time (allocation counts are deterministic across
 // runs). Peak RSS is the process high-water mark (VmHWM), so run KERNEL
 // on its own, not after other experiments.
-func kernelBench(runs int, seed int64, asJSON bool) {
+func kernelBench(runs int, seed int64, asJSON bool, tracePath string) {
 	spec := scenario.CascadeSpec(64, 64, 16, 8, 25, seed)
 	p := kernelPoint{Label: "local run", Rev: "working tree"}
 	for i := 0; i < runs; i++ {
@@ -62,6 +62,11 @@ func kernelBench(runs int, seed int64, asJSON bool) {
 		}
 	}
 	p.PeakRSSKB = peakRSSKB()
+	if tracePath != "" {
+		if err := captureKernelTrace(spec, tracePath); err != nil {
+			fatal(err)
+		}
+	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

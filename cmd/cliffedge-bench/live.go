@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cliffedge/internal/benchjson"
+	"cliffedge/internal/graph"
+	"cliffedge/internal/livenet"
+	"cliffedge/internal/scenario"
+	"cliffedge/internal/sim"
+	"cliffedge/internal/trace"
+)
+
+// liveWorkload is the BenchmarkLiveCascade32 workload: the 32×32 grid
+// cascade (8×8 centre block, then four racing single-node crashes) with
+// the spec's timed crashes grouped into waves replayed without idle
+// barriers in between.
+func liveWorkload(seed int64) (spec scenario.Spec, waves [][]graph.NodeID) {
+	spec = scenario.CascadeSpec(32, 32, 8, 4, 25, seed)
+	var times []int64
+	for _, c := range spec.Crashes {
+		if len(times) == 0 || c.Time != times[len(times)-1] {
+			times = append(times, c.Time)
+			waves = append(waves, nil)
+		}
+		waves[len(waves)-1] = append(waves[len(waves)-1], c.Node)
+	}
+	return spec, waves
+}
+
+// liveBench runs the headline live workload — the 32×32 cascade of
+// BenchmarkLiveCascade32, trace discarded — `runs` times and reports the
+// fastest wall time. Unlike the deterministic kernel, allocation counts
+// vary slightly run to run (the Go scheduler decides the interleaving),
+// so the point keeps the counts of the fastest run. The -exp LIVE -json
+// output is one BENCH_live.json history entry, gated by bench-guard like
+// the kernel's.
+func liveBench(runs int, seed int64, asJSON bool, tracePath string) {
+	spec, waves := liveWorkload(seed)
+	p := benchjson.KernelPoint{Label: "local run", Rev: "working tree"}
+	for i := 0; i < runs; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		rt := livenet.NewRuntime(spec.Graph, scenario.CoreFactory(spec.Graph),
+			livenet.Options{DiscardEvents: true})
+		if err := rt.WaitIdle(time.Minute); err != nil {
+			rt.Stop()
+			fatal(err)
+		}
+		for _, w := range waves {
+			rt.CrashAll(w...)
+		}
+		if err := rt.WaitIdle(time.Minute); err != nil {
+			rt.Stop()
+			fatal(err)
+		}
+		rt.Stop()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		res := rt.Result()
+		if p.NsPerOp == 0 || elapsed.Nanoseconds() < p.NsPerOp {
+			p.NsPerOp = elapsed.Nanoseconds()
+			p.AllocsPerOp = after.Mallocs - before.Mallocs
+			p.BytesPerOp = after.TotalAlloc - before.TotalAlloc
+			p.MsgsPerOp = res.Stats.Messages
+			p.Decisions = res.Stats.Decisions
+			p.EndTime = res.Stats.EndTime
+		}
+	}
+	p.PeakRSSKB = peakRSSKB()
+	if tracePath != "" {
+		if err := captureLiveTrace(spec, waves, tracePath); err != nil {
+			fatal(err)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(p); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Println("## LIVE — 32×32 live cascade, streaming posture (see BENCH_live.json)")
+	fmt.Println()
+	fmt.Println("| time/op | allocs/op | bytes/op | peak RSS kB | msgs | decisions | t_end |")
+	fmt.Println("|--------:|----------:|---------:|------------:|-----:|----------:|------:|")
+	fmt.Printf("| %s | %d | %d | %d | %d | %d | %d |\n\n",
+		time.Duration(p.NsPerOp), p.AllocsPerOp, p.BytesPerOp, p.PeakRSSKB,
+		p.MsgsPerOp, p.Decisions, p.EndTime)
+}
+
+// captureLiveTrace replays the live workload once more with the binary
+// sink attached and writes the full trace to path. The capture run is
+// separate from the timed runs so the measurement stays sink-free.
+func captureLiveTrace(spec scenario.Spec, waves [][]graph.NodeID, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	rt := livenet.NewRuntime(spec.Graph, scenario.CoreFactory(spec.Graph),
+		livenet.Options{DiscardEvents: true, TraceWriter: bw})
+	if err := rt.WaitIdle(time.Minute); err != nil {
+		rt.Stop()
+		f.Close()
+		return err
+	}
+	for _, w := range waves {
+		rt.CrashAll(w...)
+	}
+	if err := rt.WaitIdle(time.Minute); err != nil {
+		rt.Stop()
+		f.Close()
+		return err
+	}
+	rt.Stop()
+	if err := rt.TraceErr(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cliffedge-bench: binary trace written to %s\n", path)
+	return nil
+}
+
+// captureKernelTrace replays the kernel workload once more with the
+// binary sink riding the simulator's observer stream and writes the full
+// trace to path, again outside the timed runs.
+func captureKernelTrace(spec scenario.Spec, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	buf := bufio.NewWriter(f)
+	bw := trace.NewBinaryWriter(buf)
+	r, err := sim.NewRunner(sim.Config{
+		Graph:         spec.Graph,
+		Factory:       scenario.CoreFactory(spec.Graph),
+		Seed:          spec.Seed,
+		Crashes:       spec.Crashes,
+		DiscardEvents: true,
+		Observer:      func(e trace.Event) { bw.Write(e) },
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := r.Run(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := buf.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cliffedge-bench: binary trace written to %s\n", path)
+	return nil
+}

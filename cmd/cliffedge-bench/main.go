@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: all, F1a, F1b, F2, F3, T1..T7, MC, STREAM, KERNEL (STREAM and KERNEL run only when named)")
+		exp     = flag.String("exp", "all", "experiment id: all, F1a, F1b, F2, F3, T1..T7, MC, STREAM, KERNEL, LIVE (STREAM, KERNEL and LIVE run only when named)")
 		full    = flag.Bool("full", false, "run the large variants (T1 up to N=102400 and a bigger global baseline)")
 		seed    = flag.Int64("seed", 1, "base seed")
-		asJSON  = flag.Bool("json", false, "emit machine-readable JSON metrics instead of Markdown (KERNEL)")
-		kenruns = flag.Int("kernel-runs", 3, "repetitions of the KERNEL workload (fastest wall time wins)")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON metrics instead of Markdown (KERNEL, LIVE)")
+		kenruns = flag.Int("kernel-runs", 3, "repetitions of the KERNEL/LIVE workload (fastest wall time wins)")
+		trcOut  = flag.String("trace", "", "also write the workload's full binary trace to this file via one extra untimed run (KERNEL, LIVE)")
 	)
 	flag.Parse()
 
@@ -80,16 +81,21 @@ func main() {
 		ran = true
 		mcTable()
 	}
-	// STREAM and KERNEL are not part of -exp all: STREAM is a multi-minute
-	// memory-posture contrast, and the kernel point is recorded
-	// deliberately, when updating BENCH_kernel.json.
+	// STREAM, KERNEL and LIVE are not part of -exp all: STREAM is a
+	// multi-minute memory-posture contrast, and the kernel and live points
+	// are recorded deliberately, when updating BENCH_kernel.json and
+	// BENCH_live.json.
 	if strings.EqualFold(*exp, "STREAM") {
 		ran = true
 		streamBench(*full, *seed)
 	}
 	if strings.EqualFold(*exp, "KERNEL") {
 		ran = true
-		kernelBench(*kenruns, *seed, *asJSON)
+		kernelBench(*kenruns, *seed, *asJSON, *trcOut)
+	}
+	if strings.EqualFold(*exp, "LIVE") {
+		ran = true
+		liveBench(*kenruns, *seed, *asJSON, *trcOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "cliffedge-bench: unknown experiment %q\n", *exp)

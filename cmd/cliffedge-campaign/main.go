@@ -55,6 +55,7 @@ func main() {
 		fail     = flag.Bool("fail", false, "exit non-zero on any run error, property violation or zero-decision cell")
 		storeDir = flag.String("store", "", "persist the sweep under this directory (resumable; shared with cliffedged)")
 		resume   = flag.String("resume", "", "resume the persisted campaign with this ID (requires -store; grid flags are ignored — the stored spec wins)")
+		traces   = flag.String("traces", "", "stream every run's full binary trace into this directory, one file per job (created if absent; convert with cliffedge-trace)")
 	)
 	flag.Parse()
 
@@ -74,7 +75,14 @@ func main() {
 	if *workers > 0 {
 		opts = append(opts, cliffedge.WithWorkers(*workers))
 	}
-	camp, err := cliffedge.NewCampaign(opts...)
+	var extra []cliffedge.CampaignOption
+	if *traces != "" {
+		if err := os.MkdirAll(*traces, 0o755); err != nil {
+			fatal(err)
+		}
+		extra = append(extra, cliffedge.WithTraceDir(*traces))
+	}
+	camp, err := cliffedge.NewCampaign(append(opts, extra...)...)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,7 +99,7 @@ func main() {
 	var rep *cliffedge.CampaignReport
 	var runErr error
 	if *storeDir != "" {
-		rep, runErr = runPersistent(ctx, *storeDir, *resume, camp, *workers)
+		rep, runErr = runPersistent(ctx, *storeDir, *resume, camp, *workers, extra)
 	} else {
 		if *resume != "" {
 			fatal(errors.New("-resume requires -store"))
@@ -133,7 +141,7 @@ func main() {
 // server uses, so every completed run is committed to the store's result
 // log before the next begins and an interruption costs nothing but the
 // in-flight runs.
-func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Campaign, workers int) (*cliffedge.CampaignReport, error) {
+func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Campaign, workers int, extra []cliffedge.CampaignOption) (*cliffedge.CampaignReport, error) {
 	st, err := store.Open(dir)
 	if err != nil {
 		return nil, err
@@ -147,7 +155,7 @@ func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Ca
 		if m.Status != store.StatusRunning {
 			return nil, fmt.Errorf("campaign %s is %s, not resumable", resumeID, m.Status)
 		}
-		if sw, err = serve.Open(st, resumeID); err != nil {
+		if sw, err = serve.Open(st, resumeID, extra...); err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "cliffedge-campaign: resuming %s (%d/%d runs already committed)\n",
@@ -157,7 +165,7 @@ func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Ca
 		if err != nil {
 			return nil, err
 		}
-		if sw, err = serve.Create(st, id, "cli", time.Now().UTC(), camp.Spec()); err != nil {
+		if sw, err = serve.Create(st, id, "cli", time.Now().UTC(), camp.Spec(), extra...); err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "cliffedge-campaign: persistent sweep %s (%d runs) in %s\n",

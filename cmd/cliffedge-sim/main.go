@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -63,6 +64,7 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "render an activity timeline of the run")
 		flows     = flag.Int("flows", 0, "show the N most talkative nodes")
 		jsonOut   = flag.String("json", "", "write the trace as JSON Lines to this file")
+		traceOut  = flag.String("trace", "", "write the trace in the binary format to this file (streams during the run, so it composes with -stream)")
 		stream    = flag.Bool("stream", false, "print events as they happen and keep no trace in memory (constant-memory runs)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
 	)
@@ -103,6 +105,18 @@ func main() {
 		opts = append(opts, cliffedge.WithoutTraceBuffer(),
 			cliffedge.WithObserver(func(e cliffedge.Event) { fmt.Println(e) }))
 	}
+	// The binary sink streams during the run (unlike -json, which renders
+	// the buffered trace afterwards), so it composes with -stream.
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile, traceBuf = f, bufio.NewWriter(f)
+		opts = append(opts, cliffedge.WithTraceWriter(traceBuf))
+	}
 	cluster, err := cliffedge.New(topo, opts...)
 	if err != nil {
 		fatal(err)
@@ -122,6 +136,15 @@ func main() {
 	res, err := cluster.Run(ctx, plan)
 	if err != nil {
 		fatal(err)
+	}
+	if traceFile != nil {
+		if err := traceBuf.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("binary trace written to %s\n", *traceOut)
 	}
 
 	if *narrate {

@@ -1,0 +1,128 @@
+// Command cliffedge-trace converts protocol traces between the two
+// on-disk formats — the binary format every streaming sink writes
+// (WithTraceWriter, campaign -traces, cliffedge-sim -trace) and the
+// JSON Lines form kept for debugging and interop — and summarises them.
+// The input format is detected from the file's content (the binary
+// format opens with the "CETR" magic), so conversion direction follows
+// automatically; both directions are lossless field for field.
+//
+//	cliffedge-trace -in run.jsonl -out run.bin     # JSONL → binary
+//	cliffedge-trace -in run.bin -out run.jsonl     # binary → JSONL
+//	cliffedge-trace -in run.bin                    # print summary stats
+//	cliffedge-trace -in run.bin -out -             # JSONL to stdout
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cliffedge/internal/trace"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "input trace file (binary or JSONL, detected from content)")
+		out = flag.String("out", "", "output file (- for stdout); format is the opposite of the input's unless -to overrides; empty: print a summary instead")
+		to  = flag.String("to", "", "force the output format: binary or jsonl")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	events, binaryIn, err := readTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *in, err))
+	}
+
+	if *out == "" {
+		s := trace.Summarize(events)
+		format := "jsonl"
+		if binaryIn {
+			format = "binary"
+		}
+		fmt.Printf("%s: %s format, %d events\n", *in, format, len(events))
+		fmt.Printf("msgs=%d deliveries=%d drops=%d bytes=%d crashes=%d detections=%d\n",
+			s.Messages, s.Deliveries, s.Drops, s.Bytes, s.Crashes, s.Detections)
+		fmt.Printf("proposals=%d rejections=%d resets=%d decisions=%d participants=%d\n",
+			s.Proposals, s.Rejections, s.Resets, s.Decisions, s.Participants)
+		fmt.Printf("max_round=%d decided@%d quiescent@%d\n", s.MaxRound, s.DecideTime, s.EndTime)
+		return
+	}
+
+	binaryOut := !binaryIn
+	switch *to {
+	case "":
+	case "binary":
+		binaryOut = true
+	case "jsonl":
+		binaryOut = false
+	default:
+		fatal(fmt.Errorf("unknown -to format %q (want binary or jsonl)", *to))
+	}
+
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if *out != "-" {
+		file, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w = file
+	}
+	buf := bufio.NewWriter(w)
+	if binaryOut {
+		err = trace.WriteBinary(buf, events)
+	} else {
+		err = trace.WriteJSONL(buf, events)
+	}
+	if err == nil {
+		err = buf.Flush()
+	}
+	if file != nil {
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		format := "jsonl"
+		if binaryOut {
+			format = "binary"
+		}
+		fmt.Printf("%s: %d events written (%s)\n", *out, len(events), format)
+	}
+}
+
+// readTrace sniffs the input's format from its leading bytes — the
+// binary header opens with the "CETR" magic, JSONL with '{' — and
+// decodes the whole trace.
+func readTrace(r io.Reader) ([]trace.Event, bool, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	if bytes.Equal(head, []byte("CETR")) {
+		events, err := trace.ReadBinary(br)
+		return events, true, err
+	}
+	events, err := trace.ReadJSONL(br)
+	return events, false, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cliffedge-trace:", err)
+	os.Exit(1)
+}

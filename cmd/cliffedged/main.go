@@ -46,6 +46,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "shared worker-pool size (0 = GOMAXPROCS)")
 		maxClient = flag.Int("max-client", 4, "max concurrently active campaigns per client")
 		liveTick  = flag.Duration("live-tick", 0, "realise network-model delays of live-engine runs in wall time, this long per tick (0 = off)")
+		traces    = flag.Bool("traces", false, "persist every run's full binary trace under <store>/<id>/traces (convert with cliffedge-trace)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		Workers:        *workers,
 		MaxPerClient:   *maxClient,
 		ClusterOptions: copts,
+		PersistTraces:  *traces,
 		Logf:           logger.Printf,
 	})
 	if err != nil {

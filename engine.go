@@ -2,12 +2,14 @@ package cliffedge
 
 import (
 	"context"
+	"fmt"
 
 	"cliffedge/internal/graph"
 	"cliffedge/internal/livenet"
 	"cliffedge/internal/netem"
 	"cliffedge/internal/predicate"
 	"cliffedge/internal/sim"
+	"cliffedge/internal/trace"
 )
 
 // Engine executes a fault Plan against a Cluster. Two implementations
@@ -45,6 +47,20 @@ func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, erro
 	}
 	crashes, triggers, injections := plan.compileSim()
 	online, observer := c.instrument()
+	var bw *trace.BinaryWriter
+	if c.traceW != nil {
+		// The simulator is single-threaded and observers see events in
+		// sequence order, so the binary writer can sit directly on the
+		// observer stream.
+		bw = trace.NewBinaryWriter(c.traceW)
+		prev := observer
+		observer = func(e trace.Event) {
+			bw.Write(e) // first error is sticky; surfaced by Flush below
+			if prev != nil {
+				prev(e)
+			}
+		}
+	}
 	runner, err := sim.NewRunner(sim.Config{
 		Graph:         c.topo,
 		Factory:       c.factory(plan.hasMarks()),
@@ -65,6 +81,11 @@ func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, erro
 	res, err := runner.RunContext(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if bw != nil {
+		if err := bw.Flush(); err != nil {
+			return nil, fmt.Errorf("cliffedge: trace sink: %w", err)
+		}
 	}
 	out := &Result{Stats: res.Stats, Crashed: res.Crashed, events: res.Events}
 	attachNetStats(out, net)
@@ -105,7 +126,7 @@ func runLiveWaves(ctx context.Context, c *Cluster, net *netem.Net, marks bool, w
 	online, observer := c.instrument()
 	rt := livenet.NewRuntime(c.topo, c.factory(marks),
 		livenet.Options{Observer: observer, DiscardEvents: c.noBuffer, Net: net,
-			TickEvery: c.liveTick})
+			TickEvery: c.liveTick, TraceWriter: c.traceW})
 	defer rt.Stop()
 	if err := rt.WaitIdleContext(ctx, c.liveTimeout); err != nil {
 		return nil, err
@@ -130,6 +151,9 @@ func runLiveWaves(ctx context.Context, c *Cluster, net *netem.Net, marks bool, w
 		}
 	}
 	rt.Stop()
+	if err := rt.TraceErr(); err != nil {
+		return nil, fmt.Errorf("cliffedge: trace sink: %w", err)
+	}
 	res := liveResult(rt)
 	attachNetStats(res, net)
 	return finish(res, online, net.Unreliable())

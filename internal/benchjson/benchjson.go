@@ -1,11 +1,14 @@
-// Package benchjson defines the machine-readable shape of one kernel
-// benchmark measurement — the entries of BENCH_kernel.json's history
-// array, emitted by `cliffedge-bench -exp KERNEL -json` and consumed by
-// `bench-guard`. Sharing one struct keeps the producer and the gate from
-// drifting apart field by field.
+// Package benchjson defines the machine-readable shape of one headline
+// benchmark measurement — the entries of the history arrays in
+// BENCH_kernel.json and BENCH_live.json, emitted by `cliffedge-bench
+// -exp KERNEL -json` / `-exp LIVE -json` and consumed by `bench-guard`.
+// Sharing one struct keeps the producers and the gate from drifting
+// apart field by field; the two trajectories differ only in workload,
+// not in shape.
 package benchjson
 
-// KernelPoint is one measurement of the headline KERNEL workload.
+// KernelPoint is one measurement of a headline workload (KERNEL or
+// LIVE).
 type KernelPoint struct {
 	Label       string `json:"label"`
 	Rev         string `json:"rev"`

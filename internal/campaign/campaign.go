@@ -68,6 +68,14 @@ type Job struct {
 	Attempt int
 }
 
+// TraceName is the canonical file name of this job's persisted binary
+// trace: every coordinate of the job key appears, so a directory of
+// traces is self-describing and collision-free within one campaign.
+func (j Job) TraceName() string {
+	return fmt.Sprintf("%s-%s-%s-s%d-a%d.bin",
+		j.Cell.Topology, j.Cell.Regime, j.Cell.Engine, j.Seed, j.Attempt)
+}
+
 // RunStats is the constant-size summary one run streams back into the
 // aggregator. It is produced by streaming observers — never by retaining
 // the trace — so memory per in-flight run is bounded by the topology.

@@ -38,7 +38,9 @@ func (n *Node) Fingerprint() string {
 		inst := n.received[k]
 		fmt.Fprintf(&sb, "{%s;B=%v;L=%d", k, inst.border, inst.lastRound)
 		for r := 1; r <= inst.lastRound; r++ {
-			fmt.Fprintf(&sb, ";r%d=%s;w%d=", r, inst.vector(r), r)
+			// Vector is positional, so rendering the row directly is
+			// deterministic and avoids the wire-copy inst.vector makes.
+			fmt.Fprintf(&sb, ";r%d=%s;w%d=", r, Vector(inst.round(r)), r)
 			first := true
 			for j, q := range inst.border {
 				if !inst.waitingFor(r, j) {
@@ -54,7 +56,7 @@ func (n *Node) Fingerprint() string {
 		sb.WriteByte('}')
 	}
 	sb.WriteString("|self=")
-	for _, m := range n.pendingSelf {
+	for _, m := range n.pendingSelf[n.psHead:] {
 		sb.WriteString(m.String())
 	}
 	return sb.String()

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"cliffedge/internal/graph"
@@ -54,21 +55,56 @@ type Opinion struct {
 	Value proto.Value // meaningful iff Kind == Accept
 }
 
-// Vector is an opinion vector opinions[V][r][·]: one Opinion per border
-// node of the view. Missing keys mean ⊥.
-type Vector map[graph.NodeID]Opinion
+// Vector is an opinion vector opinions[V][r][·], indexed by border
+// position: slot j is the opinion of border[j], where the border is in
+// sorted NodeID order (the canonical order region.Border produces). The
+// zero Opinion is ⊥. Positional indexing removes every map operation from
+// the delivery hot path and shrinks the wire encoding — slots no longer
+// repeat their NodeID, because the position already names the node.
+type Vector []Opinion
+
+// VectorOf builds a positional vector over border from a by-NodeID map;
+// absent nodes stay ⊥. Border must be sorted. Intended for tests and
+// harnesses — the protocol itself constructs vectors positionally.
+func VectorOf(border []graph.NodeID, ops map[graph.NodeID]Opinion) Vector {
+	v := make(Vector, len(border))
+	for q, op := range ops {
+		if j := borderPos(border, q); j >= 0 {
+			v[j] = op
+		}
+	}
+	return v
+}
+
+// borderPos returns q's position in a sorted border, or -1.
+func borderPos(border []graph.NodeID, q graph.NodeID) int {
+	i := sort.Search(len(border), func(i int) bool { return border[i] >= q })
+	if i < len(border) && border[i] == q {
+		return i
+	}
+	return -1
+}
 
 // Clone deep-copies the vector.
 func (v Vector) Clone() Vector {
-	out := make(Vector, len(v))
-	for k, o := range v {
-		out[k] = o
+	if v == nil {
+		return nil
 	}
+	out := make(Vector, len(v))
+	copy(out, v)
 	return out
 }
 
-// Get returns the opinion for q, defaulting to ⊥.
-func (v Vector) Get(q graph.NodeID) Opinion { return v[q] }
+// Known returns the number of non-⊥ slots.
+func (v Vector) Known() int {
+	n := 0
+	for _, op := range v {
+		if op.Kind != Unknown {
+			n++
+		}
+	}
+	return n
+}
 
 // allAccept reports whether every slot of an opinion row is an Accept
 // (line 34's condition), returning the accepted values in border order.
@@ -83,23 +119,19 @@ func allAccept(row []Opinion) ([]proto.Value, bool) {
 	return values, true
 }
 
-// String renders the vector deterministically, e.g. "[a:accept(v1) b:⊥]".
+// String renders the vector positionally, e.g. "[accept(v1) ⊥ reject]".
+// Slices render in index order, so the output is deterministic by
+// construction — no iteration-order dependence to leak into fingerprints.
 func (v Vector) String() string {
-	keys := make([]graph.NodeID, 0, len(v))
-	for k := range v {
-		keys = append(keys, k)
-	}
-	graph.SortIDs(keys)
-	parts := make([]string, 0, len(keys))
-	for _, k := range keys {
-		op := v[k]
+	parts := make([]string, len(v))
+	for j, op := range v {
 		switch op.Kind {
 		case Accept:
-			parts = append(parts, fmt.Sprintf("%s:accept(%s)", k, op.Value))
+			parts[j] = fmt.Sprintf("accept(%s)", op.Value)
 		case Reject:
-			parts = append(parts, fmt.Sprintf("%s:reject", k))
+			parts[j] = "reject"
 		default:
-			parts = append(parts, fmt.Sprintf("%s:⊥", k))
+			parts[j] = "⊥"
 		}
 	}
 	return "[" + strings.Join(parts, " ") + "]"
@@ -123,7 +155,9 @@ func (m Message) Kind() string { return "cliffedge" }
 func (m Message) TraceView() (string, int) { return m.View.Key(), m.Round }
 
 // WireSize estimates the encoded payload size in bytes: the round tag, the
-// view's node IDs, the border IDs, and one tag byte plus value per opinion.
+// view's node IDs, the border IDs, one tag byte per opinion slot, and the
+// value bytes of each accept. The indexed vector format never repeats a
+// NodeID per slot — the border listing already fixes every position.
 func (m Message) WireSize() int {
 	size := 4 // round
 	for _, n := range m.View.Nodes() {
@@ -132,13 +166,22 @@ func (m Message) WireSize() int {
 	for _, n := range m.Border {
 		size += len(n) + 1
 	}
-	for q, op := range m.Opinions {
-		size += len(q) + 2
+	size += len(m.Opinions) // 1 tag byte per slot
+	for _, op := range m.Opinions {
 		if op.Kind == Accept {
-			size += len(op.Value)
+			size += len(op.Value) + 1
 		}
 	}
 	return size
+}
+
+// Opinion returns the opinion of border node q (⊥ for non-border nodes),
+// resolving q's slot by binary search over the sorted border.
+func (m Message) Opinion(q graph.NodeID) Opinion {
+	if j := borderPos(m.Border, q); j >= 0 && j < len(m.Opinions) {
+		return m.Opinions[j]
+	}
+	return Opinion{}
 }
 
 // String renders the message compactly for traces and debugging.
@@ -175,8 +218,7 @@ type instance struct {
 	view      region.Region
 	border    []graph.NodeID // B from the first message received for the view
 	borderIdx []int32        // dense graph indices of border (-1 if unknown)
-	borderPos map[graph.NodeID]int
-	lastRound int // |B| (default) or |B|−1 (LiteralPaperRounds)
+	lastRound int            // |B| (default) or |B|−1 (LiteralPaperRounds)
 	// opinions is a (lastRound+1)×|B| matrix, row r = round r (row 0
 	// unused), column j = border[j]'s opinion for that round.
 	opinions []Opinion
@@ -197,7 +239,6 @@ func newInstance(g *graph.Graph, view region.Region, border []graph.NodeID, lite
 		view:      view,
 		border:    append([]graph.NodeID(nil), border...),
 		borderIdx: make([]int32, len(border)),
-		borderPos: make(map[graph.NodeID]int, len(border)),
 		lastRound: last,
 		opinions:  make([]Opinion, (last+1)*len(border)),
 		waiting:   make([]uint64, (last+1)*words),
@@ -205,7 +246,6 @@ func newInstance(g *graph.Graph, view region.Region, border []graph.NodeID, lite
 	}
 	for j, q := range border {
 		inst.borderIdx[j] = g.Index(q)
-		inst.borderPos[q] = j
 	}
 	for r := 1; r <= last; r++ {
 		row := inst.waiting[r*words : (r+1)*words]
@@ -224,12 +264,10 @@ func (inst *instance) round(r int) []Opinion {
 	return inst.opinions[r*len(inst.border) : (r+1)*len(inst.border)]
 }
 
-// pos returns the border position of q, or -1.
+// pos returns the border position of q, or -1. Borders are sorted, so a
+// binary search replaces the per-instance position map.
 func (inst *instance) pos(q graph.NodeID) int {
-	if j, ok := inst.borderPos[q]; ok {
-		return j
-	}
-	return -1
+	return borderPos(inst.border, q)
 }
 
 // stopWaiting clears border position j from round r's waiting set.
@@ -242,28 +280,22 @@ func (inst *instance) waitingFor(r, j int) bool {
 	return inst.waiting[r*inst.waitWords+j>>6]&(1<<uint(j&63)) != 0
 }
 
-// vector materialises round r's opinions as a wire Vector, containing
-// only the non-⊥ slots (matching the map-based bookkeeping, which never
-// stored ⊥ — WireSize and fingerprints depend on that).
+// vector materialises round r's opinions as a wire Vector: a copy of the
+// positional row (payloads outlive the instance's mutable bookkeeping, so
+// the row cannot be aliased).
 func (inst *instance) vector(r int) Vector {
 	row := inst.round(r)
-	out := make(Vector, len(inst.border))
-	for j, q := range inst.border {
-		if row[j].Kind != Unknown {
-			out[q] = row[j]
-		}
-	}
+	out := make(Vector, len(row))
+	copy(out, row)
 	return out
 }
 
-// clone deep-copies the instance (used by the model checker). borderPos
-// is immutable after newInstance and can be shared.
+// clone deep-copies the instance (used by the model checker).
 func (inst *instance) clone() *instance {
 	return &instance{
 		view:      inst.view,
 		border:    append([]graph.NodeID(nil), inst.border...),
 		borderIdx: append([]int32(nil), inst.borderIdx...),
-		borderPos: inst.borderPos,
 		lastRound: inst.lastRound,
 		opinions:  append([]Opinion(nil), inst.opinions...),
 		waiting:   append([]uint64(nil), inst.waiting...),

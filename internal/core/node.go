@@ -94,8 +94,13 @@ type Node struct {
 	// of a large system never witness one.
 	uf *dsu.DSU
 	// compScratch is the reusable buffer for gathering the members of the
-	// component that q's crash grew or merged.
-	compScratch []int32
+	// component that q's crash grew or merged. borderSeen is the scratch
+	// bitset for the Region border computation (empty between calls), and
+	// monitorScratch backs eff.Monitor across calls — see subscribe.
+	// Scratch fields are never cloned; a fresh Node lazily regrows them.
+	compScratch    []int32
+	borderSeen     graph.Bitset
+	monitorScratch []graph.NodeID
 
 	// maxView and candidateView implement the view construction of
 	// lines 8–11; vp is V_p, the currently (or last) proposed view.
@@ -109,13 +114,27 @@ type Node struct {
 	// (lines 19–22, 30). received holds the live bookkeeping.
 	received map[string]*instance
 	rejected map[string]bool
+	// rejectDirty is set when the answer of guardReject may have changed:
+	// a view was added to received, or vp moved. While clear, the guard's
+	// linear scan over received is skipped — the scan result is a pure
+	// function of (received, vp), so the guard loop need not repeat it.
+	rejectDirty bool
+	// ownInst caches received[vp.Key()] for guardRound, avoiding a map
+	// lookup (hashing the full comma-joined view key) per guard pass.
+	// Reset to nil whenever vp changes; refilled lazily. Never stale
+	// otherwise: rejection only ever removes views strictly below vp.
+	ownInst *instance
 
 	// pendingSelf queues this node's own multicast copies: the paper's
 	// multicast includes the sender, and the flooding bookkeeping needs
 	// the self-delivery (it clears p from waiting[V][r]). Self-copies are
 	// processed synchronously in the guard loop — a zero-latency FIFO
-	// self-channel — so the network layer never sees them.
+	// self-channel — so the network layer never sees them. psHead is the
+	// dequeue cursor: popping by index instead of re-slicing lets the
+	// buffer's capacity be reused once the queue drains, instead of every
+	// enqueue-after-drain reallocating.
 	pendingSelf []Message
+	psHead      int
 
 	// violations records internal invariant breaches (bugs, not protocol
 	// events); checkers assert this stays empty.
@@ -190,7 +209,9 @@ func (n *Node) Start() proto.Effects {
 }
 
 // subscribe issues 〈monitorCrash | S〉 for not-yet-monitored, not-yet-known
-// crashed nodes (the \locallyCrashed of line 7).
+// crashed nodes (the \locallyCrashed of line 7). eff.Monitor is backed by
+// a buffer the node reuses across calls (see proto.Effects: effect slices
+// are valid only until the next call into the automaton).
 func (n *Node) subscribe(nodes []graph.NodeID, eff *proto.Effects) {
 	for _, q := range nodes {
 		qi := n.cfg.Graph.Index(q)
@@ -198,7 +219,13 @@ func (n *Node) subscribe(nodes []graph.NodeID, eff *proto.Effects) {
 			continue
 		}
 		n.monitored.Set(qi)
+		if eff.Monitor == nil {
+			eff.Monitor = n.monitorScratch[:0]
+		}
 		eff.Monitor = append(eff.Monitor, q)
+	}
+	if len(eff.Monitor) > cap(n.monitorScratch) {
+		n.monitorScratch = eff.Monitor
 	}
 }
 
@@ -246,10 +273,18 @@ func (n *Node) OnCrash(q graph.NodeID) proto.Effects {
 		}
 	})
 	n.compScratch = members
-	comp := region.NewFromIndices(n.cfg.Graph, members, n.locallyCrashed)
-	if region.Less(n.maxView, comp) { // line 9
-		n.maxView = comp       // line 10
-		n.candidateView = comp // line 11
+	// Rule 1 of the ranking compares cardinality first, so a component
+	// strictly smaller than maxView can never outrank it — skip the Region
+	// construction (node/border slices, key string) entirely in that case.
+	if len(members) >= n.maxView.Len() {
+		if n.borderSeen == nil {
+			n.borderSeen = graph.NewBitset(n.cfg.Graph.Len())
+		}
+		comp := region.NewFromIndicesScratch(n.cfg.Graph, members, n.locallyCrashed, n.borderSeen)
+		if region.Less(n.maxView, comp) { // line 9
+			n.maxView = comp       // line 10
+			n.candidateView = comp // line 11
+		}
 	}
 	n.runGuards(&eff)
 	return eff
@@ -279,29 +314,31 @@ func (n *Node) deliver(from graph.NodeID, m Message) {
 	if !ok { // lines 19–22: initialise data structures for V
 		inst = newInstance(n.cfg.Graph, m.View, m.Border, n.cfg.LiteralPaperRounds)
 		n.received[key] = inst
+		n.rejectDirty = true
 	}
 	if !inst.validRound(m.Round) {
 		n.violatef("message round %d out of range for view %s (|B|=%d)",
 			m.Round, m.View, len(inst.border))
 		return
 	}
+	if len(m.Opinions) != len(inst.border) {
+		n.violatef("message vector length %d ≠ |B|=%d for view %s",
+			len(m.Opinions), len(inst.border), m.View)
+		return
+	}
 	row := inst.round(m.Round)
-	for j, pk := range inst.border { // lines 23–24: fill ⊥ slots only
-		if row[j].Kind == Unknown {
-			if op := m.Opinions[pk]; op.Kind != Unknown {
-				row[j] = op
-			}
+	for j := range row { // lines 23–24: fill ⊥ slots only
+		if row[j].Kind == Unknown && m.Opinions[j].Kind != Unknown {
+			row[j] = m.Opinions[j]
 		}
 	}
 	// line 25: stop waiting for the sender and for every known rejector.
 	if j := inst.pos(from); j >= 0 {
 		inst.stopWaiting(m.Round, j)
 	}
-	for pk, op := range m.Opinions {
+	for j, op := range m.Opinions {
 		if op.Kind == Reject {
-			if j := inst.pos(pk); j >= 0 {
-				inst.stopWaiting(m.Round, j)
-			}
+			inst.stopWaiting(m.Round, j)
 		}
 	}
 }
@@ -313,9 +350,14 @@ func (n *Node) deliver(from graph.NodeID, m Message) {
 // proposals (lemma 2) and the finite round structure.
 func (n *Node) runGuards(eff *proto.Effects) {
 	for {
-		if len(n.pendingSelf) > 0 {
-			m := n.pendingSelf[0]
-			n.pendingSelf = n.pendingSelf[1:]
+		if n.psHead < len(n.pendingSelf) {
+			m := n.pendingSelf[n.psHead]
+			n.psHead++
+			if n.psHead == len(n.pendingSelf) {
+				clear(n.pendingSelf) // release payload references
+				n.pendingSelf = n.pendingSelf[:0]
+				n.psHead = 0
+			}
 			n.deliver(n.cfg.ID, m)
 			continue
 		}
@@ -342,7 +384,9 @@ func (n *Node) guardPropose(eff *proto.Effects) bool {
 	n.candidateView = region.Empty        //
 	n.proposedValue = n.cfg.Propose(n.vp) // line 14
 	n.hasProposed = true
-	n.round = 1 // line 16
+	n.round = 1          // line 16
+	n.rejectDirty = true // vp moved: lower-ranked received views may now exist
+	n.ownInst = nil
 	if n.rejected[n.vp.Key()] {
 		// Lemma 2 guarantees this cannot happen; record it if it does.
 		n.violatef("proposing previously rejected view %s", n.vp)
@@ -362,7 +406,10 @@ func (n *Node) guardPropose(eff *proto.Effects) bool {
 		eff.Decision = n.decided
 		return true
 	}
-	op := Vector{n.cfg.ID: Opinion{Kind: Accept, Value: n.proposedValue}} // lines 15–16
+	op := make(Vector, len(border)) // lines 15–16
+	if j := borderPos(border, n.cfg.ID); j >= 0 {
+		op[j] = Opinion{Kind: Accept, Value: n.proposedValue}
+	}
 	msg := Message{Round: 1, View: n.vp, Border: border, Opinions: op}
 	n.multicast(border, msg, eff) // line 17
 	return true
@@ -374,6 +421,11 @@ func (n *Node) guardReject(eff *proto.Effects) bool {
 	if n.cfg.DisableArbitration || n.vp.IsEmpty() {
 		// V_p persists across resets (line 37 clears proposed, not V_p),
 		// so a node keeps rejecting lower-ranked views between proposals.
+		return false
+	}
+	if !n.rejectDirty {
+		// Neither received nor vp changed since the last empty scan, so
+		// the scan below would find nothing again.
 		return false
 	}
 	// Single linear scan for the lowest-ranked view strictly below V_p
@@ -388,12 +440,16 @@ func (n *Node) guardReject(eff *proto.Effects) bool {
 		}
 	}
 	if !found {
+		n.rejectDirty = false
 		return false
 	}
 	inst := n.received[l.Key()]
-	delete(n.received, l.Key())                   // line 30: received ← received\{L}
-	n.rejected[l.Key()] = true                    //          rejected ← rejected ∪ {L}
-	op := Vector{n.cfg.ID: Opinion{Kind: Reject}} // lines 29–30
+	delete(n.received, l.Key())          // line 30: received ← received\{L}
+	n.rejected[l.Key()] = true           //          rejected ← rejected ∪ {L}
+	op := make(Vector, len(inst.border)) // lines 29–30
+	if j := inst.pos(n.cfg.ID); j >= 0 { // receivers are border members,
+		op[j] = Opinion{Kind: Reject} //      so this is always found
+	}
 	msg := Message{Round: 1, View: l, Border: inst.border, Opinions: op}
 	n.multicast(inst.border, msg, eff) // line 31
 	eff.Rejected = append(eff.Rejected, l)
@@ -413,8 +469,15 @@ func (n *Node) guardRound(eff *proto.Effects) bool {
 	if !n.hasProposed || n.decided != nil {
 		return false
 	}
-	inst, ok := n.received[n.vp.Key()] // line 32: Vp ∈ received
-	if !ok || !inst.validRound(n.round) {
+	inst := n.ownInst
+	if inst == nil {
+		var ok bool
+		if inst, ok = n.received[n.vp.Key()]; !ok { // line 32: Vp ∈ received
+			return false
+		}
+		n.ownInst = inst
+	}
+	if !inst.validRound(n.round) {
 		return false
 	}
 	for j := range inst.border { // waiting[Vp][r]\locallyCrashed = ∅
@@ -447,20 +510,15 @@ func (n *Node) guardRound(eff *proto.Effects) bool {
 }
 
 // multicast implements 〈multicast | recipients, m〉 (§3.1): one copy per
-// recipient over the point-to-point FIFO channels. The sender's own copy is
-// queued for synchronous self-delivery rather than handed to the network.
+// recipient over the point-to-point FIFO channels. recipients is always a
+// sorted border slice, shared with the instance and never mutated, so it
+// is handed to the network as-is: Send.To may include the sender, whose
+// copy is queued here for synchronous self-delivery and skipped by every
+// network layer (see proto.Send).
 func (n *Node) multicast(recipients []graph.NodeID, m Message, eff *proto.Effects) {
-	to := make([]graph.NodeID, 0, len(recipients))
-	self := false
-	for _, q := range recipients {
-		if q == n.cfg.ID {
-			self = true
-			continue
-		}
-		to = append(to, q)
-	}
-	if len(to) > 0 {
-		eff.Sends = append(eff.Sends, proto.Send{To: to, Payload: m})
+	self := borderPos(recipients, n.cfg.ID) >= 0
+	if len(recipients) > 1 || !self {
+		eff.Sends = append(eff.Sends, proto.Send{To: recipients, Payload: m})
 	}
 	if self {
 		n.pendingSelf = append(n.pendingSelf, m)
@@ -486,6 +544,9 @@ func (n *Node) Clone() *Node {
 		monitored:      n.monitored.Clone(),
 		received:       make(map[string]*instance, len(n.received)),
 		rejected:       make(map[string]bool, len(n.rejected)),
+		rejectDirty:    n.rejectDirty,
+		// ownInst stays nil: it is a cache, refilled lazily against the
+		// cloned received map.
 	}
 	if n.decided != nil {
 		d := *n.decided
@@ -500,7 +561,7 @@ func (n *Node) Clone() *Node {
 	for k := range n.rejected {
 		out.rejected[k] = true
 	}
-	out.pendingSelf = append([]Message(nil), n.pendingSelf...)
+	out.pendingSelf = append([]Message(nil), n.pendingSelf[n.psHead:]...)
 	out.violations = append([]string(nil), n.violations...)
 	return out
 }

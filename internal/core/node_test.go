@@ -8,6 +8,10 @@ import (
 	"cliffedge/internal/region"
 )
 
+// ops abbreviates the by-NodeID form tests feed VectorOf; the protocol
+// itself builds vectors positionally.
+type ops = map[graph.NodeID]Opinion
+
 // lineABC is a - b - c; crashing b leaves border {a, c}.
 func lineABC() *graph.Graph {
 	return graph.NewBuilder().AddEdge("a", "b").AddEdge("b", "c").Build()
@@ -62,17 +66,17 @@ func TestCrashTriggersProposal(t *testing.T) {
 		t.Fatalf("expected 1 multicast, got %d", len(eff.Sends))
 	}
 	send := eff.Sends[0]
-	if len(send.To) != 1 || send.To[0] != "c" {
-		t.Errorf("round-1 multicast should go to {c} (self-delivery internal), got %v", send.To)
+	if len(send.To) != 2 || send.To[0] != "a" || send.To[1] != "c" {
+		t.Errorf("round-1 multicast To should be the border {a, c} (network skips the sender), got %v", send.To)
 	}
 	m := send.Payload.(Message)
 	if m.Round != 1 || m.View.Key() != "b" {
 		t.Errorf("bad round-1 message %s", m)
 	}
-	if op := m.Opinions.Get("a"); op.Kind != Accept || op.Value != "va" {
+	if op := m.Opinion("a"); op.Kind != Accept || op.Value != "va" {
 		t.Errorf("proposal must carry own accept, got %v", op)
 	}
-	if op := m.Opinions.Get("c"); op.Kind != Unknown {
+	if op := m.Opinion("c"); op.Kind != Unknown {
 		t.Errorf("other slots must be ⊥, got %v", op)
 	}
 }
@@ -89,7 +93,7 @@ func TestTwoPartyAgreement(t *testing.T) {
 	view := region.New(g, []graph.NodeID{"b"})
 	border := []graph.NodeID{"a", "c"}
 	eff := a.OnMessage("c", Message{Round: 1, View: view, Border: border,
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+		Opinions: VectorOf(border, ops{"c": {Kind: Accept, Value: "vc"}})})
 	if eff.Decision != nil {
 		t.Fatal("uniform agreement must not decide after a single round")
 	}
@@ -100,7 +104,7 @@ func TestTwoPartyAgreement(t *testing.T) {
 		t.Fatalf("expected the round-2 multicast, got %d sends", len(eff.Sends))
 	}
 	r2 := eff.Sends[0].Payload.(Message)
-	if r2.Round != 2 || r2.Opinions.Get("c").Kind != Accept || r2.Opinions.Get("a").Kind != Accept {
+	if r2.Round != 2 || r2.Opinion("c").Kind != Accept || r2.Opinion("a").Kind != Accept {
 		t.Errorf("round-2 message must carry the merged round-1 vector, got %s", r2)
 	}
 
@@ -132,9 +136,9 @@ func TestDecisionIsPickOfAllValues(t *testing.T) {
 	view := region.New(g, []graph.NodeID{"b"})
 	border := []graph.NodeID{"a", "c"}
 	a.OnMessage("c", Message{Round: 1, View: view, Border: border,
-		Opinions: Vector{"c": {Kind: Accept, Value: "aa-first"}}})
+		Opinions: VectorOf(border, ops{"c": {Kind: Accept, Value: "aa-first"}})})
 	eff := a.OnMessage("c", Message{Round: 2, View: view, Border: border,
-		Opinions: Vector{"c": {Kind: Accept, Value: "aa-first"}, "a": {Kind: Accept, Value: "zz-last"}}})
+		Opinions: VectorOf(border, ops{"c": {Kind: Accept, Value: "aa-first"}, "a": {Kind: Accept, Value: "zz-last"}})})
 	if eff.Decision == nil || eff.Decision.Value != "aa-first" {
 		t.Fatalf("deterministicPick should take the minimum of all accepted values, got %v", eff.Decision)
 	}
@@ -150,8 +154,9 @@ func TestLiteralPaperRoundsDecidesEarlier(t *testing.T) {
 	a.Start()
 	a.OnCrash("b")
 	view := region.New(g, []graph.NodeID{"b"})
-	eff := a.OnMessage("c", Message{Round: 1, View: view, Border: []graph.NodeID{"a", "c"},
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+	border := []graph.NodeID{"a", "c"}
+	eff := a.OnMessage("c", Message{Round: 1, View: view, Border: border,
+		Opinions: VectorOf(border, ops{"c": {Kind: Accept, Value: "vc"}})})
 	if eff.Decision == nil {
 		t.Fatal("literal round count should decide after round 1 with |B| = 2")
 	}
@@ -190,7 +195,7 @@ func TestRejectLowerRankedView(t *testing.T) {
 	}
 	msg := Message{Round: 1, View: region.New(g, []graph.NodeID{"b"}),
 		Border:   []graph.NodeID{"a", "c"},
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}}
+		Opinions: VectorOf([]graph.NodeID{"a", "c"}, ops{"c": {Kind: Accept, Value: "vc"}})}
 	eff := b.OnMessage("c", msg)
 	if len(eff.Rejected) != 1 || eff.Rejected[0].Key() != "b" {
 		t.Fatalf("expected rejection of {b}, got %v", eff.Rejected)
@@ -199,10 +204,10 @@ func TestRejectLowerRankedView(t *testing.T) {
 		t.Fatalf("expected reject multicast, got %d sends", len(eff.Sends))
 	}
 	rm := eff.Sends[0].Payload.(Message)
-	if rm.View.Key() != "b" || rm.Opinions.Get("a").Kind != Reject {
+	if rm.View.Key() != "b" || rm.Opinion("a").Kind != Reject {
 		t.Errorf("bad reject message %s", rm)
 	}
-	if len(rm.Opinions) != 1 {
+	if rm.Opinions.Known() != 1 {
 		t.Errorf("reject vector should carry only own reject, got %s", rm.Opinions)
 	}
 
@@ -220,7 +225,7 @@ func TestIncomingRejectForcesReset(t *testing.T) {
 	a.OnCrash("b") // proposes {b}, border {a, c}
 	msg := Message{Round: 1, View: region.New(g, []graph.NodeID{"b"}),
 		Border:   []graph.NodeID{"a", "c"},
-		Opinions: Vector{"c": {Kind: Reject}}}
+		Opinions: VectorOf([]graph.NodeID{"a", "c"}, ops{"c": {Kind: Reject}})}
 	eff := a.OnMessage("c", msg)
 	if eff.Resets != 1 {
 		t.Fatalf("expected a reset, got %+v", eff)
@@ -255,15 +260,15 @@ func TestMergeFillsBottomSlotsOnly(t *testing.T) {
 	// e's vector (wrongly) claims c rejected; then c's own accept arrives.
 	// Fill-⊥-only (line 24) keeps the first value.
 	a.OnMessage("e", Message{Round: 1, View: view, Border: border,
-		Opinions: Vector{"e": {Kind: Accept, Value: "ve"}, "c": {Kind: Reject}}})
+		Opinions: VectorOf(border, ops{"e": {Kind: Accept, Value: "ve"}, "c": {Kind: Reject}})})
 	a.OnMessage("c", Message{Round: 1, View: view, Border: border,
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+		Opinions: VectorOf(border, ops{"c": {Kind: Accept, Value: "vc"}})})
 
 	inst := a.received[view.Key()]
 	if inst == nil {
 		t.Fatal("instance missing")
 	}
-	if op := inst.vector(1).Get("c"); op.Kind != Reject {
+	if op := inst.vector(1)[inst.pos("c")]; op.Kind != Reject {
 		t.Errorf("line 24 must not overwrite: c slot = %v, want the first (reject)", op)
 	}
 }
@@ -279,10 +284,10 @@ func TestRejectorsClearWaitingAcrossRounds(t *testing.T) {
 	border := []graph.NodeID{"a", "c", "e"}
 
 	a.OnMessage("c", Message{Round: 1, View: view, Border: border,
-		Opinions: Vector{"c": {Kind: Reject}}})
+		Opinions: VectorOf(border, ops{"c": {Kind: Reject}})})
 	// waiting[1] = {e}; e's round-1 accept completes round 1 → round 2.
 	eff := a.OnMessage("e", Message{Round: 1, View: view, Border: border,
-		Opinions: Vector{"e": {Kind: Accept, Value: "ve"}}})
+		Opinions: VectorOf(border, ops{"e": {Kind: Accept, Value: "ve"}})})
 	if a.Round() != 2 {
 		t.Fatalf("round = %d, want 2", a.Round())
 	}
@@ -290,7 +295,7 @@ func TestRejectorsClearWaitingAcrossRounds(t *testing.T) {
 		t.Fatalf("round-2 multicast missing")
 	}
 	m := eff.Sends[0].Payload.(Message)
-	if m.Round != 2 || m.Opinions.Get("c").Kind != Reject || m.Opinions.Get("e").Kind != Accept {
+	if m.Round != 2 || m.Opinion("c").Kind != Reject || m.Opinion("e").Kind != Accept {
 		t.Errorf("round-2 message must carry the round-1 vector, got %s", m)
 	}
 	inst := a.received[view.Key()]
@@ -331,7 +336,7 @@ func TestNoProposalWithoutDetection(t *testing.T) {
 	// A proposal for {b} arrives before a's own failure detector fired.
 	msg := Message{Round: 1, View: region.New(g, []graph.NodeID{"b"}),
 		Border:   []graph.NodeID{"a", "c"},
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}}
+		Opinions: VectorOf([]graph.NodeID{"a", "c"}, ops{"c": {Kind: Accept, Value: "vc"}})}
 	eff := a.OnMessage("c", msg)
 	if len(eff.Proposed) != 0 || len(eff.Sends) != 0 {
 		t.Errorf("a must not propose before detecting a crash, got %+v", eff)
@@ -347,8 +352,9 @@ func TestNoProposalWithoutDetection(t *testing.T) {
 		t.Fatalf("round = %d, want 2 (round 1 already satisfied)", a.Round())
 	}
 	eff = a.OnMessage("c", Message{Round: 2, View: region.New(g, []graph.NodeID{"b"}),
-		Border:   []graph.NodeID{"a", "c"},
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}, "a": {Kind: Accept, Value: "va"}}})
+		Border: []graph.NodeID{"a", "c"},
+		Opinions: VectorOf([]graph.NodeID{"a", "c"},
+			ops{"c": {Kind: Accept, Value: "vc"}, "a": {Kind: Accept, Value: "va"}})})
 	if eff.Decision == nil {
 		t.Fatal("expected decision after the final round")
 	}
@@ -380,7 +386,7 @@ func TestProposalsStrictlyMonotonic(t *testing.T) {
 	a.OnCrash("b")
 	first := a.CurrentView()
 	a.OnMessage("c", Message{Round: 1, View: first, Border: first.Border(),
-		Opinions: Vector{"c": {Kind: Reject}}})
+		Opinions: VectorOf(first.Border(), ops{"c": {Kind: Reject}})})
 	if a.HasProposed() {
 		t.Fatal("reset expected")
 	}
@@ -423,9 +429,10 @@ func TestCloneIndependence(t *testing.T) {
 	// two-party instance.
 	view := region.New(g, []graph.NodeID{"b"})
 	a.OnMessage("c", Message{Round: 1, View: view, Border: view.Border(),
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}}})
+		Opinions: VectorOf(view.Border(), ops{"c": {Kind: Accept, Value: "vc"}})})
 	a.OnMessage("c", Message{Round: 2, View: view, Border: view.Border(),
-		Opinions: Vector{"c": {Kind: Accept, Value: "vc"}, "a": {Kind: Accept, Value: "va"}}})
+		Opinions: VectorOf(view.Border(),
+			ops{"c": {Kind: Accept, Value: "vc"}, "a": {Kind: Accept, Value: "va"}})})
 	if a.Decided() == nil {
 		t.Fatal("original should have decided")
 	}
@@ -434,7 +441,7 @@ func TestCloneIndependence(t *testing.T) {
 	}
 	// And the clone can take its own path.
 	eff := c.OnMessage("c", Message{Round: 1, View: view, Border: view.Border(),
-		Opinions: Vector{"c": {Kind: Reject}}})
+		Opinions: VectorOf(view.Border(), ops{"c": {Kind: Reject}})})
 	if eff.Resets != 1 {
 		t.Errorf("clone should reset independently, got %+v", eff)
 	}
@@ -459,26 +466,30 @@ func TestDefaultPick(t *testing.T) {
 }
 
 func TestVectorHelpers(t *testing.T) {
-	v := Vector{"a": {Kind: Accept, Value: "x"}, "b": {Kind: Reject}}
-	row := func(ids ...graph.NodeID) []Opinion {
-		out := make([]Opinion, len(ids))
-		for i, id := range ids {
-			out[i] = v[id]
-		}
-		return out
-	}
-	if _, ok := allAccept(row("a", "b")); ok {
+	border := []graph.NodeID{"a", "b", "z"}
+	v := VectorOf(border, ops{"a": {Kind: Accept, Value: "x"}, "b": {Kind: Reject}})
+	if _, ok := allAccept(v[:2]); ok {
 		t.Error("allAccept must fail on a reject")
 	}
-	if vals, ok := allAccept(row("a")); !ok || len(vals) != 1 || vals[0] != "x" {
+	if vals, ok := allAccept(v[:1]); !ok || len(vals) != 1 || vals[0] != "x" {
 		t.Error("allAccept over accepting subset failed")
 	}
-	if _, ok := allAccept(row("a", "z")); ok {
-		t.Error("missing slot is ⊥, not accept")
+	if _, ok := allAccept([]Opinion{v[0], v[2]}); ok {
+		t.Error("⊥ slot is not an accept")
 	}
-	s := v.String()
-	if s == "" || s[0] != '[' {
-		t.Errorf("Vector.String format: %q", s)
+	if v.Known() != 2 {
+		t.Errorf("Known = %d, want 2", v.Known())
+	}
+	if got := v.String(); got != "[accept(x) reject ⊥]" {
+		t.Errorf("Vector.String = %q", got)
+	}
+	c := v.Clone()
+	c[0] = Opinion{Kind: Reject}
+	if v[0].Kind != Accept {
+		t.Error("Clone must not alias the original")
+	}
+	if borderPos(border, "q") != -1 || borderPos(border, "b") != 1 {
+		t.Error("borderPos broken")
 	}
 }
 
@@ -486,12 +497,13 @@ func TestMessageWireSizeAndString(t *testing.T) {
 	g := lineABC()
 	view := region.New(g, []graph.NodeID{"b"})
 	m := Message{Round: 1, View: view, Border: view.Border(),
-		Opinions: Vector{"a": {Kind: Accept, Value: "va"}}}
+		Opinions: VectorOf(view.Border(), ops{"a": {Kind: Accept, Value: "va"}})}
 	if m.WireSize() <= 0 {
 		t.Error("WireSize should be positive")
 	}
 	bigger := Message{Round: 1, View: view, Border: view.Border(),
-		Opinions: Vector{"a": {Kind: Accept, Value: "va"}, "c": {Kind: Accept, Value: "vc"}}}
+		Opinions: VectorOf(view.Border(),
+			ops{"a": {Kind: Accept, Value: "va"}, "c": {Kind: Accept, Value: "vc"}})}
 	if bigger.WireSize() <= m.WireSize() {
 		t.Error("more opinions should cost more bytes")
 	}

@@ -66,13 +66,13 @@ func fuzzDriver(seed int64) (violations []string, decisions int, ok bool) {
 			if from == me {
 				continue
 			}
-			op := Vector{}
-			for _, q := range border {
+			op := make(Vector, len(border))
+			for j, q := range border {
 				switch rng.Intn(3) {
 				case 0:
-					op[q] = Opinion{Kind: Accept, Value: proto.Value("v" + q)}
+					op[j] = Opinion{Kind: Accept, Value: proto.Value("v" + q)}
 				case 1:
-					op[q] = Opinion{Kind: Reject}
+					op[j] = Opinion{Kind: Reject}
 				}
 			}
 			round := 1 + rng.Intn(len(border))
@@ -135,10 +135,10 @@ func TestQuickVectorMergeIdempotent(t *testing.T) {
 		me := graph.GridID(1, 1)
 		v := region.New(g, []graph.NodeID{graph.GridID(1, 2)})
 		border := v.Border()
-		op := Vector{}
-		for _, q := range border {
+		op := make(Vector, len(border))
+		for j := range border {
 			if rng.Intn(2) == 0 {
-				op[q] = Opinion{Kind: Accept, Value: "x"}
+				op[j] = Opinion{Kind: Accept, Value: "x"}
 			}
 		}
 		msg := Message{Round: 1, View: v, Border: border, Opinions: op}

@@ -19,6 +19,7 @@ package livenet
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,43 +45,66 @@ type envelope struct {
 	delay int64
 }
 
-// mailbox is an unbounded FIFO queue. Unboundedness matters: with bounded
-// channels two nodes flooding each other could deadlock on full buffers,
-// which the paper's asynchronous reliable channels rule out.
+// mailbox is an unbounded FIFO queue backed by a growable power-of-two
+// ring buffer. Unboundedness matters: with bounded channels two nodes
+// flooding each other could deadlock on full buffers, which the paper's
+// asynchronous reliable channels rule out. The ring replaces the old
+// append + advance-the-slice queue, whose advancing view defeated
+// append's amortisation (the vacated front slots were unreachable, so
+// bursts reallocated the backing array over and over); the ring reaches
+// a steady-state capacity and then never allocates again.
 type mailbox struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []envelope
+	cond   sync.Cond
+	buf    []envelope // power-of-two ring; nil until the first put
+	head   int        // masked index of the next envelope to dequeue
+	count  int
 	closed bool
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
+func (m *mailbox) init() { m.cond.L = &m.mu }
 
 func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
 	if !m.closed {
-		m.queue = append(m.queue, e)
+		if m.count == len(m.buf) {
+			m.grow()
+		}
+		m.buf[(m.head+m.count)&(len(m.buf)-1)] = e
+		m.count++
 	}
 	m.mu.Unlock()
 	m.cond.Signal()
+}
+
+// grow doubles the ring, unrolling the wrapped contents to the front.
+func (m *mailbox) grow() {
+	n := len(m.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	next := make([]envelope, n)
+	for i := 0; i < m.count; i++ {
+		next[i] = m.buf[(m.head+i)&(len(m.buf)-1)]
+	}
+	m.buf = next
+	m.head = 0
 }
 
 // get blocks until an envelope is available or the mailbox closes.
 func (m *mailbox) get() (envelope, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.count == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.count == 0 {
 		return envelope{}, false
 	}
-	e := m.queue[0]
-	m.queue = m.queue[1:]
+	e := m.buf[m.head]
+	m.buf[m.head] = envelope{} // release the payload reference
+	m.head = (m.head + 1) & (len(m.buf) - 1)
+	m.count--
 	return e, true
 }
 
@@ -89,6 +113,58 @@ func (m *mailbox) close() {
 	m.closed = true
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// sinkBatch is the per-slot event batch size handed to the trace sink's
+// writer goroutine: big enough to amortise the channel handoff, small
+// enough that partially full batches don't hold many events hostage.
+const sinkBatch = 512
+
+// traceSink is the single-writer funnel behind Options.TraceWriter: node
+// goroutines hand it full event batches over a channel; one goroutine
+// encodes them with the binary codec. Batches recycle through free, so a
+// steady-state run stops allocating them.
+type traceSink struct {
+	ch   chan []trace.Event
+	free chan []trace.Event
+	done chan struct{}
+	bw   *trace.BinaryWriter
+	err  error // written by the run goroutine, read after done closes
+}
+
+func newTraceSink(w io.Writer) *traceSink {
+	s := &traceSink{
+		ch:   make(chan []trace.Event, 64),
+		free: make(chan []trace.Event, 64),
+		done: make(chan struct{}),
+		bw:   trace.NewBinaryWriter(w),
+	}
+	go s.run()
+	return s
+}
+
+func (s *traceSink) run() {
+	defer close(s.done)
+	for batch := range s.ch {
+		for _, e := range batch {
+			if err := s.bw.Write(e); err != nil && s.err == nil {
+				s.err = err
+			}
+		}
+		select {
+		case s.free <- batch[:0]:
+		default: // free list full; let the batch go to the GC
+		}
+	}
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// finish closes the intake and waits for the writer to flush.
+func (s *traceSink) finish() {
+	close(s.ch)
+	<-s.done
 }
 
 // Runtime is a live cluster execution. Create with New, drive crashes with
@@ -103,11 +179,28 @@ type Runtime struct {
 	// automata and boxes are indexed by dense graph index. Both are fully
 	// populated before any node goroutine starts and never reassigned:
 	// automata[i] is owned by node i's goroutine afterwards, boxes are
-	// internally synchronised.
+	// internally synchronised (stored by value in one flat allocation —
+	// mailboxes never move once the loops run).
 	automata []proto.Automaton
-	boxes    []*mailbox
+	boxes    []mailbox
 	net      *netem.Net
 	tick     time.Duration
+
+	// statsOnly is the DiscardEvents-and-no-Observer posture: nothing
+	// consumes the event stream in order, so emissions skip the shared
+	// log entirely and fold into per-goroutine accumulators instead —
+	// accs[i] is owned by node i's loop, accs[len(boxes)] (the ext slot,
+	// guarded by extMu) serves caller-goroutine emissions (CrashAll).
+	// They are merged after Stop's wg.Wait.
+	statsOnly bool
+	accs      []trace.Accumulator
+	extMu     sync.Mutex
+
+	// sink, when non-nil, streams every emitted event to a binary trace
+	// writer through per-slot batches (sinkBufs parallels accs' slot
+	// scheme) drained by one writer goroutine.
+	sink     *traceSink
+	sinkBufs [][]trace.Event
 
 	mu      sync.Mutex
 	crashed graph.Bitset   // guarded by mu
@@ -152,6 +245,15 @@ type Options struct {
 	// a counter. Zero (the default) leaves delays unrealised: scheduling
 	// belongs to the Go runtime. Meaningless without Net.
 	TickEvery time.Duration
+	// TraceWriter, if non-nil, streams every event to w in the binary
+	// trace format (trace.FormatVersion) through per-node buffers drained
+	// by a single writer goroutine, so emitting nodes never block on I/O.
+	// File order is batch order, not global order: the logical Time field
+	// is unique per event (one atomic clock tick each), so sort by Time to
+	// reconstruct the global sequence. Seq fields are meaningful only in
+	// the logged posture (no DiscardEvents); with DiscardEvents they are
+	// zero. Check TraceErr after Stop for write failures.
+	TraceWriter io.Writer
 }
 
 // New builds and starts a live cluster: every automaton is instantiated
@@ -165,16 +267,17 @@ func New(g *graph.Graph, factory proto.Factory) *Runtime {
 func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 	n := g.Len()
 	rt := &Runtime{
-		g:        g,
-		log:      &trace.Log{},
-		idle:     make(chan struct{}, 1),
-		automata: make([]proto.Automaton, n),
-		boxes:    make([]*mailbox, n),
-		crashed:  graph.NewBitset(n),
-		subs:     make([]graph.Bitset, n),
-		regions:  dsu.New(n),
-		net:      opts.Net,
-		tick:     opts.TickEvery,
+		g:         g,
+		log:       &trace.Log{},
+		idle:      make(chan struct{}, 1),
+		automata:  make([]proto.Automaton, n),
+		boxes:     make([]mailbox, n),
+		crashed:   graph.NewBitset(n),
+		subs:      make([]graph.Bitset, n),
+		regions:   dsu.New(n),
+		net:       opts.Net,
+		tick:      opts.TickEvery,
+		statsOnly: opts.DiscardEvents && opts.Observer == nil,
 	}
 	if opts.Observer != nil {
 		rt.log.Observe(opts.Observer)
@@ -182,9 +285,16 @@ func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 	if opts.DiscardEvents {
 		rt.log.DiscardEvents()
 	}
+	if rt.statsOnly {
+		rt.accs = make([]trace.Accumulator, n+1)
+	}
+	if opts.TraceWriter != nil {
+		rt.sink = newTraceSink(opts.TraceWriter)
+		rt.sinkBufs = make([][]trace.Event, n+1)
+	}
 	for i := int32(0); i < int32(n); i++ {
 		rt.automata[i] = factory(g.ID(i))
-		rt.boxes[i] = newMailbox()
+		rt.boxes[i].init()
 	}
 	// Apply 〈init〉 effects before spawning the node loops: an automaton
 	// must never observe a message ahead of its own Start. Effects only
@@ -204,15 +314,58 @@ func NewRuntime(g *graph.Graph, factory proto.Factory, opts Options) *Runtime {
 
 func (rt *Runtime) now() int64 { return rt.clock.Add(1) }
 
-func (rt *Runtime) emit(e trace.Event) { rt.emitT(e) }
+// extSlot is the emission slot for caller-goroutine events (CrashAll);
+// node i emits on slot i from its own loop.
+func (rt *Runtime) extSlot() int32 { return int32(len(rt.boxes)) }
 
-// emitT appends e stamped with a fresh logical-clock tick and returns the
-// tick — the send path uses it as the link-fault adjudication time.
-func (rt *Runtime) emitT(e trace.Event) int64 {
+// emit appends e on behalf of slot i. See emitT.
+func (rt *Runtime) emit(e trace.Event, i int32) { rt.emitT(e, i) }
+
+// emitT stamps e with a fresh logical-clock tick and returns the tick —
+// the send path uses it as the link-fault adjudication time. In the
+// statsOnly posture the event folds into slot i's accumulator and never
+// touches the shared log (or its lock); otherwise it goes through the
+// log, picking up its global sequence number for observers and the sink.
+func (rt *Runtime) emitT(e trace.Event, i int32) int64 {
 	t := rt.now()
 	e.Time = t
-	rt.log.Append(e)
+	if rt.statsOnly {
+		rt.accs[i].Add(e)
+	} else {
+		e = rt.log.Append(e)
+	}
+	if rt.sink != nil {
+		rt.sinkPut(i, e)
+	}
 	return t
+}
+
+// emitExt emits from a caller goroutine (not a node loop): the ext slot
+// is shared by all callers, hence the lock.
+func (rt *Runtime) emitExt(e trace.Event) {
+	rt.extMu.Lock()
+	rt.emitT(e, rt.extSlot())
+	rt.extMu.Unlock()
+}
+
+// sinkPut buffers e into slot i's pending batch, handing the batch to
+// the writer goroutine when full. Slot ownership (node loop, or extMu
+// for the ext slot) makes the buffer access race-free.
+func (rt *Runtime) sinkPut(i int32, e trace.Event) {
+	buf := rt.sinkBufs[i]
+	if buf == nil {
+		select {
+		case buf = <-rt.sink.free:
+		default:
+			buf = make([]trace.Event, 0, sinkBatch)
+		}
+	}
+	buf = append(buf, e)
+	if len(buf) >= sinkBatch {
+		rt.sink.ch <- buf
+		buf = nil
+	}
+	rt.sinkBufs[i] = buf
 }
 
 // trackEnter/trackExit maintain the in-flight work counter used by
@@ -230,7 +383,7 @@ func (rt *Runtime) trackExit() {
 
 func (rt *Runtime) nodeLoop(i int32) {
 	defer rt.wg.Done()
-	box := rt.boxes[i]
+	box := &rt.boxes[i]
 	for {
 		env, ok := box.get()
 		if !ok {
@@ -254,13 +407,13 @@ func (rt *Runtime) process(i int32, env envelope) {
 	if dead {
 		if !env.crashNotify {
 			rt.emit(trace.Event{Kind: trace.KindDrop, Node: id, Peer: rt.g.ID(env.from),
-				Bytes: env.payload.WireSize()})
+				Bytes: env.payload.WireSize()}, i)
 		}
 		return
 	}
 	a := rt.automata[i]
 	if env.crashNotify {
-		rt.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: rt.g.ID(env.from)})
+		rt.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: rt.g.ID(env.from)}, i)
 		rt.applyEffects(i, a.OnCrash(rt.g.ID(env.from)))
 		return
 	}
@@ -270,7 +423,7 @@ func (rt *Runtime) process(i int32, env envelope) {
 		view, round = m.TraceView()
 	}
 	rt.emit(trace.Event{Kind: trace.KindDeliver, Node: id, Peer: rt.g.ID(env.from),
-		View: view, Round: round, Bytes: env.payload.WireSize()})
+		View: view, Round: round, Bytes: env.payload.WireSize()}, i)
 	rt.applyEffects(i, a.OnMessage(rt.g.ID(env.from), env.payload))
 }
 
@@ -282,13 +435,13 @@ func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
 		}
 	}
 	for _, v := range eff.Proposed {
-		rt.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()})
+		rt.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()}, i)
 	}
 	for _, v := range eff.Rejected {
-		rt.emit(trace.Event{Kind: trace.KindReject, Node: id, View: v.Key()})
+		rt.emit(trace.Event{Kind: trace.KindReject, Node: id, View: v.Key()}, i)
 	}
 	for r := 0; r < eff.Resets; r++ {
-		rt.emit(trace.Event{Kind: trace.KindReset, Node: id})
+		rt.emit(trace.Event{Kind: trace.KindReset, Node: id}, i)
 	}
 	for _, s := range eff.Sends {
 		size := s.Payload.WireSize()
@@ -302,8 +455,11 @@ func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
 			if ti < 0 {
 				continue // automata only address graph members
 			}
+			if ti == i {
+				continue // sender's own copy is self-delivered by the automaton
+			}
 			sentAt := rt.emitT(trace.Event{Kind: trace.KindSend, Node: id, Peer: to,
-				View: view, Round: round, Bytes: size})
+				View: view, Round: round, Bytes: size}, i)
 			duplicate := false
 			var delay int64
 			if rt.net != nil && ti != i {
@@ -314,7 +470,7 @@ func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
 					// Lost on the wire: trace the network drop, enqueue
 					// nothing (the ledger conserves: send = drop).
 					rt.emit(trace.Event{Kind: trace.KindDrop, Node: to, Peer: id,
-						Bytes: size})
+						Bytes: size}, i)
 					continue
 				}
 				duplicate = v.Duplicate
@@ -332,7 +488,7 @@ func (rt *Runtime) applyEffects(i int32, eff proto.Effects) {
 	}
 	if eff.Decision != nil {
 		rt.emit(trace.Event{Kind: trace.KindDecide, Node: id,
-			View: eff.Decision.View.Key(), Value: string(eff.Decision.Value)})
+			View: eff.Decision.View.Key(), Value: string(eff.Decision.Value)}, i)
 	}
 }
 
@@ -392,7 +548,7 @@ func (rt *Runtime) CrashAll(ns ...graph.NodeID) {
 	}
 	rt.mu.Unlock()
 	for k, i := range newly {
-		rt.emit(trace.Event{Kind: trace.KindCrash, Node: rt.g.ID(i)})
+		rt.emitExt(trace.Event{Kind: trace.KindCrash, Node: rt.g.ID(i)})
 		for _, p := range notify[k] {
 			rt.trackEnter()
 			rt.boxes[p].put(envelope{crashNotify: true, from: i})
@@ -440,8 +596,9 @@ func (rt *Runtime) WaitIdleContext(ctx context.Context, timeout time.Duration) e
 	}
 }
 
-// Stop shuts the cluster down and waits for every node goroutine to exit.
-// The runtime must be idle; automata may be inspected afterwards.
+// Stop shuts the cluster down and waits for every node goroutine to exit,
+// then drains the trace sink (if any). The runtime must be idle; automata
+// may be inspected afterwards.
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
 	if rt.stopped {
@@ -450,10 +607,29 @@ func (rt *Runtime) Stop() {
 	}
 	rt.stopped = true
 	rt.mu.Unlock()
-	for _, b := range rt.boxes {
-		b.close()
+	for i := range rt.boxes {
+		rt.boxes[i].close()
 	}
 	rt.wg.Wait()
+	if rt.sink != nil {
+		// Single-threaded now: hand the partial batches over and finish.
+		for slot, buf := range rt.sinkBufs {
+			if len(buf) > 0 {
+				rt.sink.ch <- buf
+				rt.sinkBufs[slot] = nil
+			}
+		}
+		rt.sink.finish()
+	}
+}
+
+// TraceErr reports the first error the binary trace sink hit, if a
+// TraceWriter was configured. Call after Stop.
+func (rt *Runtime) TraceErr() error {
+	if rt.sink == nil {
+		return nil
+	}
+	return rt.sink.err
 }
 
 // Result summarises a stopped runtime.
@@ -473,6 +649,16 @@ type Result struct {
 // Stop.
 func (rt *Runtime) Result() *Result {
 	events := rt.log.Events()
+	stats := rt.log.Stats()
+	if rt.statsOnly {
+		// Merge the per-goroutine shards; Stop's wg.Wait ordered every
+		// node's last fold before this read.
+		var acc trace.Accumulator
+		for i := range rt.accs {
+			acc.Merge(&rt.accs[i])
+		}
+		stats = acc.Stats()
+	}
 	decisions := make(map[graph.NodeID]*proto.Decision)
 	crashed := make(map[graph.NodeID]bool, rt.crashed.Count())
 	crashedIdx := rt.crashed.AppendIndices(nil)
@@ -489,7 +675,7 @@ func (rt *Runtime) Result() *Result {
 	}
 	return &Result{
 		Events:    events,
-		Stats:     rt.log.Stats(),
+		Stats:     stats,
 		Decisions: decisions,
 		Automata:  automata,
 		Crashed:   crashed,

@@ -384,6 +384,9 @@ func (e *explorer) applyEffects(s *state, id graph.NodeID, eff proto.Effects) {
 			continue
 		}
 		for _, to := range send.To {
+			if to == id {
+				continue // sender's own copy is self-delivered by the automaton
+			}
 			// CD3 against the (precomputed) final faulty domains.
 			shared := false
 			for i := range e.inDomain[id] {

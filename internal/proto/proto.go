@@ -33,9 +33,11 @@ type Payload interface {
 
 // Send is one multicast: the same payload delivered to each recipient over
 // the underlying point-to-point FIFO channels (the paper's best-effort
-// multicast of §3.1). Recipients must not include the sender: automata
-// self-deliver synchronously (see the core package) so the network never
-// loops a message back.
+// multicast of §3.1). To may include the sender — automata self-deliver
+// synchronously (see the core package), so network layers must skip the
+// sender's own entry rather than loop the message back. This lets an
+// automaton hand its (immutable) recipient list to the network as-is
+// instead of copying it minus itself on every multicast.
 type Send struct {
 	To      []graph.NodeID
 	Payload Payload
@@ -50,6 +52,11 @@ type Decision struct {
 // Effects collects everything one event handler invocation triggered. The
 // zero value means "no effects". Runtimes apply effects in field order:
 // subscriptions, sends, then the decision.
+//
+// Effect slices may share backing storage with the automaton that
+// produced them (hot automata reuse scratch buffers across invocations),
+// so they are valid only until the next call into that automaton. A
+// consumer that retains effects past that point must copy them.
 type Effects struct {
 	// Monitor lists nodes to subscribe crash notifications for
 	// (〈monitorCrash | S〉). Duplicate subscriptions are harmless.

@@ -67,14 +67,45 @@ func New(g *graph.Graph, nodes []graph.NodeID) Region {
 // used by the protocol hot path: no string sorting, border computed over
 // the CSR adjacency.
 func NewFromIndices(g *graph.Graph, members []int32, memberSet graph.Bitset) Region {
+	return NewFromIndicesScratch(g, members, memberSet, graph.NewBitset(g.Len()))
+}
+
+// NewFromIndicesScratch is NewFromIndices with a caller-owned scratch
+// bitset for the border computation: seen must cover [0, g.Len()) and be
+// empty on entry; it is empty again on return. Hot callers (one Region
+// per crash detection) keep one scratch per automaton and save the bitset
+// allocation, and the construction packs the four member/border slices
+// into two allocations.
+func NewFromIndicesScratch(g *graph.Graph, members []int32, memberSet, seen graph.Bitset) Region {
 	if len(members) == 0 {
 		return Empty
 	}
-	nodes := make([]graph.NodeID, len(members))
+	borderCount := 0
+	for _, m := range members {
+		for _, q := range g.NeighborIndices(m) {
+			if !memberSet.Has(q) && !seen.Has(q) {
+				seen.Set(q)
+				borderCount++
+			}
+		}
+	}
+	ints := make([]int32, len(members), len(members)+borderCount)
+	copy(ints, members)
+	borderIdx := seen.AppendIndices(ints[len(members):len(members)])
+	idx := ints[:len(members):len(members)]
+	for _, b := range borderIdx {
+		seen.Unset(b)
+	}
+	ids := make([]graph.NodeID, len(members)+borderCount)
+	nodes := ids[:len(members):len(members)]
 	keyLen := len(members) - 1
 	for i, m := range members {
 		nodes[i] = g.ID(m)
 		keyLen += len(nodes[i])
+	}
+	border := ids[len(members):]
+	for i, b := range borderIdx {
+		border[i] = g.ID(b)
 	}
 	var sb strings.Builder
 	sb.Grow(keyLen)
@@ -84,17 +115,12 @@ func NewFromIndices(g *graph.Graph, members []int32, memberSet graph.Bitset) Reg
 		}
 		sb.WriteString(string(n))
 	}
-	borderIdx := g.BorderOfIndices(members, memberSet)
-	border := make([]graph.NodeID, len(borderIdx))
-	for i, b := range borderIdx {
-		border[i] = g.ID(b)
-	}
 	return Region{
 		nodes:     nodes,
 		border:    border,
 		key:       sb.String(),
 		g:         g,
-		idx:       append([]int32(nil), members...),
+		idx:       idx,
 		borderIdx: borderIdx,
 	}
 }

@@ -29,6 +29,11 @@ type Config struct {
 	// ClusterOptions apply to every run of every sweep — runtime
 	// configuration (live tick, latency bands) outside the spec.
 	ClusterOptions []cliffedge.Option
+	// PersistTraces streams every run's full binary trace into the
+	// store's per-campaign traces directory (one file per job, named
+	// campaign.Job.TraceName). Like ClusterOptions it is runtime
+	// configuration: resumed sweeps inherit the server's current setting.
+	PersistTraces bool
 	// Logf receives operational log lines (nil: log.Printf).
 	Logf func(format string, args ...any)
 	// now stamps campaign creation times (tests override; nil: time.Now).
@@ -102,15 +107,36 @@ func NewServer(dataDir string, cfg Config) (*Server, error) {
 		if m.Status != store.StatusRunning {
 			continue
 		}
-		sw, err := Open(st, m.ID, cfg.ClusterOptions...)
-		if err != nil {
-			s.logf("serve: cannot resume campaign %s: %v", m.ID, err)
-			continue
+		extra, err := s.sweepOptions(m.ID)
+		if err == nil {
+			var sw *Sweep
+			if sw, err = Open(st, m.ID, extra...); err == nil {
+				s.logf("serve: resumed campaign %s (%d/%d done)", m.ID, sw.Completed(), sw.Total())
+				s.submit(sw, m.Client)
+				continue
+			}
 		}
-		s.logf("serve: resumed campaign %s (%d/%d done)", m.ID, sw.Completed(), sw.Total())
-		s.submit(sw, m.Client)
+		s.logf("serve: cannot resume campaign %s: %v", m.ID, err)
 	}
 	return s, nil
+}
+
+// sweepOptions assembles the runtime campaign options applied to every
+// sweep: the server-wide cluster options, plus — with PersistTraces —
+// the store's per-campaign trace directory for this ID.
+func (s *Server) sweepOptions(id string) ([]cliffedge.CampaignOption, error) {
+	var extra []cliffedge.CampaignOption
+	if len(s.cfg.ClusterOptions) > 0 {
+		extra = append(extra, cliffedge.WithClusterOptions(s.cfg.ClusterOptions...))
+	}
+	if s.cfg.PersistTraces {
+		dir, err := s.st.TraceDir(id)
+		if err != nil {
+			return nil, err
+		}
+		extra = append(extra, cliffedge.WithTraceDir(dir))
+	}
+	return extra, nil
 }
 
 // AllocateID returns the next unused c%06d campaign ID in st — the same
@@ -310,7 +336,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.now != nil {
 		now = s.cfg.now
 	}
-	sw, err := Create(s.st, id, client, now().UTC(), spec, s.cfg.ClusterOptions...)
+	extra, err := s.sweepOptions(id)
+	var sw *Sweep
+	if err == nil {
+		sw, err = Create(s.st, id, client, now().UTC(), spec, extra...)
+	}
 	if err != nil {
 		s.mu.Lock()
 		delete(s.owner, id)

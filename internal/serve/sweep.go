@@ -74,11 +74,13 @@ type Sweep struct {
 }
 
 // Create validates spec, persists the campaign's manifest and empty
-// result log, and returns the ready-to-run sweep. Cluster options (copts)
-// are runtime configuration applied on top of the spec — both frontends
-// must pass the same ones for resumed runs to be comparable.
-func Create(st *store.Store, id, client string, created time.Time, spec cliffedge.CampaignSpec, copts ...cliffedge.Option) (*Sweep, error) {
-	camp, err := buildCampaign(spec, copts)
+// result log, and returns the ready-to-run sweep. Extra campaign options
+// (typically cliffedge.WithClusterOptions, or cliffedge.WithTraceDir
+// pointed at the store's TraceDir) are runtime configuration applied on
+// top of the spec — both frontends must pass the same ones for resumed
+// runs to be comparable.
+func Create(st *store.Store, id, client string, created time.Time, spec cliffedge.CampaignSpec, extra ...cliffedge.CampaignOption) (*Sweep, error) {
+	camp, err := cliffedge.NewCampaignFromSpec(spec, extra...)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +106,7 @@ func Create(st *store.Store, id, client string, created time.Time, spec cliffedg
 // history, and the sweep resumes with exactly the jobs that never
 // completed. Records for jobs outside the grid (or duplicates) are
 // rejected — they would mean the spec or the log was tampered with.
-func Open(st *store.Store, id string, copts ...cliffedge.Option) (*Sweep, error) {
+func Open(st *store.Store, id string, extra ...cliffedge.CampaignOption) (*Sweep, error) {
 	m, err := st.Manifest(id)
 	if err != nil {
 		return nil, err
@@ -113,7 +115,7 @@ func Open(st *store.Store, id string, copts ...cliffedge.Option) (*Sweep, error)
 	if err := json.Unmarshal(m.Spec, &spec); err != nil {
 		return nil, fmt.Errorf("serve: campaign %s: bad spec: %w", id, err)
 	}
-	camp, err := buildCampaign(spec, copts)
+	camp, err := cliffedge.NewCampaignFromSpec(spec, extra...)
 	if err != nil {
 		return nil, fmt.Errorf("serve: campaign %s: %w", id, err)
 	}
@@ -127,14 +129,6 @@ func Open(st *store.Store, id string, copts ...cliffedge.Option) (*Sweep, error)
 		return nil, fmt.Errorf("serve: campaign %s: result log does not match spec grid", id)
 	}
 	return s, nil
-}
-
-func buildCampaign(spec cliffedge.CampaignSpec, copts []cliffedge.Option) (*cliffedge.Campaign, error) {
-	var extra []cliffedge.CampaignOption
-	if len(copts) > 0 {
-		extra = append(extra, cliffedge.WithClusterOptions(copts...))
-	}
-	return cliffedge.NewCampaignFromSpec(spec, extra...)
 }
 
 // newSweep assembles the in-memory state, folding replayed records into

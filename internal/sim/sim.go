@@ -491,6 +491,9 @@ func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
 		r.fifoFloor[from] = floors
 	}
 	for _, to := range s.To {
+		if to == fromID {
+			continue // sender's own copy is self-delivered by the automaton
+		}
 		lat := r.cfg.NetLatency.Latency(fromID, to, r.rng)
 		toIdx := r.g.Index(to)
 		if toIdx < 0 {

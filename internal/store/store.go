@@ -93,16 +93,25 @@ func (s *Store) campaignDir(id string) (string, error) {
 }
 
 // Create allocates the campaign directory and writes its manifest. It
-// fails if the ID already exists.
+// fails if the ID already exists. Existence means "has a manifest":
+// runtime configuration (TraceDir) may create the directory before the
+// manifest lands, and a directory without a manifest is junk (see
+// List), so uniqueness is anchored on the manifest file, not Mkdir.
 func (s *Store) Create(m Manifest) error {
 	dir, err := s.campaignDir(m.ID)
 	if err != nil {
 		return err
 	}
-	if err := os.Mkdir(dir, 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return writeJSONAtomic(filepath.Join(dir, "manifest.json"), m)
+	mpath := filepath.Join(dir, "manifest.json")
+	if _, err := os.Lstat(mpath); err == nil {
+		return fmt.Errorf("store: campaign %s already exists", m.ID)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	return writeJSONAtomic(mpath, m)
 }
 
 // Manifest reads the campaign's manifest.
@@ -181,6 +190,25 @@ func (s *Store) Report(id string) ([]byte, error) {
 		return nil, err
 	}
 	return os.ReadFile(filepath.Join(dir, "report.json"))
+}
+
+// TraceDir ensures the campaign's trace directory exists and returns its
+// path. Frontends that persist per-run traces (one binary trace file per
+// job, named campaign.Job.TraceName) point cliffedge.WithTraceDir here,
+// so traces live and die with the campaign: Delete removes them along
+// with everything else. The store itself never reads trace files — they
+// are bulk artifacts for cliffedge-trace and offline analysis, not part
+// of the resumable result log.
+func (s *Store) TraceDir(id string) (string, error) {
+	dir, err := s.campaignDir(id)
+	if err != nil {
+		return "", err
+	}
+	td := filepath.Join(dir, "traces")
+	if err := os.MkdirAll(td, 0o755); err != nil {
+		return "", err
+	}
+	return td, nil
 }
 
 // Results is the campaign's append-only run log. Append is safe for

@@ -327,6 +327,57 @@ func TestStoreReport(t *testing.T) {
 	}
 }
 
+// TestStoreTraceDir: the traces directory is created on demand under the
+// campaign, rejects invalid IDs, and is removed with the campaign.
+func TestStoreTraceDir(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(Manifest{ID: "c000001", Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	td, err := s.TraceDir("c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(td) != filepath.Join(s.Dir(), "c000001") {
+		t.Fatalf("trace dir %q not under the campaign dir", td)
+	}
+	if err := os.WriteFile(filepath.Join(td, "x.bin"), []byte("CETR"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TraceDir("../escape"); err == nil {
+		t.Fatal("TraceDir accepted a path-escaping ID")
+	}
+	if err := s.Delete("c000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(td); !os.IsNotExist(err) {
+		t.Fatalf("Delete left the trace dir behind: %v", err)
+	}
+}
+
+// TestCreateAfterTraceDir pins the daemon's submit order: the server
+// resolves the campaign's trace dir (creating the campaign directory)
+// before Create writes the manifest, so Create must anchor uniqueness
+// on the manifest file, not on Mkdir succeeding.
+func TestCreateAfterTraceDir(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TraceDir("c000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(Manifest{ID: "c000001", Status: StatusRunning}); err != nil {
+		t.Fatalf("Create after TraceDir must succeed: %v", err)
+	}
+	if err := s.Create(Manifest{ID: "c000001", Status: StatusRunning}); err == nil {
+		t.Fatal("duplicate Create must still fail")
+	}
+}
+
 // buildFrame assembles a valid frame for corpus seeds and tests.
 func buildFrame(payload []byte) []byte {
 	var out []byte

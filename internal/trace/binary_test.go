@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cliffedge/internal/graph"
+)
+
+// sampleTrace builds a small but representative event log: repeated node
+// IDs and views (string-table hits), empty optional fields, a decision
+// value, and non-monotonic Seq/Time to exercise the delta coding.
+func sampleTrace() []Event {
+	return []Event{
+		{Seq: 0, Time: 10, Kind: KindCrash, Node: "n0001-0001"},
+		{Seq: 1, Time: 12, Kind: KindDetect, Node: "n0001-0002", Peer: "n0001-0001"},
+		{Seq: 2, Time: 13, Kind: KindSend, Node: "n0001-0002", Peer: "n0000-0001", View: "n0001-0001", Round: 1, Bytes: 96},
+		{Seq: 3, Time: 15, Kind: KindDeliver, Node: "n0000-0001", Peer: "n0001-0002", View: "n0001-0001", Round: 1, Bytes: 96},
+		{Seq: 4, Time: 16, Kind: KindPropose, Node: "n0000-0001", View: "n0001-0001"},
+		{Seq: 9, Time: 2, Kind: KindReject, Node: "ü", Round: -3},
+		{Seq: 5, Time: 29, Kind: KindDecide, Node: "n0000-0001", View: "n0001-0001", Value: "plan-7"},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("round trip diverges:\nin:  %#v\nout: %#v", events, back)
+	}
+}
+
+func TestBinaryAllKinds(t *testing.T) {
+	var events []Event
+	for k := range kindNames {
+		events = append(events, Event{Seq: k, Time: int64(k), Kind: Kind(k), Node: graph.NodeID("n")})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("round trip diverges:\n%v\n%v", events, back)
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("empty stream should be header-only (8 bytes), got %d", buf.Len())
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty stream: %v, %v", back, err)
+	}
+}
+
+// TestBinaryMultiBlock pushes enough events through a BinaryWriter to
+// seal several blocks and confirms the string table survives the block
+// boundaries.
+func TestBinaryMultiBlock(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	const n = 40000
+	want := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		e := Event{
+			Seq: i, Time: int64(i * 3), Kind: KindSend,
+			Node: graph.NodeID("node-" + string(rune('a'+i%7))),
+			Peer: graph.NodeID("node-" + string(rune('a'+i%5))),
+			View: "v" + string(rune('0'+i%3)), Round: i % 9, Bytes: 64 + i%128,
+		}
+		want = append(want, e)
+		if err := bw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= n*12 {
+		t.Errorf("encoding too large: %d bytes for %d events", buf.Len(), n)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, back) {
+		t.Fatal("multi-block round trip diverges")
+	}
+}
+
+// TestBinarySmallerThanJSONL pins the point of the format: a realistic
+// trace must encode substantially smaller than its JSONL rendering.
+func TestBinarySmallerThanJSONL(t *testing.T) {
+	var events []Event
+	for i := 0; i < 2000; i++ {
+		events = append(events, sampleTrace()...)
+	}
+	for i := range events {
+		events[i].Seq = i
+	}
+	var bin, jsonl bytes.Buffer
+	if err := WriteBinary(&bin, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&jsonl, events); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*4 > jsonl.Len() {
+		t.Errorf("binary %d bytes vs JSONL %d: expected ≥4× smaller", bin.Len(), jsonl.Len())
+	}
+}
+
+func TestBinaryRejects(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteBinary(&good, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	g := good.Bytes()
+
+	flip := func(i int) []byte {
+		out := append([]byte(nil), g...)
+		out[i] ^= 0x40
+		return out
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     g[:5],
+		"bad magic":        flip(0),
+		"bad version":      flip(4),
+		"reserved nonzero": flip(6),
+		"torn frame":       g[:9],
+		"torn block":       g[:len(g)-3],
+		"corrupt payload":  flip(len(g) - 5),
+		"corrupt crc":      flip(10),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decoder accepted corrupt input", name)
+		}
+	}
+
+	// Unknown kind byte: hand-build a block with kind 99.
+	var bw bytes.Buffer
+	w := NewBinaryWriter(&bw)
+	w.block = append(w.block, 99, 0, 0, 1, 1, 1, 0, 1, 0)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&bw); err == nil || !strings.Contains(err.Error(), "unknown event kind") {
+		t.Errorf("unknown kind: got %v", err)
+	}
+
+	// Out-of-range string reference.
+	var bw2 bytes.Buffer
+	w2 := NewBinaryWriter(&bw2)
+	w2.block = append(w2.block, byte(KindCrash), 0, 0, 7, 1, 1, 0, 1, 0)
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&bw2); err == nil || !strings.Contains(err.Error(), "string reference") {
+		t.Errorf("bad string ref: got %v", err)
+	}
+}
+
+// TestBinaryJSONLConversion pins the converter pair: JSONL → binary →
+// JSONL is byte-identical once the JSONL is normalised (i.e. written by
+// WriteJSONL) — the lossless-conversion guarantee cliffedge-trace
+// advertises.
+func TestBinaryJSONLConversion(t *testing.T) {
+	events := sampleTrace()
+	var jsonl1 bytes.Buffer
+	if err := WriteJSONL(&jsonl1, events); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadJSONL(bytes.NewReader(jsonl1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, parsed); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl2 bytes.Buffer
+	if err := WriteJSONL(&jsonl2, fromBin); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonl1.Bytes(), jsonl2.Bytes()) {
+		t.Fatalf("conversion not lossless:\n%s\n%s", jsonl1.Bytes(), jsonl2.Bytes())
+	}
+}
+
+// FuzzTraceBinary drives the binary codec from two directions, seeded
+// with the FuzzTraceJSON corpus (same []byte signature, corpus copied
+// under testdata/fuzz/FuzzTraceBinary): (1) any JSONL the JSON decoder
+// accepts must survive JSONL → binary → JSONL as a byte-level fixed
+// point; (2) the binary decoder itself must reject or accept arbitrary
+// bytes without panicking, and anything it accepts must re-encode to a
+// decodable stream with identical events.
+func FuzzTraceBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteJSONL(&seed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	var binSeed bytes.Buffer
+	if err := WriteBinary(&binSeed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(binSeed.Bytes())
+	f.Add([]byte(`{"seq":0,"t":-5,"kind":"drop","node":""}`))
+	f.Add([]byte(`{"kind":"send"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: JSONL input → binary round trip → JSONL fixed point.
+		if events, err := ReadJSONL(bytes.NewReader(data)); err == nil && len(events) > 0 {
+			var bin bytes.Buffer
+			if err := WriteBinary(&bin, events); err != nil {
+				t.Fatalf("binary encode of valid events failed: %v", err)
+			}
+			back, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatalf("decoding our own binary failed: %v", err)
+			}
+			if !reflect.DeepEqual(events, back) {
+				t.Fatalf("binary round trip diverges:\nin:  %#v\nout: %#v", events, back)
+			}
+			var j1, j2 bytes.Buffer
+			if err := WriteJSONL(&j1, events); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteJSONL(&j2, back); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Fatal("JSONL → binary → JSONL is not a fixed point")
+			}
+		}
+		// Direction 2: arbitrary bytes into the binary decoder.
+		if events, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			var bin bytes.Buffer
+			if err := WriteBinary(&bin, events); err != nil {
+				t.Fatalf("re-encoding accepted binary failed: %v", err)
+			}
+			back, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatalf("decoding our re-encoding failed: %v", err)
+			}
+			if len(events) != 0 && !reflect.DeepEqual(events, back) {
+				t.Fatal("binary re-encoding diverges")
+			}
+		}
+	})
+}

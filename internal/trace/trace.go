@@ -233,6 +233,43 @@ func (a *Accumulator) Add(e Event) {
 	}
 }
 
+// Merge folds other's aggregate into a: counters add, maxima take the
+// larger side, node sets union. Sharded accumulators — one per goroutine,
+// each folding a disjoint slice of the stream — merge into the same Stats
+// a single sequential fold would produce, because every Stats field is a
+// commutative reduction.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if a.crashed == nil {
+		a.crashed = make(map[graph.NodeID]bool)
+		a.participants = make(map[graph.NodeID]bool)
+	}
+	a.s.Messages += other.s.Messages
+	a.s.Deliveries += other.s.Deliveries
+	a.s.Drops += other.s.Drops
+	a.s.Bytes += other.s.Bytes
+	a.s.Crashes += other.s.Crashes
+	a.s.Detections += other.s.Detections
+	a.s.Proposals += other.s.Proposals
+	a.s.Rejections += other.s.Rejections
+	a.s.Resets += other.s.Resets
+	a.s.Decisions += other.s.Decisions
+	if other.s.MaxRound > a.s.MaxRound {
+		a.s.MaxRound = other.s.MaxRound
+	}
+	if other.s.EndTime > a.s.EndTime {
+		a.s.EndTime = other.s.EndTime
+	}
+	if other.s.DecideTime > a.s.DecideTime {
+		a.s.DecideTime = other.s.DecideTime
+	}
+	for n := range other.crashed {
+		a.crashed[n] = true
+	}
+	for n := range other.participants {
+		a.participants[n] = true
+	}
+}
+
 // Stats returns the aggregate so far. Participants counts distinct nodes
 // that sent or received and are not (yet) crashed, so call it after the
 // stream is complete for the quiescence-time value.
