@@ -289,6 +289,49 @@ func BenchmarkKernelCascade64(b *testing.B) {
 	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
 }
 
+// BenchmarkKernelCascade64Sharded is the headline workload on the
+// sharded kernel, striped over 8 shards. The cascade is one connected
+// crashed region — auto mode would collapse it back to sequential — so
+// explicit striping is what exercises the conservative time windows
+// here: same trace, same stats, this benchmark measures only what the
+// windowed parallelism buys (or costs) on a single-domain workload.
+func BenchmarkKernelCascade64Sharded(b *testing.B) {
+	benchCascadeSharded(b, 64, 16)
+}
+
+// BenchmarkKernelCascade128Sharded is the doubled workload on the
+// sharded kernel; BENCH_kernel.json records this point alongside the
+// sequential BenchmarkKernelCascade128.
+func BenchmarkKernelCascade128Sharded(b *testing.B) {
+	benchCascadeSharded(b, 128, 32)
+}
+
+func benchCascadeSharded(b *testing.B, dim, block int) {
+	b.ReportAllocs()
+	spec := scenario.CascadeSpec(dim, dim, block, 8, 25, 1)
+	b.ResetTimer()
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		r, err := sim.NewRunner(sim.Config{
+			Graph:         spec.Graph,
+			Factory:       scenario.CoreFactory(spec.Graph),
+			Seed:          spec.Seed,
+			Crashes:       spec.Crashes,
+			Shards:        8,
+			DiscardEvents: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += res.Stats.Messages
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
 // BenchmarkKernelCascade128 doubles the headline kernel workload in each
 // grid dimension — a 128×128 grid losing its centre 32×32 block plus
 // eight stragglers — to expose superlinear growth (borders, and with

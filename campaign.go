@@ -250,7 +250,9 @@ func WithWorkers(n int) CampaignOption {
 // always runs its own online checker and counts violations per run) — are
 // applied after these options and override them, so a stray WithSeed,
 // WithEngine or WithChecker here cannot silently change what a cell
-// measures.
+// measures. WithKernelShards passes through untouched — sharding changes
+// only wall-clock time, never the trace, so campaign cells keep their
+// byte-identical results at any shard count.
 func WithClusterOptions(opts ...Option) CampaignOption {
 	return func(c *Campaign) error {
 		for _, o := range opts {

@@ -39,6 +39,7 @@ type Cluster struct {
 	liveTimeout time.Duration
 	liveTick    time.Duration
 	maxEvents   int
+	kernShards  int
 	netModel    *NetModel
 	traceW      io.Writer
 }
@@ -58,6 +59,7 @@ func New(topo *Topology, opts ...Option) (*Cluster, error) {
 		net:         LatencyRange{Min: 1, Max: 10},
 		fd:          LatencyRange{Min: 1, Max: 10},
 		liveTimeout: 30 * time.Second,
+		kernShards:  1,
 	}
 	for _, opt := range opts {
 		if opt == nil {
@@ -223,6 +225,28 @@ func WithLiveTick(tick time.Duration) Option {
 			return fmt.Errorf("cliffedge: non-positive live tick %v", tick)
 		}
 		c.liveTick = tick
+		return nil
+	}
+}
+
+// WithKernelShards sets the simulator kernel's intra-run parallelism: the
+// event queue is partitioned into n sub-queues executed under a
+// conservative time-window barrier whose lookahead is the minimum channel
+// latency. The trace — and therefore every Result field, checker verdict
+// and golden hash — is byte-identical at any shard count and any
+// GOMAXPROCS; only wall-clock time changes. n = 1 (the default) is the
+// classic sequential kernel; n = 0 picks shards automatically, one per
+// connected crashed-region domain group (the paper's locality property:
+// disjoint region closures generate causally independent event streams);
+// n ≥ 2 stripes nodes over exactly n shards. Plans with OnEvent steps
+// run sequentially regardless (their predicates inspect the globally
+// ordered trace as it forms). The live engine ignores the option.
+func WithKernelShards(n int) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("cliffedge: negative kernel shard count %d", n)
+		}
+		c.kernShards = n
 		return nil
 	}
 }

@@ -33,6 +33,8 @@ func TestNewOptionDefaulting(t *testing.T) {
 				return "live timeout should default to 30s"
 			case c.maxEvents != 0:
 				return "event budget should default to the simulator's"
+			case c.kernShards != 1:
+				return "kernel shards should default to 1 (sequential)"
 			}
 			return ""
 		}},
@@ -67,6 +69,18 @@ func TestNewOptionDefaulting(t *testing.T) {
 			}
 			return ""
 		}},
+		{"kernel shards", []Option{WithKernelShards(8)}, func(c *Cluster) string {
+			if c.kernShards != 8 {
+				return "kernel shard count not applied"
+			}
+			return ""
+		}},
+		{"kernel shards auto", []Option{WithKernelShards(0)}, func(c *Cluster) string {
+			if c.kernShards != 0 {
+				return "auto kernel shards not applied"
+			}
+			return ""
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -93,6 +107,7 @@ func TestNewOptionValidation(t *testing.T) {
 		{"nil observer", []Option{WithObserver(nil)}},
 		{"nil engine", []Option{WithEngine(nil)}},
 		{"nil option", []Option{nil}},
+		{"negative kernel shards", []Option{WithKernelShards(-1)}},
 		{"zero timeout", []Option{WithLiveTimeout(0)}},
 		{"negative budget", []Option{WithMaxEvents(-1)}},
 	}

@@ -25,16 +25,23 @@ type kernelPoint = benchjson.KernelPoint
 // of BenchmarkKernelCascade64, trace discarded — `runs` times and reports
 // the fastest wall time (allocation counts are deterministic across
 // runs). Peak RSS is the process high-water mark (VmHWM), so run KERNEL
-// on its own, not after other experiments.
-func kernelBench(runs int, seed int64, asJSON bool, tracePath string) {
+// on its own, not after other experiments. shards follows the public
+// convention (1 = sequential, 0 = auto, N ≥ 2 = stripe); the workload's
+// results are byte-identical at any setting, only the wall time moves.
+func kernelBench(runs int, seed int64, shards int, asJSON bool, tracePath string) {
 	spec := scenario.CascadeSpec(64, 64, 16, 8, 25, seed)
-	p := kernelPoint{Label: "local run", Rev: "working tree"}
+	kshards := shards
+	if kshards == 0 {
+		kshards = sim.AutoShards
+	}
+	p := kernelPoint{Label: "local run", Rev: "working tree", Shards: shards}
 	for i := 0; i < runs; i++ {
 		r, err := sim.NewRunner(sim.Config{
 			Graph:         spec.Graph,
 			Factory:       scenario.CoreFactory(spec.Graph),
 			Seed:          spec.Seed,
 			Crashes:       spec.Crashes,
+			Shards:        kshards,
 			DiscardEvents: true,
 		})
 		if err != nil {
@@ -75,7 +82,11 @@ func kernelBench(runs int, seed int64, asJSON bool, tracePath string) {
 		}
 		return
 	}
-	fmt.Println("## KERNEL — 64×64 grid cascade, streaming posture (see BENCH_kernel.json)")
+	if shards == 1 {
+		fmt.Println("## KERNEL — 64×64 grid cascade, streaming posture (see BENCH_kernel.json)")
+	} else {
+		fmt.Printf("## KERNEL — 64×64 grid cascade, streaming posture, shards=%d (see BENCH_kernel.json)\n", shards)
+	}
 	fmt.Println()
 	fmt.Println("| time/op | allocs/op | bytes/op | peak RSS kB | msgs | decisions | t_end |")
 	fmt.Println("|--------:|----------:|---------:|------------:|-----:|----------:|------:|")

@@ -25,6 +25,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base seed")
 		asJSON  = flag.Bool("json", false, "emit machine-readable JSON metrics instead of Markdown (KERNEL, LIVE)")
 		kenruns = flag.Int("kernel-runs", 3, "repetitions of the KERNEL/LIVE workload (fastest wall time wins)")
+		shards  = flag.Int("shards", 1, "KERNEL kernel shards: 1 = sequential, 0 = auto, N ≥ 2 = stripe over N (results identical, wall time varies)")
 		trcOut  = flag.String("trace", "", "also write the workload's full binary trace to this file via one extra untimed run (KERNEL, LIVE)")
 	)
 	flag.Parse()
@@ -91,7 +92,7 @@ func main() {
 	}
 	if strings.EqualFold(*exp, "KERNEL") {
 		ran = true
-		kernelBench(*kenruns, *seed, *asJSON, *trcOut)
+		kernelBench(*kenruns, *seed, *shards, *asJSON, *trcOut)
 	}
 	if strings.EqualFold(*exp, "LIVE") {
 		ran = true

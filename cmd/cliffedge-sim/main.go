@@ -66,6 +66,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the trace as JSON Lines to this file")
 		traceOut  = flag.String("trace", "", "write the trace in the binary format to this file (streams during the run, so it composes with -stream)")
 		stream    = flag.Bool("stream", false, "print events as they happen and keep no trace in memory (constant-memory runs)")
+		shards    = flag.Int("shards", 1, "simulator kernel shards: 1 = sequential, 0 = auto (one per crashed-region domain group), N ≥ 2 = stripe over N; the trace is byte-identical at any setting")
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
 	)
 	flag.Parse()
@@ -92,7 +93,7 @@ func main() {
 	// One Cluster + Plan drives both engines; the checker and the -stream
 	// narrator ride the observer stream, so -stream runs need no buffered
 	// trace at all.
-	opts := []cliffedge.Option{cliffedge.WithSeed(*seed)}
+	opts := []cliffedge.Option{cliffedge.WithSeed(*seed), cliffedge.WithKernelShards(*shards)}
 	if *live {
 		opts = append(opts, cliffedge.WithEngine(cliffedge.Live()))
 	}

@@ -107,12 +107,20 @@ func main() {
 
 // readTrace sniffs the input's format from its leading bytes — the
 // binary header opens with the "CETR" magic, JSONL with '{' — and
-// decodes the whole trace.
+// decodes the whole trace. Inputs too short to carry the magic (0–3
+// bytes) are an error, not an empty trace: every valid input is at
+// least the 8-byte binary header (which alone decodes as zero events)
+// or one JSONL event line, so a shorter file is truncated or not a
+// trace at all — silently reporting "0 events" would hide exactly the
+// truncation a summary run exists to catch.
 func readTrace(r io.Reader) ([]trace.Event, bool, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil && err != io.EOF {
 		return nil, false, err
+	}
+	if len(head) < 4 {
+		return nil, false, fmt.Errorf("input is %d bytes — too short to be a trace in either format (an empty binary trace is the 8-byte header)", len(head))
 	}
 	if bytes.Equal(head, []byte("CETR")) {
 		events, err := trace.ReadBinary(br)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cliffedge/internal/trace"
+)
+
+// TestReadTraceRejectsShortInput: a 0–3-byte input cannot be a trace in
+// either format, so readTrace must error instead of decoding it as an
+// empty JSONL trace (the old behaviour, which made truncated files
+// summarise as clean "0 events" runs).
+func TestReadTraceRejectsShortInput(t *testing.T) {
+	for _, in := range []string{"", "C", "CE", "{}\n"} {
+		_, _, err := readTrace(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%q (%d bytes): decoded without error, want short-input rejection", in, len(in))
+		} else if !strings.Contains(err.Error(), "too short") {
+			t.Errorf("%q: unexpected error: %v", in, err)
+		}
+	}
+}
+
+// TestReadTraceEmptyBinary: the 8-byte binary header alone is a valid
+// trace of zero events — the short-input guard must not reject it.
+func TestReadTraceEmptyBinary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("empty binary trace is %d bytes, want the 8-byte header", buf.Len())
+	}
+	events, binary, err := readTrace(&buf)
+	if err != nil {
+		t.Fatalf("empty binary trace rejected: %v", err)
+	}
+	if !binary {
+		t.Error("empty binary trace not detected as binary")
+	}
+	if len(events) != 0 {
+		t.Errorf("empty binary trace decoded as %d events", len(events))
+	}
+}
+
+// TestReadTraceRoundTrip: both formats decode to the same events through
+// the sniffing reader.
+func TestReadTraceRoundTrip(t *testing.T) {
+	events := []trace.Event{
+		{Seq: 0, Time: 1, Kind: trace.KindSend, Node: "a", Peer: "b", Bytes: 10},
+		{Seq: 1, Time: 3, Kind: trace.KindDeliver, Node: "b", Peer: "a", Bytes: 10},
+	}
+	var bin, jsonl bytes.Buffer
+	if err := trace.WriteBinary(&bin, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(&jsonl, events); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		buf    *bytes.Buffer
+		binary bool
+	}{{"binary", &bin, true}, {"jsonl", &jsonl, false}} {
+		got, isBin, err := readTrace(tc.buf)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if isBin != tc.binary {
+			t.Errorf("%s: format detected as binary=%v", tc.name, isBin)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("%s: %d events, want %d", tc.name, len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Errorf("%s: event %d = %+v, want %+v", tc.name, i, got[i], events[i])
+			}
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -47,6 +49,25 @@ import (
 // this suite under the race detector.
 const diffTimeout = time.Minute
 
+// envKernelShards lets CI's determinism matrix re-run this whole suite
+// against the sharded kernel: CLIFFEDGE_SHARDS=N injects
+// WithKernelShards(N) into every simulator cluster built here. The live
+// engine ignores the option, so the differential contract — identical
+// final decisions — doubles as a sharding oracle at every matrix point.
+// Empty or unset means the sequential default.
+func envKernelShards(t *testing.T) []Option {
+	t.Helper()
+	v := os.Getenv("CLIFFEDGE_SHARDS")
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("CLIFFEDGE_SHARDS=%q: %v", v, err)
+	}
+	return []Option{WithKernelShards(n)}
+}
+
 // runDiffCase draws one (topology, plan) pair from seed — a random gen
 // family plus a quiescent-regime plan — and runs it on both engines with
 // the online checker enabled, requiring identical final decisions.
@@ -73,7 +94,8 @@ func runDiffCase(t *testing.T, seed int64) {
 	}
 	ctx := context.Background()
 
-	simC, err := New(topo, WithSeed(seed), WithChecker())
+	simC, err := New(topo, append([]Option{WithSeed(seed), WithChecker()},
+		envKernelShards(t)...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,8 +266,9 @@ func runDiffWeakCase(t *testing.T, seed int64) {
 	ctx := context.Background()
 
 	run := func(engine Engine, name string) *Result {
-		c, err := New(topo, WithSeed(seed), WithChecker(),
-			WithEngine(engine), WithLiveTimeout(diffTimeout))
+		c, err := New(topo, append([]Option{WithSeed(seed), WithChecker(),
+			WithEngine(engine), WithLiveTimeout(diffTimeout)},
+			envKernelShards(t)...)...)
 		if err != nil {
 			t.Fatal(err)
 		}

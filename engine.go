@@ -72,6 +72,7 @@ func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, erro
 		Triggers:      triggers,
 		Injections:    injections,
 		MaxEvents:     c.maxEvents,
+		Shards:        kernelShards(c.kernShards),
 		Observer:      observer,
 		DiscardEvents: c.noBuffer,
 	})
@@ -94,6 +95,16 @@ func (simEngine) Run(ctx context.Context, c *Cluster, plan *Plan) (*Result, erro
 			Decision{Node: d.Node, View: d.Decision.View, Value: d.Decision.Value})
 	}
 	return finish(out, online, net.Unreliable())
+}
+
+// kernelShards maps the public shard convention (0 = auto, 1 =
+// sequential) onto the kernel's (sim.AutoShards = auto, 0/1 =
+// sequential).
+func kernelShards(n int) int {
+	if n == 0 {
+		return sim.AutoShards
+	}
+	return n
 }
 
 type liveEngine struct{}

@@ -12,6 +12,7 @@ package benchjson
 type KernelPoint struct {
 	Label       string `json:"label"`
 	Rev         string `json:"rev"`
+	Shards      int    `json:"shards,omitempty"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op"`

@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"testing"
 
+	"cliffedge/internal/graph"
+	"cliffedge/internal/sim"
 	"cliffedge/internal/trace"
 )
 
@@ -38,26 +40,88 @@ func traceHash(events []trace.Event) uint64 {
 // goldenCascadeHash pins the full trace of a seeded 32×32 grid cascade
 // (8×8 centre block, 8-node cascade). The kernel's determinism contract is
 // that the same (graph, plan, seed) produces this exact trace bit for bit:
-// RNG draw order, event (time, seq) ordering and every event field. Any
-// refactor of graph/region/core/sim must keep this hash unchanged.
+// every latency draw, event ordering and every event field — at any shard
+// count and any GOMAXPROCS. Any refactor of graph/region/core/sim must
+// keep this hash unchanged.
 //
-// Regenerated once for trace.FormatVersion 1: the switch to positional
-// opinion vectors changed Message.WireSize, and therefore the Bytes field
-// of every send/deliver/drop event. Ordering, sequence numbering and all
-// other fields were verified unchanged against the previous format
-// (msgs/op identical, decisions bit-identical in the differential tests).
-const goldenCascadeHash uint64 = 0x8cb18a11398433ae
+// Regenerated once for the sharded kernel (previously 0x8cb18a11398433ae,
+// itself the one disclosed regeneration of trace.FormatVersion 1). Three
+// coupled changes moved every timestamp: (a) latency draws are now pure
+// hashes keyed on (seed, from, to, sendTime, nonce) — the netem scheme —
+// instead of consuming a shared rand.Rand in global draw order; (b) the
+// event total order became (time, source, per-source seq) so keys are
+// assigned where events are born rather than by a global counter; (c)
+// in-run failure-detector subscriptions became kernel events processed in
+// the monitored node's shard, one lookahead tick after issue. Event kinds,
+// per-channel FIFO order, decisions and decided views were verified
+// unchanged in spirit by the CD1–CD7 checker and the sim-vs-live
+// differential suite; the hash below is identical for shards ∈ {1, 2, 8,
+// auto} (asserted here) and for GOMAXPROCS ∈ {1, 4} (asserted in CI).
+const goldenCascadeHash uint64 = 0x1458779c191f24a2
 
 func TestGoldenCascadeTraceHash(t *testing.T) {
-	res, err := CascadeSpec(32, 32, 8, 8, 30, 7).Run()
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"sequential", 1},
+		{"shards-2", 2},
+		{"shards-8", 8},
+		{"auto", sim.AutoShards},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := CascadeSpec(32, 32, 8, 8, 30, 7)
+			spec.Shards = tc.shards
+			res, err := spec.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Events) == 0 {
+				t.Fatal("empty trace")
+			}
+			if got := traceHash(res.Events); got != goldenCascadeHash {
+				t.Fatalf("trace hash changed: got %#x, want %#x (kernel determinism broken)",
+					got, goldenCascadeHash)
+			}
+		})
+	}
+}
+
+// TestShardedMultiDomainTraceHash exercises the auto partition on a
+// scenario it does NOT collapse to one shard: two disjoint crashed blocks
+// in opposite corners of a grid form two domain groups, so AutoShards
+// actually runs two lanes. Every shard setting must agree with the
+// sequential trace bit for bit.
+func TestShardedMultiDomainTraceHash(t *testing.T) {
+	build := func() Spec {
+		g := graph.Grid(16, 16)
+		var crashes []sim.CrashAt
+		for r := 2; r < 5; r++ {
+			for c := 2; c < 5; c++ {
+				crashes = append(crashes, sim.CrashAt{Time: 10, Node: graph.GridID(r, c)})
+			}
+		}
+		for r := 11; r < 14; r++ {
+			for c := 11; c < 14; c++ {
+				crashes = append(crashes, sim.CrashAt{Time: 25, Node: graph.GridID(r, c)})
+			}
+		}
+		return Spec{Name: "two-domains", Graph: g, Crashes: crashes, Seed: 11}
+	}
+	ref, err := build().Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Events) == 0 {
-		t.Fatal("empty trace")
-	}
-	if got := traceHash(res.Events); got != goldenCascadeHash {
-		t.Fatalf("trace hash changed: got %#x, want %#x (kernel determinism broken)",
-			got, goldenCascadeHash)
+	want := traceHash(ref.Events)
+	for _, shards := range []int{sim.AutoShards, 2, 4, 16} {
+		spec := build()
+		spec.Shards = shards
+		res, err := spec.Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := traceHash(res.Events); got != want {
+			t.Fatalf("shards=%d: trace hash %#x differs from sequential %#x", shards, got, want)
+		}
 	}
 }

@@ -36,6 +36,10 @@ type Spec struct {
 	// MaxEvents optionally caps kernel events (ablation runs livelock by
 	// design and need a budget to terminate).
 	MaxEvents int
+	// Shards selects the kernel's parallelism (sim.Config.Shards): 0/1
+	// sequential, sim.AutoShards per-domain-group, n explicit. The trace
+	// is byte-identical at every setting.
+	Shards int
 }
 
 // CoreFactory builds the standard cliff-edge automaton factory for g.
@@ -67,6 +71,7 @@ func (s Spec) Run() (*sim.Result, error) {
 		Crashes:    s.Crashes,
 		Triggers:   s.Triggers,
 		MaxEvents:  s.MaxEvents,
+		Shards:     s.Shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)

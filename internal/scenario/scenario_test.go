@@ -111,7 +111,7 @@ func TestFig1bConvergesOnF3(t *testing.T) {
 }
 
 func TestFig2ClusterProgress(t *testing.T) {
-	spec := Fig2(7)
+	spec := Fig2(0)
 	res, rep, err := spec.RunChecked()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cliffedge/internal/graph"
+	"cliffedge/internal/trace"
+)
+
+// negLatency is a misbehaving model: every draw is negative. The kernel
+// must clamp draws at the call sites so virtual time stays monotone.
+type negLatency struct{}
+
+func (negLatency) Latency(_, _ graph.NodeID, _ *Rand) int64 { return -5 }
+
+// TestNegativeLatencyKeepsTimeMonotone is the monotone-virtual-time
+// invariant: with a model drawing below zero, popped event times (and so
+// trace timestamps and EndTime) must still be non-decreasing — the clamp,
+// not the FIFO-floor accident, contains the model.
+func TestNegativeLatencyKeepsTimeMonotone(t *testing.T) {
+	g := graph.Grid(4, 4)
+	r, err := NewRunner(Config{
+		Graph:      g,
+		Factory:    coreFactory(g),
+		Seed:       3,
+		NetLatency: negLatency{},
+		FDLatency:  negLatency{},
+		Crashes:    []CrashAt{{Time: 10, Node: graph.GridID(1, 1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	last := int64(0)
+	for _, e := range res.Events {
+		if e.Time < last {
+			t.Fatalf("trace time ran backwards: event %d at t=%d after t=%d", e.Seq, e.Time, last)
+		}
+		last = e.Time
+	}
+	if res.EndTime < last {
+		t.Fatalf("EndTime %d before last event at t=%d", res.EndTime, last)
+	}
+	if len(res.Decisions) == 0 {
+		t.Error("no decisions despite clamped latencies")
+	}
+}
+
+// TestNegativeConfigTimesRejected: scheduled crashes, injections and
+// trigger delays in the past are config errors, not kernel behaviours.
+func TestNegativeConfigTimesRejected(t *testing.T) {
+	g := graph.Grid(2, 2)
+	if _, err := NewRunner(Config{Graph: g, Factory: coreFactory(g),
+		Crashes: []CrashAt{{Time: -1, Node: graph.GridID(0, 0)}}}); err == nil {
+		t.Error("negative crash time accepted")
+	}
+	if _, err := NewRunner(Config{Graph: g, Factory: coreFactory(g),
+		Injections: []InjectAt{{Time: -7, Node: graph.GridID(0, 0), Payload: echoPayload{}}}}); err == nil {
+		t.Error("negative injection time accepted")
+	}
+	if _, err := NewRunner(Config{Graph: g, Factory: coreFactory(g),
+		Triggers: []Trigger{{Node: graph.GridID(0, 0), Delay: -2,
+			When: func(trace.Event) bool { return true }}}}); err == nil {
+		t.Error("negative trigger delay accepted")
+	}
+	if _, err := NewRunner(Config{Graph: g, Factory: coreFactory(g),
+		Shards: AutoShards - 1}); err == nil {
+		t.Error("out-of-range shard count accepted")
+	}
+}
+
+// TestRunnerNotReusable: a Runner is consumed by its run — a second
+// Run/RunContext must fail loudly instead of interleaving stale state
+// into a corrupt trace.
+func TestRunnerNotReusable(t *testing.T) {
+	g := graph.Grid(3, 3)
+	r, err := NewRunner(Config{Graph: g, Factory: coreFactory(g), Seed: 2,
+		Crashes: []CrashAt{{Time: 10, Node: graph.GridID(1, 1)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run()
+	if err == nil {
+		t.Fatal("second Run on a consumed Runner succeeded")
+	}
+	if !strings.Contains(err.Error(), "consumed") {
+		t.Fatalf("unexpected reuse error: %v", err)
+	}
+}
+
+// TestShardedMatchesSequential pins the tentpole contract at the kernel
+// level: every shard setting yields the identical trace, stats, decisions
+// and end time — in both logging and quiet modes.
+func TestShardedMatchesSequential(t *testing.T) {
+	run := func(shards int, quiet bool) *Result {
+		g := graph.Grid(8, 8)
+		var crashes []CrashAt
+		for _, n := range graph.GridBlock(1, 1, 2) {
+			crashes = append(crashes, CrashAt{Time: 10, Node: n})
+		}
+		for _, n := range graph.GridBlock(5, 5, 2) {
+			crashes = append(crashes, CrashAt{Time: 30, Node: n})
+		}
+		r, err := NewRunner(Config{Graph: g, Factory: coreFactory(g), Seed: 9,
+			Crashes: crashes, Shards: shards, Quiet: quiet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, quiet := range []bool{false, true} {
+		ref := run(1, quiet)
+		for _, shards := range []int{2, 8, AutoShards} {
+			got := run(shards, quiet)
+			if len(got.Events) != len(ref.Events) {
+				t.Fatalf("quiet=%v shards=%d: %d events, want %d",
+					quiet, shards, len(got.Events), len(ref.Events))
+			}
+			for i := range ref.Events {
+				if got.Events[i] != ref.Events[i] {
+					t.Fatalf("quiet=%v shards=%d: event %d = %+v, want %+v",
+						quiet, shards, i, got.Events[i], ref.Events[i])
+				}
+			}
+			if got.Stats != ref.Stats {
+				t.Errorf("quiet=%v shards=%d: stats %+v, want %+v", quiet, shards, got.Stats, ref.Stats)
+			}
+			if got.EndTime != ref.EndTime {
+				t.Errorf("quiet=%v shards=%d: end time %d, want %d", quiet, shards, got.EndTime, ref.EndTime)
+			}
+			if len(got.Decisions) != len(ref.Decisions) {
+				t.Errorf("quiet=%v shards=%d: %d decisions, want %d",
+					quiet, shards, len(got.Decisions), len(ref.Decisions))
+			}
+			for id, want := range ref.Decisions {
+				gotD := got.Decisions[id]
+				if gotD == nil || gotD.View.Key() != want.View.Key() || gotD.Value != want.Value {
+					t.Errorf("quiet=%v shards=%d: decision of %s diverged", quiet, shards, id)
+				}
+			}
+			if len(got.Crashed) != len(ref.Crashed) {
+				t.Errorf("quiet=%v shards=%d: crashed set diverged", quiet, shards)
+			}
+		}
+	}
+}
+
+// TestShardedLookaheadFallback: a model that declares no MinLatency (or a
+// zero one) forces the kernel sequential — same results, no windows.
+func TestShardedLookaheadFallback(t *testing.T) {
+	g := graph.Grid(4, 4)
+	run := func(net LatencyModel, shards int) *Result {
+		r, err := NewRunner(Config{Graph: g, Factory: coreFactory(g), Seed: 4,
+			NetLatency: net, Crashes: []CrashAt{{Time: 10, Node: graph.GridID(1, 1)}},
+			Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// negLatency declares no MinLatency: shards must silently fall back.
+	a := run(negLatency{}, 8)
+	b := run(negLatency{}, 1)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("fallback diverged: %d vs %d events", len(a.Events), len(b.Events))
+	}
+	// Constant{0} declares MinLatency 0: same fallback.
+	c := run(Constant{D: 0}, 8)
+	d := run(Constant{D: 0}, 1)
+	if len(c.Events) != len(d.Events) {
+		t.Fatalf("zero-lookahead fallback diverged: %d vs %d events", len(c.Events), len(d.Events))
+	}
+}
+
+// lyingLatency declares MinLatency 5 but draws 1 — the sharded kernel
+// must detect the broken promise instead of silently diverging.
+type lyingLatency struct{}
+
+func (lyingLatency) Latency(_, _ graph.NodeID, _ *Rand) int64 { return 1 }
+func (lyingLatency) MinLatency() int64                        { return 5 }
+
+func TestShardedDetectsMinLatencyViolation(t *testing.T) {
+	g := graph.Grid(4, 4)
+	r, err := NewRunner(Config{Graph: g, Factory: coreFactory(g), Seed: 5,
+		NetLatency: lyingLatency{}, FDLatency: lyingLatency{},
+		Crashes: []CrashAt{{Time: 10, Node: graph.GridID(1, 1)}},
+		Shards:  4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil || !strings.Contains(err.Error(), "MinLatency") {
+		t.Fatalf("expected a MinLatency-violation error, got %v", err)
+	}
+}

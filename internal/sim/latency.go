@@ -1,36 +1,120 @@
 package sim
 
 import (
-	"math/rand"
+	"math"
+	"math/bits"
 
 	"cliffedge/internal/graph"
 )
 
+// Rand is the kernel's counter-based latency stream: a splitmix64
+// generator keyed per draw on the transmission coordinates, exactly like
+// internal/netem's verdict stream. The kernel hands every LatencyModel a
+// fresh Rand keyed on (seed, from, to, sendTime, nonce), so a draw is a
+// pure function of *what* is being delayed, never of how many draws
+// happened before it — the property that lets the sharded kernel replay
+// the sequential kernel's delays bit for bit regardless of the order in
+// which shards reach their send sites. Implementations may consume any
+// number of values; consuming none is fine too.
+type Rand struct{ s uint64 }
+
+// NewRand returns a stream seeded directly with s — a convenience for
+// unit-testing LatencyModel implementations outside the kernel.
+func NewRand(s uint64) *Rand { return &Rand{s: s} }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// keyedRand keys a stream on the draw coordinates. The chained mixing
+// rounds decorrelate adjacent times, node pairs and same-tick bursts,
+// mirroring netem's rngFor.
+func keyedRand(seed uint64, from, to int32, t int64, nonce uint64) Rand {
+	x := seed
+	x = splitmix64(x ^ uint64(uint32(from)))
+	x = splitmix64(x ^ uint64(uint32(to)))
+	x = splitmix64(x ^ uint64(t))
+	x = splitmix64(x ^ nonce)
+	return Rand{s: x}
+}
+
+// Uint64 advances the stream.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Int63n draws uniformly from [0, n). n must be positive. The
+// multiply-shift reduction's modulo bias over 64 bits is far below
+// anything a simulation could observe.
+func (r *Rand) Int63n(n int64) int64 {
+	hi, _ := bits.Mul64(r.Uint64(), uint64(n))
+	return int64(hi)
+}
+
+// Float64 draws uniformly from [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 draws from the exponential distribution with mean 1 by
+// inversion — pure math.Log, no rejection loop, so the draw consumes
+// exactly one stream value.
+func (r *Rand) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
 // LatencyModel produces per-message (or per-detection) delays in virtual
-// time ticks. Implementations must be deterministic given the rng stream.
-// Channels are asynchronous but reliable (§2.2), so latencies are finite;
-// the network layer additionally enforces per-channel FIFO by never
-// scheduling a delivery before an earlier one on the same channel.
+// time ticks. The rng handed in is keyed on the draw's coordinates
+// (seed, from, to, sendTime, nonce), so implementations are pure
+// functions of their arguments — no draw-order coupling between
+// channels. Channels are asynchronous but reliable (§2.2), so latencies
+// are finite; the network layer additionally enforces per-channel FIFO
+// by never scheduling a delivery before an earlier one on the same
+// channel, and clamps negative outputs to 0 so virtual time can never
+// run backwards.
 type LatencyModel interface {
-	Latency(from, to graph.NodeID, rng *rand.Rand) int64
+	Latency(from, to graph.NodeID, rng *Rand) int64
+}
+
+// MinLatencyModel optionally declares a model's minimum possible draw.
+// The sharded kernel uses it as the conservative lookahead: a model that
+// implements it (with a minimum ≥ 1) promises every draw is at least
+// MinLatency ticks, which is what lets shards process a time window
+// without waiting on each other. Models that do not implement it force
+// the kernel sequential.
+type MinLatencyModel interface {
+	MinLatency() int64
 }
 
 // Constant delays every message by exactly D ticks.
 type Constant struct{ D int64 }
 
 // Latency implements LatencyModel.
-func (c Constant) Latency(_, _ graph.NodeID, _ *rand.Rand) int64 { return c.D }
+func (c Constant) Latency(_, _ graph.NodeID, _ *Rand) int64 { return c.D }
+
+// MinLatency implements MinLatencyModel.
+func (c Constant) MinLatency() int64 { return c.D }
 
 // Uniform delays messages uniformly in [Min, Max].
 type Uniform struct{ Min, Max int64 }
 
 // Latency implements LatencyModel.
-func (u Uniform) Latency(_, _ graph.NodeID, rng *rand.Rand) int64 {
+func (u Uniform) Latency(_, _ graph.NodeID, rng *Rand) int64 {
 	if u.Max <= u.Min {
 		return u.Min
 	}
 	return u.Min + rng.Int63n(u.Max-u.Min+1)
 }
+
+// MinLatency implements MinLatencyModel.
+func (u Uniform) MinLatency() int64 { return u.Min }
 
 // Distance delays messages proportionally to the hop distance between the
 // endpoints in a coordinate embedding — modelling topologies that mirror
@@ -44,7 +128,7 @@ type Distance struct {
 }
 
 // Latency implements LatencyModel.
-func (d Distance) Latency(from, to graph.NodeID, _ *rand.Rand) int64 {
+func (d Distance) Latency(from, to graph.NodeID, _ *Rand) int64 {
 	a, okA := d.Coords[from]
 	b, okB := d.Coords[to]
 	if !okA || !okB {
@@ -52,6 +136,20 @@ func (d Distance) Latency(from, to graph.NodeID, _ *rand.Rand) int64 {
 	}
 	dist := abs(a[0]-b[0]) + abs(a[1]-b[1])
 	return d.Base + d.PerHop*int64(dist)
+}
+
+// MinLatency implements MinLatencyModel. Embedded endpoints are at least
+// Base apart (adjacent nodes still pay the per-message cost when PerHop
+// is non-negative); unembedded ones pay Far.
+func (d Distance) MinLatency() int64 {
+	min := d.Base
+	if d.PerHop < 0 {
+		return 0 // pathological config; declares no usable lookahead
+	}
+	if d.Far < min {
+		min = d.Far
+	}
+	return min
 }
 
 func abs(x int) int {
@@ -78,7 +176,7 @@ func GridCoords(rows, cols int) map[graph.NodeID][2]int {
 type Exponential struct{ Mean float64 }
 
 // Latency implements LatencyModel.
-func (e Exponential) Latency(_, _ graph.NodeID, rng *rand.Rand) int64 {
+func (e Exponential) Latency(_, _ graph.NodeID, rng *Rand) int64 {
 	d := rng.ExpFloat64() * e.Mean
 	if d > 100*e.Mean {
 		d = 100 * e.Mean
@@ -88,3 +186,6 @@ func (e Exponential) Latency(_, _ graph.NodeID, rng *rand.Rand) int64 {
 	}
 	return int64(d)
 }
+
+// MinLatency implements MinLatencyModel: the draw is floored at 1.
+func (e Exponential) MinLatency() int64 { return 1 }

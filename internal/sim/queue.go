@@ -1,11 +1,14 @@
 package sim
 
-// eventQueue is a value-based 4-ary min-heap ordered by (time, seq).
-// Because every event carries a unique sequence number the order is a
-// strict total order, so the pop sequence is exactly the sorted event
-// order — independent of heap internals — which is what makes runs
+// eventQueue is a value-based 4-ary min-heap ordered by the event key
+// (time, src, sseq). Because every event carries a unique key the order
+// is a strict total order, so the pop sequence is exactly the sorted
+// event order — independent of heap internals — which is what makes runs
 // reproducible bit for bit (and what made the binary → 4-ary switch a
 // pure constant-factor change: the golden-hash test pins the traces).
+// The key is also shard-stable: src/sseq are assigned by the scheduling
+// node, not by a global counter, so the sorted order is identical no
+// matter how events are distributed over per-shard sub-queues.
 //
 // Why 4-ary: heap sift/compare was ~10% of kernel time with a binary
 // heap. A branching factor of 4 halves the tree depth, so sift-up does
@@ -25,6 +28,11 @@ type eventQueue struct {
 }
 
 func (q *eventQueue) len() int { return len(q.items) }
+
+// head returns the earliest event without removing it. Callers must
+// check len() > 0 first. The sharded driver uses it to compute the next
+// time window without disturbing the heap.
+func (q *eventQueue) head() *event { return &q.items[0] }
 
 func (q *eventQueue) push(ev event) {
 	q.items = append(q.items, ev)
@@ -47,9 +55,9 @@ func (q *eventQueue) pop() event {
 	q.items[last] = event{} // release the payload reference
 	q.items = q.items[:last]
 	// Sift down: find the least of up to four children, in slot order —
-	// (time, seq) is a strict total order, so the scan order cannot
-	// change which child is least, only how ties in the comparison chain
-	// are walked.
+	// the key is a strict total order, so the scan order cannot change
+	// which child is least, only how ties in the comparison chain are
+	// walked.
 	i := 0
 	for {
 		first := i<<2 + 1
@@ -79,5 +87,8 @@ func eventLess(a, b *event) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
-	return a.seq < b.seq
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.sseq < b.sseq
 }

@@ -7,19 +7,19 @@ import (
 )
 
 // TestQueuePopsSortedOrder: under random push/pop interleavings the queue
-// must emit events in strict (time, seq) order — the total order every
-// kernel invariant rests on.
+// must emit events in strict (time, src, sseq) order — the total order
+// every kernel invariant rests on.
 func TestQueuePopsSortedOrder(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		var q eventQueue
 		var pending []event
 		var popped []event
-		seq := int64(0)
+		sseq := int64(0)
 		for step := 0; step < 2000; step++ {
 			if q.len() == 0 || rng.Intn(3) != 0 {
-				ev := event{time: int64(rng.Intn(50)), seq: seq}
-				seq++
+				ev := event{time: int64(rng.Intn(50)), src: int32(rng.Intn(7)) - 1, sseq: sseq}
+				sseq++
 				q.push(ev)
 				pending = append(pending, ev)
 			} else {
@@ -33,16 +33,16 @@ func TestQueuePopsSortedOrder(t *testing.T) {
 			t.Fatalf("seed %d: %d pushed, %d popped", seed, len(pending), len(popped))
 		}
 		// Reference replay: the same interleaving against a sorted slice
-		// must pop the same (time, seq) sequence — each pop is the least
-		// element pending at that moment.
+		// must pop the same key sequence — each pop is the least element
+		// pending at that moment.
 		rng = rand.New(rand.NewSource(seed))
 		var ref []event
 		var refPopped []event
-		seq = 0
+		sseq = 0
 		for step := 0; step < 2000; step++ {
 			if len(ref) == 0 || rng.Intn(3) != 0 {
-				ev := event{time: int64(rng.Intn(50)), seq: seq}
-				seq++
+				ev := event{time: int64(rng.Intn(50)), src: int32(rng.Intn(7)) - 1, sseq: sseq}
+				sseq++
 				ref = append(ref, ev)
 			} else {
 				sort.Slice(ref, func(i, j int) bool { return eventLess(&ref[i], &ref[j]) })
@@ -53,31 +53,33 @@ func TestQueuePopsSortedOrder(t *testing.T) {
 		sort.Slice(ref, func(i, j int) bool { return eventLess(&ref[i], &ref[j]) })
 		refPopped = append(refPopped, ref...)
 		for i := range refPopped {
-			if popped[i].time != refPopped[i].time || popped[i].seq != refPopped[i].seq {
-				t.Fatalf("seed %d: pop %d = (t=%d, seq=%d), reference (t=%d, seq=%d)",
-					seed, i, popped[i].time, popped[i].seq, refPopped[i].time, refPopped[i].seq)
+			if popped[i].time != refPopped[i].time || popped[i].src != refPopped[i].src ||
+				popped[i].sseq != refPopped[i].sseq {
+				t.Fatalf("seed %d: pop %d = (t=%d, src=%d, sseq=%d), reference (t=%d, src=%d, sseq=%d)",
+					seed, i, popped[i].time, popped[i].src, popped[i].sseq,
+					refPopped[i].time, refPopped[i].src, refPopped[i].sseq)
 			}
 		}
 	}
 }
 
 // TestQueueDrainIsSorted: pushing N random events and draining yields
-// exactly the (time, seq)-sorted sequence.
+// exactly the key-sorted sequence.
 func TestQueueDrainIsSorted(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	var q eventQueue
 	var all []event
 	for i := 0; i < 5000; i++ {
-		ev := event{time: int64(rng.Intn(100)), seq: int64(i)}
+		ev := event{time: int64(rng.Intn(100)), src: int32(rng.Intn(9)) - 1, sseq: int64(i)}
 		q.push(ev)
 		all = append(all, ev)
 	}
 	sort.Slice(all, func(i, j int) bool { return eventLess(&all[i], &all[j]) })
 	for i, want := range all {
 		got := q.pop()
-		if got.time != want.time || got.seq != want.seq {
-			t.Fatalf("pop %d = (t=%d, seq=%d), want (t=%d, seq=%d)",
-				i, got.time, got.seq, want.time, want.seq)
+		if got.time != want.time || got.src != want.src || got.sseq != want.sseq {
+			t.Fatalf("pop %d = (t=%d, src=%d, sseq=%d), want (t=%d, src=%d, sseq=%d)",
+				i, got.time, got.src, got.sseq, want.time, want.src, want.sseq)
 		}
 	}
 	if q.len() != 0 {

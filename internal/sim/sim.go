@@ -11,9 +11,10 @@
 //     events (e.g. "crash paris right after madrid's first proposal", the
 //     Fig. 1(b) scenario).
 //
-// Runs are reproducible bit for bit from (graph, schedule, seed): the event
-// queue is ordered by (virtual time, sequence number) and all iteration is
-// over sorted data.
+// Runs are reproducible bit for bit from (graph, schedule, seed): the
+// event queue is ordered by a strict total key, all iteration is over
+// sorted data, and every random draw is a pure function of its own
+// coordinates rather than of global draw order.
 //
 // # Kernel invariants
 //
@@ -22,19 +23,29 @@
 // structures — crash and subscription state in bitsets, FIFO floors in
 // per-sender slices, the event queue as a value-based min-heap — so the
 // hot loop performs no string hashing and no steady-state allocation.
-// Three invariants make this safe and keep traces bit-identical to the
-// historical string-keyed kernel:
+// Three invariants make this safe, keep traces bit-identical to the
+// sequential kernel at any shard count, and keep virtual time monotone:
 //
-//  1. Index order equals sorted NodeID order, so iterating a bitset
-//     ascending yields exactly the sorted-NodeID iteration the kernel has
-//     always used (RNG draw order depends on it).
-//  2. Events are totally ordered by (time, seq) with seq unique, so the
-//     heap's pop sequence is independent of its internal layout.
+//  1. Every random draw (message latency, failure-detection latency,
+//     link-fault verdict) is keyed on (seed, from, to, sendTime, nonce)
+//     with a per-sender nonce — a counter-based pure hash, exactly the
+//     netem scheme — so a draw depends only on *what* is being delayed,
+//     never on how many draws other channels made first.
+//  2. Events are totally ordered by (time, src, sseq) where src is the
+//     node that scheduled the event and sseq a per-source counter. The
+//     key is assigned where the event is born, so it is identical no
+//     matter which shard schedules it, and with all loop latencies ≥ 1
+//     the global pop order equals the key-sorted order — which is what
+//     lets per-shard streams merge back into the sequential trace.
 //  3. Trace annotations derived from a payload (view, round, wire size)
 //     are computed once when the message is scheduled and carried on the
 //     event, never recomputed at delivery — payloads are immutable, so
 //     the values are identical and the per-delivery interface assertion
 //     disappears from the hot path.
+//
+// Latency draws are clamped to ≥ 0 at every call site and popped event
+// times are checked non-decreasing, so a misbehaving LatencyModel cannot
+// run virtual time backwards.
 //
 // NodeIDs appear only at the boundaries: config validation, trace events
 // and the final Result.
@@ -43,7 +54,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"cliffedge/internal/graph"
 	"cliffedge/internal/netem"
@@ -77,6 +87,12 @@ type InjectAt struct {
 	Payload proto.Payload
 }
 
+// AutoShards asks the kernel to pick the shard count itself: one shard
+// per connected crashed-region domain group (domains sharing a border
+// node are grouped), falling back to sequential when the run has fewer
+// than two groups.
+const AutoShards = -1
+
 // Config parameterises a simulation run.
 type Config struct {
 	// Graph is the system topology G = (Π, E). Required.
@@ -105,6 +121,15 @@ type Config struct {
 	Injections []InjectAt
 	// MaxEvents aborts runaway runs; defaults to 50 million kernel events.
 	MaxEvents int
+	// Shards is the number of kernel event sub-queues to run in parallel
+	// under the conservative time-window barrier. 0 and 1 run the classic
+	// sequential kernel; AutoShards partitions by crashed-region domain
+	// group. Any value emits a trace byte-identical to the sequential
+	// kernel's. Sharding needs a positive lookahead, so it silently falls
+	// back to sequential when a latency model does not declare a
+	// MinLatency ≥ 1, and when Triggers are present (trigger predicates
+	// inspect the globally ordered trace).
+	Shards int
 	// Quiet counts send/deliver/drop events instead of logging them,
 	// bounding memory on message-heavy runs (the whole-system baseline
 	// floods millions of messages). Decisions, crashes, detections and
@@ -144,55 +169,98 @@ const (
 	evCrash evKind = iota
 	evDetect
 	evDeliver
+	evSubscribe
 )
 
 // event is one kernel event, stored by value in the queue. Nodes are
 // dense graph indices; view/round/bytes are the trace annotations of the
-// payload, precomputed at scheduling time.
+// payload, precomputed at scheduling time. (src, sseq) identify the
+// scheduling site: src is the node whose event processing created this
+// event (-1 for events born from the config), sseq a per-source counter —
+// together with time they form the queue's strict total order.
 type event struct {
 	time    int64
-	seq     int64 // tiebreaker; also preserves FIFO among equal times
+	sseq    int64
+	src     int32
 	kind    evKind
-	node    int32 // crash target / detecting subscriber / recipient
-	peer    int32 // crashed node (detect) / sender (deliver)
+	node    int32 // crash target / subscriber / recipient / monitored node
+	peer    int32 // crashed node (detect) / sender (deliver) / subscriber (subscribe)
 	round   int32
 	bytes   int32
 	view    string
 	payload proto.Payload
 }
 
+// eventKey is an event's total-order key, used to merge per-shard trace
+// buffers back into the sequential emission order.
+type eventKey struct {
+	time int64
+	sseq int64
+	src  int32
+}
+
+func keyLess(a, b eventKey) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.sseq < b.sseq
+}
+
 // Runner executes one simulation. Create with NewRunner, execute with Run.
+// A Runner is consumed by its run: a second Run/RunContext returns an
+// error.
 type Runner struct {
-	cfg   Config
-	g     *graph.Graph
-	rng   *rand.Rand
-	queue eventQueue
-	seq   int64
-	now   int64
-	log   *trace.Log
-	// automata and crashed are indexed by dense graph index.
+	cfg     Config
+	g       *graph.Graph
+	log     *trace.Log
+	started bool
+
+	// netSeed/fdSeed key the counter-based latency draws; srcSeq and
+	// chanNonce are the per-source scheduling and per-sender draw
+	// counters (one slice element per node, so concurrent shards touch
+	// disjoint memory). initSeq orders events born from the config
+	// (src = -1).
+	netSeed, fdSeed uint64
+	srcSeq          []int64
+	chanNonce       []uint64
+	initSeq         int64
+
+	// lookahead is the declared minimum latency over both models (0 when
+	// unknown); subDelay = max(lookahead, 1) delays in-loop failure-
+	// detector subscriptions so they are kernel events processed in the
+	// monitored node's shard.
+	lookahead int64
+	subDelay  int64
+
+	// initPhase is true while 〈init〉 runs: subscriptions mutate subs
+	// directly (nothing has crashed yet) instead of becoming events.
+	initPhase bool
+
+	// automata and crashed are indexed by dense graph index; owner maps
+	// each node to its shard (nil when sequential).
 	automata []proto.Automaton
 	crashed  graph.Bitset
+	owner    []int32
 	// subs[q] = subscribers to 〈crash | q〉 notifications, allocated on
 	// first subscription (iterating the bitset ascending is the sorted
-	// order strong completeness notifies in).
+	// order strong completeness notifies in). Row q is only touched while
+	// processing an event at q, i.e. by q's owner shard.
 	subs []graph.Bitset
 	// fifoFloor[from][to] = latest delivery time scheduled on the channel,
 	// enforcing FIFO. The per-sender rows are allocated on first send —
-	// in a cliff-edge run only border nodes ever send.
+	// in a cliff-edge run only border nodes ever send. Row `from` is only
+	// touched by from's owner shard.
 	fifoFloor [][]int64
 	triggers  []Trigger
 	fired     []bool
-	processed int
-	// netNonce counts link-fault adjudications, disambiguating multiple
-	// sends on one channel within a single virtual tick so their netem
-	// draws stay independent (the kernel is single-threaded, so this is
-	// deterministic across runs and GOMAXPROCS settings).
-	netNonce uint64
 
-	// Quiet-mode counters (see Config.Quiet).
+	// Aggregates merged from the lanes after the run.
 	qMsgs, qDeliveries, qDrops, qBytes, qMaxRound int
 	qParticipants                                 graph.Bitset
+	endTime                                       int64
 }
 
 // NewRunner validates cfg and builds a Runner.
@@ -212,27 +280,46 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 50_000_000
 	}
+	if cfg.Shards < AutoShards {
+		return nil, fmt.Errorf("sim: Config.Shards must be ≥ %d (AutoShards), got %d",
+			AutoShards, cfg.Shards)
+	}
 	for _, c := range cfg.Crashes {
 		if !cfg.Graph.Has(c.Node) {
 			return nil, fmt.Errorf("sim: scheduled crash of unknown node %q", c.Node)
+		}
+		if c.Time < 0 {
+			return nil, fmt.Errorf("sim: crash of %q at negative time %d", c.Node, c.Time)
 		}
 	}
 	for _, t := range cfg.Triggers {
 		if !cfg.Graph.Has(t.Node) {
 			return nil, fmt.Errorf("sim: trigger on unknown node %q", t.Node)
 		}
+		if t.Delay < 0 {
+			return nil, fmt.Errorf("sim: trigger on %q with negative delay %d", t.Node, t.Delay)
+		}
 	}
 	for _, inj := range cfg.Injections {
 		if !cfg.Graph.Has(inj.Node) {
 			return nil, fmt.Errorf("sim: injection into unknown node %q", inj.Node)
 		}
+		if inj.Time < 0 {
+			return nil, fmt.Errorf("sim: injection into %q at negative time %d", inj.Node, inj.Time)
+		}
 	}
 	n := cfg.Graph.Len()
 	r := &Runner{
-		cfg:           cfg,
-		g:             cfg.Graph,
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
-		log:           &trace.Log{},
+		cfg: cfg,
+		g:   cfg.Graph,
+		log: &trace.Log{},
+		// Distinct domain-separation tags keep the message-latency and
+		// failure-detection streams independent even for equal (from,
+		// to, time) coordinates.
+		netSeed:       splitmix64(uint64(cfg.Seed) ^ 0x6E65_745F_6C61_7401), // "net_lat"
+		fdSeed:        splitmix64(uint64(cfg.Seed) ^ 0x6664_5F6C_6174_0002), // "fd_lat"
+		srcSeq:        make([]int64, n),
+		chanNonce:     make([]uint64, n),
 		automata:      make([]proto.Automaton, n),
 		crashed:       graph.NewBitset(n),
 		subs:          make([]graph.Bitset, n),
@@ -241,6 +328,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 		fired:         make([]bool, len(cfg.Triggers)),
 		qParticipants: graph.NewBitset(n),
 	}
+	r.lookahead = minDeclaredLatency(cfg.NetLatency, cfg.FDLatency)
+	r.subDelay = r.lookahead
+	if r.subDelay < 1 {
+		r.subDelay = 1
+	}
 	if cfg.Observer != nil {
 		r.log.Observe(cfg.Observer)
 	}
@@ -248,6 +340,27 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.log.DiscardEvents()
 	}
 	return r, nil
+}
+
+// minDeclaredLatency is the conservative lookahead: the smallest latency
+// either model promises to ever draw, or 0 when a model makes no promise.
+func minDeclaredLatency(net, fd LatencyModel) int64 {
+	nm, ok := net.(MinLatencyModel)
+	if !ok {
+		return 0
+	}
+	fm, ok := fd.(MinLatencyModel)
+	if !ok {
+		return 0
+	}
+	l := nm.MinLatency()
+	if f := fm.MinLatency(); f < l {
+		l = f
+	}
+	if l < 0 {
+		return 0
+	}
+	return l
 }
 
 // Run executes the simulation to quiescence (empty event queue) and
@@ -259,42 +372,59 @@ func (r *Runner) Run() (*Result, error) { return r.RunContext(context.Background
 // hundred kernel events, and a cancelled or expired context aborts the run
 // with the context's error.
 func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
-	// 〈init〉 on every node, in sorted order (= index order).
+	if r.started {
+		return nil, fmt.Errorf("sim: Runner already consumed; build a new Runner per run")
+	}
+	r.started = true
+
+	// 〈init〉 on every node, in sorted order (= index order), on a
+	// sequential stem lane. All init-time trace events and subscriptions
+	// happen before any kernel event, identically at every shard count.
+	stem := r.newLane(0, 1)
+	r.initPhase = true
 	for i, id := range r.g.Nodes() {
 		a := r.cfg.Factory(id)
 		r.automata[i] = a
-		r.applyEffects(int32(i), id, a.Start())
+		stem.applyEffects(int32(i), id, a.Start())
 	}
+	r.initPhase = false
+	stem.cur = -1
 	for _, c := range r.cfg.Crashes {
-		r.schedule(event{time: c.Time, kind: evCrash, node: r.g.Index(c.Node)})
+		stem.schedule(event{time: c.Time, kind: evCrash, node: r.g.Index(c.Node)})
 	}
 	for _, inj := range r.cfg.Injections {
 		i := r.g.Index(inj.Node)
 		view, round := payloadTraceView(inj.Payload)
-		r.schedule(event{time: inj.Time, kind: evDeliver, node: i, peer: i,
+		stem.schedule(event{time: inj.Time, kind: evDeliver, node: i, peer: i,
 			view: view, round: int32(round), bytes: int32(inj.Payload.WireSize()),
 			payload: inj.Payload})
 	}
 
-	for r.queue.len() > 0 {
-		if r.processed&0x1FF == 0 && ctx.Err() != nil {
-			return nil, fmt.Errorf("sim: run aborted at t=%d: %w", r.now, ctx.Err())
+	lanes := []*lane{stem}
+	owner, nshards := r.plan()
+	if nshards <= 1 {
+		if err := r.runSequential(ctx, stem); err != nil {
+			return nil, err
 		}
-		if r.processed++; r.processed > r.cfg.MaxEvents {
-			return nil, fmt.Errorf("sim: event budget %d exhausted at t=%d (livelock?)",
-				r.cfg.MaxEvents, r.now)
+	} else {
+		r.owner = owner
+		shards := make([]*lane, nshards)
+		for s := range shards {
+			shards[s] = r.newLane(s, nshards)
 		}
-		ev := r.queue.pop()
-		r.now = ev.time
-		switch ev.kind {
-		case evCrash:
-			r.handleCrash(ev)
-		case evDetect:
-			r.handleDetect(ev)
-		case evDeliver:
-			r.handleDeliver(ev)
+		// Distribute the init-phase backlog to its owner shards. Heap
+		// slice order is irrelevant: the key is a strict total order, so
+		// per-shard pop order is independent of push order.
+		for _, ev := range stem.queue.items {
+			shards[owner[ev.node]].queue.push(ev)
 		}
+		stem.queue.items = nil
+		if err := r.runSharded(ctx, shards); err != nil {
+			return nil, err
+		}
+		lanes = append(lanes, shards...)
 	}
+	r.mergeLanes(lanes)
 
 	decisions := make(map[graph.NodeID]*proto.Decision)
 	automata := make(map[graph.NodeID]proto.Automaton, len(r.automata))
@@ -323,8 +453,8 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 				stats.Participants++
 			}
 		})
-		if r.now > stats.EndTime {
-			stats.EndTime = r.now
+		if r.endTime > stats.EndTime {
+			stats.EndTime = r.endTime
 		}
 	}
 	return &Result{
@@ -333,8 +463,56 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		Decisions: decisions,
 		Automata:  automata,
 		Crashed:   crashed,
-		EndTime:   r.now,
+		EndTime:   r.endTime,
 	}, nil
+}
+
+// runSequential is the classic kernel loop: one lane, direct trace
+// emission, trigger evaluation inline.
+func (r *Runner) runSequential(ctx context.Context, ln *lane) error {
+	for ln.queue.len() > 0 {
+		if ln.processed&0x1FF == 0 && ctx.Err() != nil {
+			return fmt.Errorf("sim: run aborted at t=%d: %w", ln.now, ctx.Err())
+		}
+		if ln.processed++; ln.processed > r.cfg.MaxEvents {
+			return fmt.Errorf("sim: event budget %d exhausted at t=%d (livelock?)",
+				r.cfg.MaxEvents, ln.now)
+		}
+		ev := ln.queue.pop()
+		if ev.time < ln.now {
+			return fmt.Errorf("sim: kernel event at t=%d after virtual time reached t=%d (non-monotone LatencyModel?)",
+				ev.time, ln.now)
+		}
+		ln.dispatch(ev)
+		if ln.err != nil {
+			return ln.err
+		}
+	}
+	return nil
+}
+
+// mergeLanes folds the per-lane execution state back into the Runner:
+// crash sets and quiet counters are disjoint-owner partitions, so a
+// bitwise OR / sum reconstructs exactly the sequential aggregates.
+func (r *Runner) mergeLanes(lanes []*lane) {
+	for _, ln := range lanes {
+		for w := range r.crashed {
+			r.crashed[w] |= ln.crashed[w]
+		}
+		for w := range r.qParticipants {
+			r.qParticipants[w] |= ln.qParticipants[w]
+		}
+		r.qMsgs += ln.qMsgs
+		r.qDeliveries += ln.qDeliveries
+		r.qDrops += ln.qDrops
+		r.qBytes += ln.qBytes
+		if ln.qMaxRound > r.qMaxRound {
+			r.qMaxRound = ln.qMaxRound
+		}
+		if ln.now > r.endTime {
+			r.endTime = ln.now
+		}
+	}
 }
 
 // payloadTraceView extracts the (view, round) trace annotation from a
@@ -348,15 +526,124 @@ func payloadTraceView(p proto.Payload) (string, int) {
 	return "", 0
 }
 
-func (r *Runner) schedule(ev event) {
-	ev.seq = r.seq
-	r.seq++
-	r.queue.push(ev)
+// pendingTrace is one trace event buffered by a shard lane, tagged with
+// the key of the kernel event that emitted it so the barrier can merge
+// per-lane buffers back into the sequential emission order.
+type pendingTrace struct {
+	key eventKey
+	ev  trace.Event
 }
 
-// emit appends a trace event and evaluates crash triggers against it.
-func (r *Runner) emit(e trace.Event) {
-	e.Time = r.now
+// lane is one execution stream of the kernel: the sequential driver runs
+// a single direct lane; the sharded driver runs one buffered lane per
+// shard. All handler code is shared. A lane only ever mutates state owned
+// by the nodes assigned to it (its crash bits, their subs/fifoFloor/
+// srcSeq/chanNonce rows), which is what makes the sharded drivers
+// race-free without locks.
+type lane struct {
+	r     *Runner
+	id    int
+	queue eventQueue
+	now   int64
+	// limit is the exclusive end of the current time window (sharded
+	// only): popping stops at it, and scheduling below it means a
+	// LatencyModel broke its MinLatency promise.
+	limit int64
+	// cur is the scheduling source (event key src) for events created
+	// while the lane processes the current event.
+	cur    int32
+	curKey eventKey
+	// rng is the scratch state for the current latency draw. Keeping it
+	// in the lane (heap-allocated once) instead of a local keeps the
+	// *Rand handed to the LatencyModel interface from escaping per draw.
+	rng Rand
+	// direct lanes append to the shared trace log and evaluate triggers
+	// inline; buffered lanes collect pendingTrace entries merged at the
+	// window barrier.
+	direct  bool
+	crashed graph.Bitset
+	buf     []pendingTrace
+	bufPos  int
+	out     [][]event
+	err     error
+
+	processed                                     int
+	qMsgs, qDeliveries, qDrops, qBytes, qMaxRound int
+	qParticipants                                 graph.Bitset
+}
+
+func (r *Runner) newLane(id, nshards int) *lane {
+	n := r.g.Len()
+	ln := &lane{
+		r:             r,
+		id:            id,
+		direct:        nshards <= 1,
+		crashed:       graph.NewBitset(n),
+		qParticipants: graph.NewBitset(n),
+	}
+	if !ln.direct {
+		ln.out = make([][]event, nshards)
+	}
+	return ln
+}
+
+// schedule assigns the event's total-order key and routes it: direct
+// lanes push to their own queue; shard lanes push home events and outbox
+// the rest, rejecting any event that would land inside the open window.
+func (ln *lane) schedule(ev event) {
+	ev.src = ln.cur
+	if ln.cur < 0 {
+		ev.sseq = ln.r.initSeq
+		ln.r.initSeq++
+	} else {
+		ev.sseq = ln.r.srcSeq[ln.cur]
+		ln.r.srcSeq[ln.cur]++
+	}
+	if ln.direct {
+		ln.queue.push(ev)
+		return
+	}
+	if ev.time < ln.limit {
+		if ln.err == nil {
+			ln.err = fmt.Errorf("sim: sharded kernel scheduled an event at t=%d inside the open window ending at t=%d: a LatencyModel drew below its declared MinLatency",
+				ev.time, ln.limit)
+		}
+		return
+	}
+	if o := int(ln.r.owner[ev.node]); o == ln.id {
+		ln.queue.push(ev)
+	} else {
+		ln.out[o] = append(ln.out[o], ev)
+	}
+}
+
+// dispatch processes one popped event. Callers have already checked the
+// monotone-time invariant.
+func (ln *lane) dispatch(ev event) {
+	ln.now = ev.time
+	ln.cur = ev.node
+	ln.curKey = eventKey{time: ev.time, src: ev.src, sseq: ev.sseq}
+	switch ev.kind {
+	case evCrash:
+		ln.handleCrash(ev)
+	case evDetect:
+		ln.handleDetect(ev)
+	case evDeliver:
+		ln.handleDeliver(ev)
+	case evSubscribe:
+		ln.handleSubscribe(ev)
+	}
+}
+
+// emit records a trace event: direct lanes append to the log and evaluate
+// crash triggers against it, shard lanes buffer it for the barrier merge.
+func (ln *lane) emit(e trace.Event) {
+	e.Time = ln.now
+	if !ln.direct {
+		ln.buf = append(ln.buf, pendingTrace{key: ln.curKey, ev: e})
+		return
+	}
+	r := ln.r
 	e = r.log.Append(e)
 	for i := range r.triggers {
 		if !r.fired[i] && r.triggers[i].When(e) {
@@ -365,124 +652,158 @@ func (r *Runner) emit(e trace.Event) {
 			ti := r.g.Index(t.Node)
 			if t.Payload != nil {
 				view, round := payloadTraceView(t.Payload)
-				r.schedule(event{time: r.now + t.Delay, kind: evDeliver,
+				ln.schedule(event{time: ln.now + t.Delay, kind: evDeliver,
 					node: ti, peer: ti, view: view, round: int32(round),
 					bytes: int32(t.Payload.WireSize()), payload: t.Payload})
 			} else {
-				r.schedule(event{time: r.now + t.Delay, kind: evCrash, node: ti})
+				ln.schedule(event{time: ln.now + t.Delay, kind: evCrash, node: ti})
 			}
 		}
 	}
 }
 
-func (r *Runner) handleCrash(ev event) {
-	if r.crashed.Has(ev.node) {
+func (ln *lane) handleCrash(ev event) {
+	if ln.crashed.Has(ev.node) {
 		return
 	}
-	r.crashed.Set(ev.node)
+	ln.crashed.Set(ev.node)
+	r := ln.r
 	id := r.g.ID(ev.node)
-	r.emit(trace.Event{Kind: trace.KindCrash, Node: id})
+	ln.emit(trace.Event{Kind: trace.KindCrash, Node: id})
 	// Strong completeness: notify every subscriber (unless it crashes
 	// first, in which case its detect event is dropped on delivery).
 	// Bitset iteration is ascending-index = sorted-NodeID order.
 	if set := r.subs[ev.node]; set != nil {
 		set.ForEach(func(p int32) {
-			lat := r.cfg.FDLatency.Latency(r.g.ID(p), id, r.rng)
-			r.schedule(event{time: r.now + lat, kind: evDetect, node: p, peer: ev.node})
+			ln.rng = keyedRand(r.fdSeed, p, ev.node, ln.now, 0)
+			lat := r.cfg.FDLatency.Latency(r.g.ID(p), id, &ln.rng)
+			if lat < 0 {
+				lat = 0
+			}
+			ln.schedule(event{time: ln.now + lat, kind: evDetect, node: p, peer: ev.node})
 		})
 	}
 }
 
-func (r *Runner) handleDetect(ev event) {
-	if r.crashed.Has(ev.node) {
+func (ln *lane) handleDetect(ev event) {
+	if ln.crashed.Has(ev.node) {
 		return // the subscriber itself crashed; nothing to notify
 	}
+	r := ln.r
 	id, peer := r.g.ID(ev.node), r.g.ID(ev.peer)
-	r.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: peer})
-	r.applyEffects(ev.node, id, r.automata[ev.node].OnCrash(peer))
+	ln.emit(trace.Event{Kind: trace.KindDetect, Node: id, Peer: peer})
+	ln.applyEffects(ev.node, id, r.automata[ev.node].OnCrash(peer))
 }
 
-func (r *Runner) handleDeliver(ev event) {
-	if r.crashed.Has(ev.node) {
+func (ln *lane) handleDeliver(ev event) {
+	r := ln.r
+	if ln.crashed.Has(ev.node) {
 		if r.cfg.Quiet {
-			r.qDrops++
+			ln.qDrops++
 		} else {
-			r.emit(trace.Event{Kind: trace.KindDrop, Node: r.g.ID(ev.node),
+			ln.emit(trace.Event{Kind: trace.KindDrop, Node: r.g.ID(ev.node),
 				Peer: r.g.ID(ev.peer), Bytes: int(ev.bytes)})
 		}
 		return
 	}
 	id := r.g.ID(ev.node)
 	if r.cfg.Quiet {
-		r.qDeliveries++
-		r.qParticipants.Set(ev.node)
+		ln.qDeliveries++
+		ln.qParticipants.Set(ev.node)
 	} else {
-		r.emit(trace.Event{Kind: trace.KindDeliver, Node: id, Peer: r.g.ID(ev.peer),
+		ln.emit(trace.Event{Kind: trace.KindDeliver, Node: id, Peer: r.g.ID(ev.peer),
 			View: ev.view, Round: int(ev.round), Bytes: int(ev.bytes)})
 	}
-	r.applyEffects(ev.node, id, r.automata[ev.node].OnMessage(r.g.ID(ev.peer), ev.payload))
+	ln.applyEffects(ev.node, id, r.automata[ev.node].OnMessage(r.g.ID(ev.peer), ev.payload))
+}
+
+// handleSubscribe registers ev.peer for 〈crash | ev.node〉, in the
+// monitored node's shard. Idempotent; if the target already crashed the
+// notification is drawn and scheduled here (subscribe-after-crash,
+// required by line 7 of Algorithm 1).
+func (ln *lane) handleSubscribe(ev event) {
+	r := ln.r
+	set := r.subs[ev.node]
+	if set == nil {
+		set = graph.NewBitset(r.g.Len())
+		r.subs[ev.node] = set
+	}
+	if set.Has(ev.peer) {
+		return
+	}
+	set.Set(ev.peer)
+	if ln.crashed.Has(ev.node) {
+		ln.rng = keyedRand(r.fdSeed, ev.peer, ev.node, ln.now, 0)
+		lat := r.cfg.FDLatency.Latency(r.g.ID(ev.peer), r.g.ID(ev.node), &ln.rng)
+		if lat < 0 {
+			lat = 0
+		}
+		ln.schedule(event{time: ln.now + lat, kind: evDetect, node: ev.peer, peer: ev.node})
+	}
 }
 
 // applyEffects realises an automaton's effects: subscriptions first, then
 // sends (scheduled on the FIFO channels), then trace annotations and the
 // decision.
-func (r *Runner) applyEffects(idx int32, id graph.NodeID, eff proto.Effects) {
+func (ln *lane) applyEffects(idx int32, id graph.NodeID, eff proto.Effects) {
+	ln.cur = idx
 	for _, q := range eff.Monitor {
-		r.subscribe(idx, q)
+		ln.subscribe(idx, q)
 	}
 	for _, v := range eff.Proposed {
-		r.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()})
+		ln.emit(trace.Event{Kind: trace.KindPropose, Node: id, View: v.Key()})
 	}
 	for _, v := range eff.Rejected {
-		r.emit(trace.Event{Kind: trace.KindReject, Node: id, View: v.Key()})
+		ln.emit(trace.Event{Kind: trace.KindReject, Node: id, View: v.Key()})
 	}
 	for i := 0; i < eff.Resets; i++ {
-		r.emit(trace.Event{Kind: trace.KindReset, Node: id})
+		ln.emit(trace.Event{Kind: trace.KindReset, Node: id})
 	}
 	for _, send := range eff.Sends {
-		r.send(idx, id, send)
+		ln.send(idx, id, send)
 	}
 	if eff.Decision != nil {
-		r.emit(trace.Event{Kind: trace.KindDecide, Node: id,
+		ln.emit(trace.Event{Kind: trace.KindDecide, Node: id,
 			View: eff.Decision.View.Key(), Value: string(eff.Decision.Value)})
 	}
 }
 
-// subscribe registers p for 〈crash | q〉. Idempotent; if q already crashed
-// the notification is scheduled immediately (subscribe-after-crash,
-// required by line 7 of Algorithm 1). Subscriptions to nodes outside the
-// graph are inert (they can never crash) and are dropped.
-func (r *Runner) subscribe(p int32, q graph.NodeID) {
+// subscribe registers p for 〈crash | q〉. During 〈init〉 the subscription
+// takes effect immediately (nothing has crashed yet); during the run it
+// becomes an evSubscribe kernel event processed in q's shard one
+// lookahead later, keeping all subscription state shard-local.
+// Subscriptions to nodes outside the graph are inert (they can never
+// crash) and are dropped.
+func (ln *lane) subscribe(p int32, q graph.NodeID) {
+	r := ln.r
 	qi := r.g.Index(q)
 	if qi < 0 {
 		return
 	}
-	set := r.subs[qi]
-	if set == nil {
-		set = graph.NewBitset(r.g.Len())
-		r.subs[qi] = set
-	}
-	if set.Has(p) {
+	if r.initPhase {
+		set := r.subs[qi]
+		if set == nil {
+			set = graph.NewBitset(r.g.Len())
+			r.subs[qi] = set
+		}
+		set.Set(p)
 		return
 	}
-	set.Set(p)
-	if r.crashed.Has(qi) {
-		lat := r.cfg.FDLatency.Latency(r.g.ID(p), q, r.rng)
-		r.schedule(event{time: r.now + lat, kind: evDetect, node: p, peer: qi})
-	}
+	ln.schedule(event{time: ln.now + r.subDelay, kind: evSubscribe, node: qi, peer: p})
 }
 
 // send schedules one delivery per recipient, preserving per-channel FIFO:
 // a message may never overtake an earlier one on the same (from, to)
 // channel. The payload's trace annotations (view, round, wire size) are
 // computed here, once per multicast, and carried on the queued events.
-func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
+func (ln *lane) send(from int32, fromID graph.NodeID, s proto.Send) {
+	r := ln.r
 	size := int32(s.Payload.WireSize())
 	view, round := payloadTraceView(s.Payload)
 	if r.cfg.Quiet {
-		r.qParticipants.Set(from)
-		if round > r.qMaxRound {
-			r.qMaxRound = round
+		ln.qParticipants.Set(from)
+		if round > ln.qMaxRound {
+			ln.qMaxRound = round
 		}
 	}
 	floors := r.fifoFloor[from]
@@ -494,7 +815,6 @@ func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
 		if to == fromID {
 			continue // sender's own copy is self-delivered by the automaton
 		}
-		lat := r.cfg.NetLatency.Latency(fromID, to, r.rng)
 		toIdx := r.g.Index(to)
 		if toIdx < 0 {
 			// A send to a node outside the graph is a programmer error in
@@ -502,19 +822,26 @@ func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
 			// index panic deep in the bookkeeping.
 			panic(fmt.Sprintf("sim: %s sends to unknown node %q", fromID, to))
 		}
-		// Link-fault adjudication. The verdict is a pure function of
-		// (seed, from, to, now) — no allocation, no RNG-stream coupling —
-		// so enabling the model never perturbs the latency draws above.
+		// One nonce per transmission, shared by the latency draw and the
+		// link-fault verdict: both are pure functions of (seed, from, to,
+		// sendTime, nonce), so neither perturbs the other and neither
+		// depends on what other channels drew first.
+		nonce := r.chanNonce[from]
+		r.chanNonce[from]++
+		ln.rng = keyedRand(r.netSeed, from, toIdx, ln.now, nonce)
+		lat := r.cfg.NetLatency.Latency(fromID, to, &ln.rng)
+		if lat < 0 {
+			lat = 0
+		}
 		var verdict netem.Verdict
-		if r.cfg.Net != nil && toIdx != from {
-			verdict = r.cfg.Net.Adjudicate(from, toIdx, r.now, r.netNonce)
-			r.netNonce++
+		if r.cfg.Net != nil {
+			verdict = r.cfg.Net.Adjudicate(from, toIdx, ln.now, nonce)
 		}
 		if r.cfg.Quiet {
-			r.qMsgs++
-			r.qBytes += int(size)
+			ln.qMsgs++
+			ln.qBytes += int(size)
 		} else {
-			r.emit(trace.Event{Kind: trace.KindSend, Node: fromID, Peer: to,
+			ln.emit(trace.Event{Kind: trace.KindSend, Node: fromID, Peer: to,
 				View: view, Round: round, Bytes: int(size)})
 		}
 		if verdict.Drop {
@@ -522,25 +849,25 @@ func (r *Runner) send(from int32, fromID graph.NodeID, s proto.Send) {
 			// at send time and leave the FIFO floor untouched (nothing
 			// will be delivered on the channel for this send).
 			if r.cfg.Quiet {
-				r.qDrops++
+				ln.qDrops++
 			} else {
-				r.emit(trace.Event{Kind: trace.KindDrop, Node: to, Peer: fromID,
+				ln.emit(trace.Event{Kind: trace.KindDrop, Node: to, Peer: fromID,
 					Bytes: int(size)})
 			}
 			continue
 		}
-		at := r.now + lat + verdict.ExtraDelay
+		at := ln.now + lat + verdict.ExtraDelay
 		if at < floors[toIdx] {
 			at = floors[toIdx]
 		}
 		floors[toIdx] = at
-		r.schedule(event{time: at, kind: evDeliver, node: toIdx, peer: from,
+		ln.schedule(event{time: at, kind: evDeliver, node: toIdx, peer: from,
 			view: view, round: int32(round), bytes: size, payload: s.Payload})
 		if verdict.Duplicate {
 			// The network duplicated the copy: a second delivery on the
 			// same channel, behind the original (same floor), with no
 			// matching send — visible to conservation checks by design.
-			r.schedule(event{time: at, kind: evDeliver, node: toIdx, peer: from,
+			ln.schedule(event{time: at, kind: evDeliver, node: toIdx, peer: from,
 				view: view, round: int32(round), bytes: size, payload: s.Payload})
 		}
 	}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 
 	"cliffedge/internal/graph"
@@ -273,7 +272,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestLatencyModels(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := NewRand(1)
 	if (Constant{D: 7}).Latency("a", "b", rng) != 7 {
 		t.Error("Constant")
 	}
@@ -318,7 +317,7 @@ func TestSortedDecisionsOrder(t *testing.T) {
 func TestDistanceLatencyModel(t *testing.T) {
 	coords := GridCoords(4, 4)
 	d := Distance{Coords: coords, Base: 2, PerHop: 3, Far: 99}
-	rng := rand.New(rand.NewSource(1))
+	rng := NewRand(1)
 	if got := d.Latency(graph.GridID(0, 0), graph.GridID(0, 1), rng); got != 5 {
 		t.Errorf("adjacent latency = %d, want 5", got)
 	}

@@ -106,6 +106,47 @@ func TestBinaryMultiBlock(t *testing.T) {
 	}
 }
 
+// TestBinaryCrossBlockStringRefs pins the stream-wide string table: a
+// string defined in the first block must be *referenced*, not re-defined,
+// when it recurs in blocks flushed later. The marker string's bytes
+// appearing exactly once in the encoding is the proof — a per-block
+// table would inline it again after every flush.
+func TestBinaryCrossBlockStringRefs(t *testing.T) {
+	marker := graph.NodeID("witness-" + strings.Repeat("w", 64))
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	const n = 20000
+	want := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		e := Event{
+			Seq: i, Time: int64(2 * i), Kind: KindSend,
+			Node: graph.NodeID("node-" + string(rune('a'+i%11))),
+			Peer: marker, Round: i % 5, Bytes: 64,
+		}
+		want = append(want, e)
+		if err := bw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must actually span blocks for the test to mean anything.
+	if buf.Len() <= blockFlushBytes {
+		t.Fatalf("encoding is %d bytes, need > %d to cross a block boundary", buf.Len(), blockFlushBytes)
+	}
+	if c := bytes.Count(buf.Bytes(), []byte(marker)); c != 1 {
+		t.Errorf("marker string inlined %d times, want 1 (string table must span blocks)", c)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, back) {
+		t.Fatal("cross-block round trip diverges")
+	}
+}
+
 // TestBinarySmallerThanJSONL pins the point of the format: a realistic
 // trace must encode substantially smaller than its JSONL rendering.
 func TestBinarySmallerThanJSONL(t *testing.T) {
