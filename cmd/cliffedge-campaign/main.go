@@ -20,6 +20,16 @@
 //
 //	cliffedge-campaign -store ./data -seeds 512               # durable sweep, prints its ID
 //	cliffedge-campaign -store ./data -resume c000001          # continue after an interruption
+//
+// With -merge the command runs no campaign at all: the arguments are
+// campaign directories (each holding manifest.json + results.log — shard
+// stores fetched from fleet workers, or local -store sweeps), whose specs
+// must tile one campaign's seed range. Their record logs merge through
+// the same dedup-and-order path the fleet coordinator uses, so the output
+// is byte-identical to a single box running the whole spec; mismatched
+// specs (different grid axes, or seed ranges with gaps) are refused.
+//
+//	cliffedge-campaign -merge ./w1/c000001 ./w2/c000001 -json report.json
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"time"
 
 	"cliffedge"
+	"cliffedge/internal/fleet"
 	"cliffedge/internal/gen"
 	"cliffedge/internal/serve"
 	"cliffedge/internal/store"
@@ -56,8 +67,14 @@ func main() {
 		storeDir = flag.String("store", "", "persist the sweep under this directory (resumable; shared with cliffedged)")
 		resume   = flag.String("resume", "", "resume the persisted campaign with this ID (requires -store; grid flags are ignored — the stored spec wins)")
 		traces   = flag.String("traces", "", "stream every run's full binary trace into this directory, one file per job (created if absent; convert with cliffedge-trace)")
+		merge    = flag.Bool("merge", false, "merge the argument campaign directories (shards of one campaign) into a single report instead of running anything")
 	)
 	flag.Parse()
+
+	if *merge {
+		runMerge(flag.Args(), *jsonOut, *csvOut, *quiet, *fail)
+		return
+	}
 
 	split := func(s string, all []string) []string {
 		if s == "all" {
@@ -178,6 +195,40 @@ func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Ca
 			sw.Completed(), sw.Total(), dir, sw.ID)
 	}
 	return rep, err
+}
+
+// runMerge is the -merge main: fold N campaign directories — shards of
+// one campaign, run anywhere — into the single-box report. The heavy
+// lifting (spec union, deterministic order, dedup, coverage check) is
+// fleet.MergeDirs, the exact path the coordinator merges with, so offline
+// merges inherit its byte-identity guarantee.
+func runMerge(dirs []string, jsonOut, csvOut string, quiet, failOn bool) {
+	if len(dirs) == 0 {
+		fatal(errors.New("-merge needs campaign directories as arguments (each with manifest.json and results.log)"))
+	}
+	rep, spec, err := fleet.MergeDirs(dirs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cliffedge-campaign: merged %d stores covering seeds %d-%d\n",
+		len(dirs), spec.SeedStart, spec.SeedStart+int64(spec.Seeds)-1)
+	if !quiet {
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if err := emit(jsonOut, rep.WriteJSON); err != nil {
+		fatal(err)
+	}
+	if err := emit(csvOut, rep.WriteCSV); err != nil {
+		fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		if failOn {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "cliffedge-campaign: warning:", err)
+	}
 }
 
 // emit writes through fn to path ("" = skip, "-" = stdout).

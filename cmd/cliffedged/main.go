@@ -20,6 +20,23 @@
 //	curl -N localhost:8080/api/v1/campaigns/c000001/events   # SSE stream
 //	curl    localhost:8080/api/v1/campaigns/c000001/report.csv
 //	curl -X DELETE localhost:8080/api/v1/campaigns/c000001   # cancel
+//
+// With -coordinator the daemon becomes a fleet coordinator instead: it
+// runs no campaigns itself, but shards submitted specs across a pool of
+// ordinary cliffedged workers (given to -workers as comma-separated base
+// URLs), merges their result streams, and re-leases the shards of lost
+// workers to the survivors. The merged report is byte-identical to a
+// single-box run of the same spec, and a coordinator killed mid-fleet
+// resumes from its store exactly like a worker does.
+//
+//	cliffedged -coordinator -addr :8090 -store ./fleet-data \
+//	    -workers http://n1:8080,http://n2:8080,http://n3:8080
+//
+//	curl -X POST localhost:8090/api/v1/fleets -d '{
+//	    "topologies": ["ring"], "regimes": ["quiescent"],
+//	    "engines": ["sim"], "seed_start": 1, "seeds": 600, "repeats": 1}'
+//	curl -N localhost:8090/api/v1/fleets/f000001/events      # merged SSE
+//	curl    localhost:8090/api/v1/fleets/f000001/report.json
 package main
 
 import (
@@ -32,35 +49,55 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"cliffedge"
+	"cliffedge/internal/fleet"
 	"cliffedge/internal/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		storeDir  = flag.String("store", "cliffedged-data", "campaign store directory (created if absent)")
-		workers   = flag.Int("workers", 0, "shared worker-pool size (0 = GOMAXPROCS)")
-		maxClient = flag.Int("max-client", 4, "max concurrently active campaigns per client")
-		liveTick  = flag.Duration("live-tick", 0, "realise network-model delays of live-engine runs in wall time, this long per tick (0 = off)")
-		traces    = flag.Bool("traces", false, "persist every run's full binary trace under <store>/<id>/traces (convert with cliffedge-trace)")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		storeDir    = flag.String("store", "cliffedged-data", "campaign store directory (created if absent)")
+		workers     = flag.String("workers", "", "worker mode: shared worker-pool size (empty or 0 = GOMAXPROCS); coordinator mode: comma-separated worker base URLs")
+		maxClient   = flag.Int("max-client", 4, "max concurrently active campaigns per client (worker mode)")
+		liveTick    = flag.Duration("live-tick", 0, "realise network-model delays of live-engine runs in wall time, this long per tick (0 = off; worker mode)")
+		traces      = flag.Bool("traces", false, "persist every run's full binary trace under <store>/<id>/traces (convert with cliffedge-trace; worker mode)")
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator sharding campaigns across the -workers URLs")
+		shards      = flag.Int("shards", 0, "coordinator: shards per fleet (0 = 4×workers, capped at the seed count)")
+		perWorker   = flag.Int("per-worker", 2, "coordinator: max concurrently leased shards per worker")
+		workerLoss  = flag.Duration("worker-timeout", 15*time.Second, "coordinator: re-lease a worker's shards after contact failures persist this long")
 	)
 	flag.Parse()
 
-	if *workers <= 0 {
-		*workers = runtime.GOMAXPROCS(0)
+	logger := log.New(os.Stderr, "cliffedged: ", log.LstdFlags)
+	if *coordinator {
+		runCoordinator(logger, *addr, *storeDir, *workers, *shards, *perWorker, *workerLoss)
+		return
+	}
+
+	pool := 0
+	if *workers != "" {
+		n, err := strconv.Atoi(*workers)
+		if err != nil {
+			logger.Fatalf("-workers must be a pool size in worker mode (worker URLs need -coordinator): %v", err)
+		}
+		pool = n
+	}
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
 	}
 	var copts []cliffedge.Option
 	if *liveTick > 0 {
 		copts = append(copts, cliffedge.WithLiveTick(*liveTick))
 	}
 
-	logger := log.New(os.Stderr, "cliffedged: ", log.LstdFlags)
 	srv, err := serve.NewServer(*storeDir, serve.Config{
-		Workers:        *workers,
+		Workers:        pool,
 		MaxPerClient:   *maxClient,
 		ClusterOptions: copts,
 		PersistTraces:  *traces,
@@ -69,11 +106,44 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	logger.Printf("listening on %s, store %s, %d workers", *addr, *storeDir, pool)
+	serveHTTP(logger, *addr, srv.Handler(), srv.Shutdown)
+}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+// runCoordinator is the -coordinator main: shard fleets across the worker
+// URLs, mirror the campaign API under /api/v1/fleets.
+func runCoordinator(logger *log.Logger, addr, storeDir, workerList string, shards, perWorker int, workerTimeout time.Duration) {
+	var urls []string
+	for _, u := range strings.Split(workerList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		logger.Fatal("-coordinator needs -workers with at least one worker base URL")
+	}
+	co, err := fleet.NewCoordinator(storeDir, fleet.Config{
+		Workers:       urls,
+		Shards:        shards,
+		PerWorker:     perWorker,
+		WorkerTimeout: workerTimeout,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("coordinating %d workers on %s, store %s", len(urls), addr, storeDir)
+	serveHTTP(logger, addr, fleet.NewServer(co).Handler(), co.Shutdown)
+}
+
+// serveHTTP runs the HTTP server until SIGINT/SIGTERM, then stops
+// accepting requests and shuts the core down. In-flight work aborts and
+// unfinished sweeps/fleets keep their "running" manifests, so the next
+// start resumes them.
+func serveHTTP(logger *log.Logger, addr string, handler http.Handler, shutdown func()) {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s, store %s, %d workers", *addr, *storeDir, *workers)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -82,18 +152,15 @@ func main() {
 		logger.Printf("shutting down")
 	case err := <-errCh:
 		logger.Printf("http server: %v", err)
-		srv.Shutdown()
+		shutdown()
 		os.Exit(1)
 	}
 
-	// Stop accepting requests, then stop the scheduler: in-flight runs
-	// abort and unfinished sweeps keep their "running" manifests, so the
-	// next start resumes them.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("http shutdown: %v", err)
 	}
-	srv.Shutdown()
+	shutdown()
 	fmt.Fprintln(os.Stderr, "cliffedged: stopped")
 }

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cliffedge/internal/serve"
+)
+
+func TestStatusCodeUnwrapsThroughWrapping(t *testing.T) {
+	se := &statusError{code: 404, msg: "no such campaign"}
+	if got := statusCode(se); got != 404 {
+		t.Fatalf("statusCode(direct) = %d, want 404", got)
+	}
+	wrapped := fmt.Errorf("sync shard 3: %w", se)
+	if got := statusCode(wrapped); got != 404 {
+		t.Fatalf("statusCode(wrapped) = %d, want 404", got)
+	}
+	if got := statusCode(errors.New("plain transport error")); got != 0 {
+		t.Fatalf("statusCode(non-status) = %d, want 0", got)
+	}
+	if got := statusCode(nil); got != 0 {
+		t.Fatalf("statusCode(nil) = %d, want 0", got)
+	}
+}
+
+func TestErrHTTPDecodesErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/json":
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": "client over campaign limit"}`)
+		default:
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprint(w, "<html>mangled by a proxy</html>")
+		}
+	}))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		code int
+		msg  string
+	}{
+		{"/json", 429, "client over campaign limit"},
+		{"/opaque", 502, ""},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := errHTTP(resp)
+		if statusCode(got) != tc.code {
+			t.Errorf("%s: code = %d, want %d", tc.path, statusCode(got), tc.code)
+		}
+		if tc.msg != "" && !strings.Contains(got.Error(), tc.msg) {
+			t.Errorf("%s: error %q does not carry body message %q", tc.path, got, tc.msg)
+		}
+	}
+}
+
+func TestReadSSEParsesDataLinesOnly(t *testing.T) {
+	// A realistic frame mix: comments, ids, event names, and a garbage
+	// data line at the end. Only well-formed data payloads come through;
+	// the first malformed one ends the stream (the caller reconnects from
+	// its cursor, so "stream over" is always safe).
+	stream := strings.Join([]string{
+		": keepalive comment",
+		"id: 1",
+		"event: result",
+		`data: {"seq":1,"type":"result","completed":1,"total":2}`,
+		"",
+		"id: 2",
+		"event: done",
+		`data: {"seq":2,"type":"done","completed":2,"total":2}`,
+		"",
+		"data: {not json",
+		`data: {"seq":3,"type":"result"}`,
+		"",
+	}, "\n")
+
+	ch := make(chan serve.Event)
+	go func() {
+		defer close(ch)
+		readSSE(context.Background(), strings.NewReader(stream), ch)
+	}()
+	var got []serve.Event
+	for ev := range ch {
+		got = append(got, ev)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d events, want 2 (stream must end at the malformed line): %+v", len(got), got)
+	}
+	if got[0].Seq != 1 || got[0].Type != "result" || got[1].Seq != 2 || got[1].Type != "done" {
+		t.Fatalf("unexpected events: %+v", got)
+	}
+}
+
+func TestSubmitRejectsMissingID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"status": "running"}`)
+	}))
+	defer ts.Close()
+
+	wc := newWorkerClient(ts.URL+"/", http.DefaultClient) // trailing slash must be trimmed
+	if wc.base != ts.URL {
+		t.Fatalf("base = %q, want %q", wc.base, ts.URL)
+	}
+	if _, err := wc.Submit(context.Background(), testSpec(4), "t"); err == nil {
+		t.Fatal("Submit accepted a 201 with no id")
+	}
+}

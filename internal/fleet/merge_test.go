@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"cliffedge"
+	"cliffedge/internal/serve"
+	"cliffedge/internal/store"
+)
+
+// runRecords executes the spec's grid once and returns one record per
+// job — the canonical record multiset every merge scenario below permutes,
+// partitions and duplicates. Runs are pure, so re-running a job (as a
+// re-assigned shard would) reproduces the same record.
+func runRecords(t *testing.T, spec cliffedge.CampaignSpec) (*cliffedge.Campaign, []store.Record) {
+	t.Helper()
+	camp, err := cliffedge.NewCampaignFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var recs []store.Record
+	for _, j := range camp.Jobs() {
+		recs = append(recs, store.Record{
+			Cell: j.Cell, Seed: j.Seed, Attempt: j.Attempt,
+			Stats: camp.RunJob(ctx, j),
+		})
+	}
+	return camp, recs
+}
+
+func reportBytes(t *testing.T, camp *cliffedge.Campaign, recs []store.Record) []byte {
+	t.Helper()
+	rep, err := MergeRecords(camp, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeInvariantUnderPermutationPartitionDuplication is the merge
+// property test: for any permutation of the record multiset, any
+// partition of it into shards, and any duplication of records (what a
+// re-assigned shard re-delivers after a worker loss), both merge paths —
+// the offline MergeRecords and the coordinator's incremental
+// CommitUnique-into-a-Sweep — produce report.json bytes identical to a
+// clean single-box run of the same spec.
+func TestMergeInvariantUnderPermutationPartitionDuplication(t *testing.T) {
+	spec := testSpec(6)
+	camp, recs := runRecords(t, spec)
+
+	// Reference: the persisted report of an uninterrupted serve sweep.
+	refStore, err := store.Open(filepath.Join(t.TempDir(), "ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := serve.Create(refStore, "ref", "t", testCreated, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	sw.Close()
+	want, err := refStore.Report("ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 20; trial++ {
+		// Duplicate a random sample of records, then shuffle everything.
+		multiset := append([]store.Record(nil), recs...)
+		for _, i := range rng.Perm(len(recs))[:rng.Intn(len(recs)+1)] {
+			multiset = append(multiset, recs[i])
+		}
+		rng.Shuffle(len(multiset), func(i, j int) {
+			multiset[i], multiset[j] = multiset[j], multiset[i]
+		})
+
+		// Path 1: offline merge of the shuffled multiset.
+		if got := reportBytes(t, camp, multiset); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: MergeRecords report differs from single-box reference", trial)
+		}
+
+		// Path 2: the coordinator's path — partition the multiset into
+		// "shards" and commit them group by group into a fresh sweep.
+		st, err := store.Open(filepath.Join(t.TempDir(), "merge"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msw, err := serve.Create(st, "m", "t", testCreated, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := 1 + rng.Intn(4)
+		for p := 0; p < parts; p++ {
+			for i, rec := range multiset {
+				if i%parts != p {
+					continue
+				}
+				if _, err := msw.CommitUnique(rec.Job(), rec.Stats); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := msw.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		msw.Close()
+		got, err := st.Report("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: CommitUnique-merged report differs from single-box reference", trial)
+		}
+	}
+}
+
+func TestMergeRecordsRefusesGapsAndStrays(t *testing.T) {
+	spec := testSpec(4)
+	camp, recs := runRecords(t, spec)
+
+	if _, err := MergeRecords(camp, recs[:len(recs)-1]); err == nil {
+		t.Fatal("MergeRecords accepted an incomplete record set")
+	}
+	stray := recs[0]
+	stray.Seed = spec.SeedStart + int64(spec.Seeds) + 100
+	if _, err := MergeRecords(camp, append(append([]store.Record(nil), recs...), stray)); err == nil {
+		t.Fatal("MergeRecords accepted a record outside the grid")
+	}
+}
+
+func TestUnionSpec(t *testing.T) {
+	whole := testSpec(10)
+	shards := Split(whole, 3)
+	var specs []cliffedge.CampaignSpec
+	for _, sh := range shards {
+		specs = append(specs, sh.Spec(whole))
+	}
+	// Overlap is fine: duplicate one shard's spec entirely.
+	specs = append(specs, shards[1].Spec(whole))
+	got, err := UnionSpec(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SeedStart != whole.SeedStart || got.Seeds != whole.Seeds {
+		t.Fatalf("union covers %d+%d, want %d+%d", got.SeedStart, got.Seeds, whole.SeedStart, whole.Seeds)
+	}
+
+	// A gap is not.
+	if _, err := UnionSpec([]cliffedge.CampaignSpec{specs[0], specs[2]}); err == nil {
+		t.Fatal("UnionSpec accepted seed ranges with a gap")
+	}
+
+	// Nor a different campaign.
+	other := shards[1].Spec(whole)
+	other.Engines = []string{"live"}
+	if _, err := UnionSpec([]cliffedge.CampaignSpec{specs[0], other}); err == nil {
+		t.Fatal("UnionSpec accepted mismatched grid axes")
+	}
+}
+
+// TestMergeDirs drives the offline `-merge` path end to end: two worker
+// stores, each holding one shard run as a normal persisted sweep, merge
+// into the single-box report — and refuse to merge when the shard specs
+// don't belong to the same campaign.
+func TestMergeDirs(t *testing.T) {
+	whole := testSpec(8)
+
+	refStore, err := store.Open(filepath.Join(t.TempDir(), "ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSw, err := serve.Create(refStore, "ref", "t", testCreated, whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refSw.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	refSw.Close()
+	want, err := refStore.Report("ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dirs []string
+	for i, sh := range Split(whole, 2) {
+		st, err := store.Open(filepath.Join(t.TempDir(), "worker"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := "c00000" + string(rune('1'+i))
+		sw, err := serve.Create(st, id, "t", testCreated, sh.Spec(whole))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.Run(context.Background(), 2); err != nil {
+			t.Fatal(err)
+		}
+		sw.Close()
+		dirs = append(dirs, filepath.Join(st.Dir(), id))
+	}
+
+	rep, union, err := MergeDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.Seeds != whole.Seeds || union.SeedStart != whole.SeedStart {
+		t.Fatalf("merged spec covers %d+%d, want %d+%d", union.SeedStart, union.Seeds, whole.SeedStart, whole.Seeds)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("MergeDirs report differs from single-box reference")
+	}
+
+	// Mismatched specs refuse to merge: run a different campaign into a
+	// third store and offer it alongside.
+	alien := testSpec(8)
+	alien.Regimes = []string{"midprotocol"}
+	alienStore, err := store.Open(filepath.Join(t.TempDir(), "alien"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asw, err := serve.Create(alienStore, "c000009", "t", testCreated, alien)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asw.Close()
+	if _, _, err := MergeDirs(append(dirs, filepath.Join(alienStore.Dir(), "c000009"))); err == nil {
+		t.Fatal("MergeDirs accepted stores from different campaigns")
+	}
+}

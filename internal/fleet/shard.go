@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cliffedge"
+	"cliffedge/internal/store"
+)
+
+// Shard is one slice of a fleet's seed range: a contiguous sub-range of
+// the campaign spec's seeds, assigned (leased) to one worker at a time.
+// The full grid is cells × seeds × attempts, so partitioning the seed
+// range partitions the grid — every job of the fleet belongs to exactly
+// one shard, and a shard's spec is a valid campaign spec in its own
+// right, which is what lets the coordinator submit it to an unmodified
+// cliffedged worker.
+type Shard struct {
+	Index     int   `json:"index"`
+	SeedStart int64 `json:"seed_start"`
+	Seeds     int   `json:"seeds"`
+
+	// Lease state. Worker is the base URL currently responsible for the
+	// shard, RemoteID the campaign the worker runs it as, and Attempt the
+	// lease generation — bumped every time the shard is re-assigned after
+	// a worker loss. Done means every job of the shard is committed in the
+	// fleet's merged result log (the log, not this flag, is ground truth:
+	// resume recomputes Done from coverage, so a crash between the final
+	// commit and the manifest write costs nothing).
+	Worker   string `json:"worker,omitempty"`
+	RemoteID string `json:"remote_id,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Done     bool   `json:"done,omitempty"`
+}
+
+// Spec returns the shard's own campaign spec: the fleet's spec narrowed
+// to the shard's seed slice. Seeds keep their absolute values, so the
+// shard's jobs carry the same (cell, seed, attempt) coordinates as the
+// fleet's — records merge without translation.
+func (sh *Shard) Spec(fleet cliffedge.CampaignSpec) cliffedge.CampaignSpec {
+	s := fleet
+	s.SeedStart = sh.SeedStart
+	s.Seeds = sh.Seeds
+	s.Workers = 0 // advisory only, and the worker schedules its own pool
+	return s
+}
+
+// Split cuts the spec's seed range into n contiguous shards (fewer when
+// the range has fewer seeds than n; n ≤ 0 panics — callers resolve the
+// default first). Sizes differ by at most one, with the earlier shards
+// taking the remainder.
+func Split(spec cliffedge.CampaignSpec, n int) []*Shard {
+	if n < 1 {
+		panic("fleet: Split needs n ≥ 1")
+	}
+	if n > spec.Seeds {
+		n = spec.Seeds
+	}
+	base, rem := spec.Seeds/n, spec.Seeds%n
+	shards := make([]*Shard, 0, n)
+	next := spec.SeedStart
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		shards = append(shards, &Shard{Index: i, SeedStart: next, Seeds: size})
+		next += int64(size)
+	}
+	return shards
+}
+
+// shardsFile is the fleet's shard-assignment manifest, kept next to the
+// fleet's manifest.json and merged results.log in its store directory.
+const shardsFile = "shards.json"
+
+// saveShards atomically persists the shard table. It is advisory state:
+// the merged result log decides which jobs are committed, the table
+// merely remembers which worker runs which shard (so a restarted
+// coordinator re-attaches to in-flight remote campaigns instead of
+// resubmitting them) and how often each shard has been re-leased.
+func saveShards(st *store.Store, fleetID string, shards []*Shard) error {
+	path, err := st.File(fleetID, shardsFile)
+	if err != nil {
+		return err
+	}
+	return store.WriteJSONAtomic(path, shards)
+}
+
+// loadShards reads the shard table back; ok is false when the file does
+// not exist (a crash between the fleet manifest and the first table
+// write), in which case the caller rebuilds it from the spec.
+func loadShards(st *store.Store, fleetID string) ([]*Shard, bool, error) {
+	path, err := st.File(fleetID, shardsFile)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var shards []*Shard
+	if err := json.Unmarshal(data, &shards); err != nil {
+		return nil, false, fmt.Errorf("fleet: %s: bad shard table: %w", fleetID, err)
+	}
+	return shards, true, nil
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"cliffedge"
+	"cliffedge/internal/campaign"
+)
+
+var testCreated = time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)
+
+func testSpec(seeds int) cliffedge.CampaignSpec {
+	return cliffedge.CampaignSpec{
+		Topologies: []string{"ring"},
+		Regimes:    []string{"quiescent"},
+		Engines:    []string{"sim"},
+		SeedStart:  1,
+		Seeds:      seeds,
+		Repeats:    1,
+	}
+}
+
+// TestSplitPartitions checks that Split tiles the seed range exactly:
+// contiguous, non-overlapping, sizes within one of each other, and the
+// union equal to the input range — for every (seeds, n) shape in a sweep
+// of small cases.
+func TestSplitPartitions(t *testing.T) {
+	for seeds := 1; seeds <= 20; seeds++ {
+		for n := 1; n <= 8; n++ {
+			spec := testSpec(seeds)
+			shards := Split(spec, n)
+			want := n
+			if want > seeds {
+				want = seeds
+			}
+			if len(shards) != want {
+				t.Fatalf("Split(%d seeds, %d) returned %d shards, want %d", seeds, n, len(shards), want)
+			}
+			next := spec.SeedStart
+			min, max := seeds, 0
+			for i, sh := range shards {
+				if sh.Index != i {
+					t.Fatalf("shard %d has index %d", i, sh.Index)
+				}
+				if sh.SeedStart != next {
+					t.Fatalf("shard %d starts at %d, want %d (gap or overlap)", i, sh.SeedStart, next)
+				}
+				if sh.Seeds < 1 {
+					t.Fatalf("shard %d is empty", i)
+				}
+				if sh.Seeds < min {
+					min = sh.Seeds
+				}
+				if sh.Seeds > max {
+					max = sh.Seeds
+				}
+				next += int64(sh.Seeds)
+			}
+			if got := next - spec.SeedStart; int(got) != seeds {
+				t.Fatalf("shards cover %d seeds, want %d", got, seeds)
+			}
+			if max-min > 1 {
+				t.Fatalf("shard sizes spread %d..%d, want within 1", min, max)
+			}
+		}
+	}
+}
+
+// TestShardSpecKeepsAbsoluteSeeds checks the property the whole merge
+// rests on: a shard's spec uses the fleet's absolute seed values, so the
+// shard's jobs are literally a subset of the fleet's jobs.
+func TestShardSpecKeepsAbsoluteSeeds(t *testing.T) {
+	fleet := testSpec(10)
+	fleet.Workers = 7
+	shards := Split(fleet, 3)
+	sub := shards[1].Spec(fleet)
+	if sub.SeedStart != shards[1].SeedStart || sub.Seeds != shards[1].Seeds {
+		t.Fatalf("shard spec range %d+%d, want %d+%d", sub.SeedStart, sub.Seeds, shards[1].SeedStart, shards[1].Seeds)
+	}
+	if sub.Workers != 0 {
+		t.Fatalf("shard spec leaked the fleet's advisory Workers=%d", sub.Workers)
+	}
+	fleetCamp, err := cliffedge.NewCampaignFromSpec(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subCamp, err := cliffedge.NewCampaignFromSpec(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFleet := make(map[campaign.Job]bool)
+	for _, j := range fleetCamp.Jobs() {
+		inFleet[j] = true
+	}
+	for _, j := range subCamp.Jobs() {
+		if !inFleet[j] {
+			t.Fatalf("shard job %v is not a fleet job", j)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -239,6 +240,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/cells", s.handleCells)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReportJSON)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report.json", s.handleReportJSON)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report.csv", s.handleReportCSV)
@@ -442,6 +445,49 @@ func (s *Server) loadReport(id string) (*campaign.Report, error) {
 	return sw.Report(), nil
 }
 
+// handleCells serves the per-cell reports — the full report's Cells and
+// Totals sections without the locality fit. For a running sweep this is a
+// live partial over everything committed so far (the aggregator maintains
+// the cell statistics online, so the snapshot is free); for a finished one
+// it is the persisted report's cell table. Dashboards poll it to watch a
+// sweep converge cell by cell, and a fleet coordinator folds the workers'
+// partials into merged ones.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, err := s.loadReport(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "cells": rep.Cells, "totals": rep.Totals,
+	})
+}
+
+// handleResults serves the campaign's raw result log — the CRC32-framed
+// segment file, byte for byte. This is the fleet coordinator's merge
+// feed: the framing makes the transfer self-validating (a torn tail, or a
+// response truncated by a dying connection, decodes to a clean prefix on
+// the client), and records stream without re-encoding. Reading while the
+// sweep is appending is safe for the same reason: appends are single
+// write calls, so the snapshot ends in at most one partial frame.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	path, err := s.st.File(id, "results.log")
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no results for campaign %q", id)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	flusher, ok := w.(http.Flusher)
@@ -486,7 +532,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if ev.Seq <= since {
 				continue
 			}
-			if err := writeSSE(w, ev); err != nil {
+			if err := WriteSSE(w, ev); err != nil {
 				return
 			}
 		}
@@ -502,7 +548,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		events, wake := sw.EventsSince(since)
 		for _, ev := range events {
-			if err := writeSSE(w, ev); err != nil {
+			if err := WriteSSE(w, ev); err != nil {
 				return
 			}
 			since = ev.Seq
@@ -520,9 +566,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeSSE frames one event: the seq as the SSE id (reconnect cursor),
-// the type as the SSE event name, the JSON document as data.
-func writeSSE(w io.Writer, ev Event) error {
+// WriteSSE frames one event: the seq as the SSE id (reconnect cursor),
+// the type as the SSE event name, the JSON document as data. The fleet
+// coordinator's event streams share the framing, so one SSE client
+// follows both.
+func WriteSSE(w io.Writer, ev Event) error {
 	data, err := json.Marshal(ev)
 	if err != nil {
 		return err

@@ -462,3 +462,73 @@ func TestServerEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestServerCellsAndResults covers the two fleet-facing read endpoints:
+// /cells serves the per-cell partial report of a finished (or running)
+// campaign, and /results serves the raw CRC-framed result log whose clean
+// prefix decodes to exactly one record per completed job.
+func TestServerCellsAndResults(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 2, 4)
+	defer srv.Shutdown()
+
+	id, total := submitCampaign(t, ts.URL, "fleet-f000001", 4)
+	followSSE(t, ts.URL, id, 0) // wait until done
+
+	resp, err := http.Get(ts.URL + "/api/v1/campaigns/" + id + "/cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells struct {
+		ID     string                 `json:"id"`
+		Cells  []campaign.CellReport  `json:"cells"`
+		Totals map[string]interface{} `json:"totals"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cells)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells.ID != id || len(cells.Cells) != 1 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	if got := cells.Cells[0].Runs; got != total {
+		t.Fatalf("cell reports %d runs, want %d", got, total)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("results content-type = %q", ct)
+	}
+	recs, err := store.DecodeRecords(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != total {
+		t.Fatalf("result log decodes to %d records, want %d", len(recs), total)
+	}
+	seen := make(map[campaign.Job]bool)
+	for _, rec := range recs {
+		if seen[rec.Job()] {
+			t.Fatalf("duplicate record for %v", rec.Job())
+		}
+		seen[rec.Job()] = true
+	}
+
+	for _, path := range []string{
+		"/api/v1/campaigns/c999999/cells",
+		"/api/v1/campaigns/c999999/results",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %s, want 404", path, resp.Status)
+		}
+	}
+}

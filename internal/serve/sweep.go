@@ -201,6 +201,35 @@ func (s *Sweep) Commit(job campaign.Job, stats campaign.RunStats, persist bool) 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.commitLocked(job, stats)
+}
+
+// CommitUnique folds the run in unless its job has already committed, and
+// reports whether it was added. This is the fleet-merge write path: a
+// re-assigned shard re-contributes records its lost worker already
+// delivered, and the check-and-append must be one critical section so two
+// shard followers racing on the same job cannot both log it.
+func (s *Sweep) CommitUnique(job campaign.Job, stats campaign.RunStats) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done[job] {
+		return false, nil
+	}
+	if err := s.commitLocked(job, stats); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// IsCommitted reports whether the job's result is already in the log —
+// the fleet coordinator's shard-coverage check.
+func (s *Sweep) IsCommitted(job campaign.Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done[job]
+}
+
+func (s *Sweep) commitLocked(job campaign.Job, stats campaign.RunStats) error {
 	if err := s.results.Append(store.Record{
 		Cell: job.Cell, Seed: job.Seed, Attempt: job.Attempt, Stats: stats,
 	}); err != nil {

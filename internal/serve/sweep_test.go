@@ -211,3 +211,42 @@ func TestSweepEventStream(t *testing.T) {
 		t.Fatalf("EventsSince(-1) returned %d events, want 4", len(neg))
 	}
 }
+
+// TestCommitUnique covers the fleet merge's write primitive: committing
+// the same job twice persists and aggregates it once, emits one event,
+// and reports the duplicate without error — which is what lets a
+// re-assigned shard re-deliver records a lost worker already synced.
+func TestCommitUnique(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Create(st, "c000001", "t", testCreated, testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+
+	ctx := context.Background()
+	jobs := sw.Remaining()
+	stats := sw.RunJob(ctx, jobs[0])
+
+	if fresh, err := sw.CommitUnique(jobs[0], stats); err != nil || !fresh {
+		t.Fatalf("first CommitUnique = (%v, %v), want (true, nil)", fresh, err)
+	}
+	if !sw.IsCommitted(jobs[0]) {
+		t.Fatal("job not reported committed after CommitUnique")
+	}
+	if fresh, err := sw.CommitUnique(jobs[0], stats); err != nil || fresh {
+		t.Fatalf("duplicate CommitUnique = (%v, %v), want (false, nil)", fresh, err)
+	}
+	if sw.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1", sw.Completed())
+	}
+	if events, _ := sw.EventsSince(0); len(events) != 1 {
+		t.Fatalf("%d events after duplicate commit, want 1", len(events))
+	}
+	if sw.IsCommitted(jobs[1]) {
+		t.Fatal("uncommitted job reported committed")
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -111,7 +112,7 @@ func (s *Store) Create(m Manifest) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	return writeJSONAtomic(mpath, m)
+	return WriteJSONAtomic(mpath, m)
 }
 
 // Manifest reads the campaign's manifest.
@@ -139,7 +140,7 @@ func (s *Store) SetStatus(id, status string) error {
 	}
 	m.Status = status
 	dir, _ := s.campaignDir(id)
-	return writeJSONAtomic(filepath.Join(dir, "manifest.json"), m)
+	return WriteJSONAtomic(filepath.Join(dir, "manifest.json"), m)
 }
 
 // List returns every campaign's manifest, sorted by ID. Entries whose
@@ -244,6 +245,42 @@ func (s *Store) OpenResults(id string) (*Results, []Record, error) {
 	return &Results{seg: seg}, recs, nil
 }
 
+// DecodeRecords replays a stream of segment-log bytes — a results.log
+// fetched over the network, or an offline copy — into records. Like
+// OpenSegment it stops at the first torn or corrupt frame, so a log read
+// while its writer is mid-append simply yields the clean prefix; unlike
+// OpenSegment it never touches the filesystem. Undecodable payloads
+// (schema drift, not corruption — the framing already screened that out)
+// abort the decode.
+func DecodeRecords(r io.Reader) ([]Record, error) {
+	payloads, _, err := replay(r)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]Record, 0, len(payloads))
+	for i, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return nil, fmt.Errorf("store: record %d: %w", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// File validates id and returns the path of one of the campaign's files
+// (e.g. "results.log", "shards.json") without creating anything. Layered
+// stores — the fleet coordinator keeps its shard-assignment manifest next
+// to the campaign's own files — use it to stay inside the store's
+// one-directory-per-campaign layout.
+func (s *Store) File(id, name string) (string, error) {
+	dir, err := s.campaignDir(id)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, name), nil
+}
+
 // Append durably records one completed run.
 func (r *Results) Append(rec Record) error {
 	payload, err := json.Marshal(rec)
@@ -262,9 +299,12 @@ func (r *Results) Close() error {
 	return r.seg.Close()
 }
 
-// writeJSONAtomic marshals v (indented, for hand inspection) and installs
-// it via writeFileAtomic.
-func writeJSONAtomic(path string, v any) error {
+// WriteJSONAtomic marshals v (indented, for hand inspection) and installs
+// it with a temp-file-plus-rename, the store's convention for every
+// manifest-shaped file: readers never observe a partial document. Layered
+// stores (the fleet coordinator's shard manifest) share it so all their
+// metadata has the same crash behaviour.
+func WriteJSONAtomic(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err

@@ -385,3 +385,83 @@ func buildFrame(payload []byte) []byte {
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
 	return append(out, payload...)
 }
+
+func TestDecodeRecordsMatchesOpenAndToleratesTornTail(t *testing.T) {
+	// DecodeRecords is the network twin of OpenResults: the fleet
+	// coordinator feeds it a worker's results.log fetched over HTTP. It
+	// must decode exactly what a local open would replay, and a stream cut
+	// mid-frame — the worker died mid-transfer, or the log was snapshotted
+	// mid-append — must degrade to the clean prefix, never to an error or
+	// a corrupt record.
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(Manifest{ID: "c000001", Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.OpenResults("c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 5; i++ {
+		rec := testRecord(i)
+		want = append(want, rec)
+		if err := res.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res.Close()
+
+	path, err := s.File("c000001", "results.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeRecords(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("DecodeRecords:\n got %+v\nwant %+v", recs, want)
+	}
+
+	// Every possible truncation point yields some clean prefix of the
+	// records, monotonically shrinking as the cut moves left.
+	for cut := len(raw); cut >= 0; cut-- {
+		recs, err := DecodeRecords(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) > len(want) {
+			t.Fatalf("cut %d: %d records from a %d-record log", cut, len(recs), len(want))
+		}
+		if !reflect.DeepEqual(recs, want[:len(recs)]) {
+			t.Fatalf("cut %d: decoded records are not a prefix of the originals", cut)
+		}
+	}
+
+	// A framing-valid payload that isn't a Record document is schema
+	// drift, not corruption: that must error rather than silently merge
+	// garbage into a fleet.
+	driftPath := filepath.Join(t.TempDir(), "drift.log")
+	seg, _, err := OpenSegment(driftPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Append([]byte(`["not", "a", "record"]`)); err != nil {
+		t.Fatal(err)
+	}
+	seg.Close()
+	drift, err := os.ReadFile(driftPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRecords(bytes.NewReader(drift)); err == nil {
+		t.Fatal("DecodeRecords accepted a non-Record payload")
+	}
+}
