@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,30 +47,44 @@ import (
 	"cliffedge"
 	"cliffedge/internal/fleet"
 	"cliffedge/internal/gen"
+	"cliffedge/internal/obs"
 	"cliffedge/internal/serve"
 	"cliffedge/internal/store"
 )
 
+// logger is the process-wide structured log, configured by -log-level
+// and -log-format before anything else runs.
+var logger *slog.Logger
+
 func main() {
 	var (
-		topos    = flag.String("topos", "all", "comma-separated topology families ("+strings.Join(gen.FamilyNames(), ", ")+") or all")
-		regimes  = flag.String("regimes", "all", "comma-separated fault regimes ("+strings.Join(gen.RegimeNames(), ", ")+") or all")
-		engines  = flag.String("engines", "sim", "comma-separated engines (sim, live)")
-		seeds    = flag.Int("seeds", 16, "seeds per cell (each seed is one workload)")
-		seed0    = flag.Int64("seed-start", 1, "first seed of the range")
-		repeats  = flag.Int("repeats", 1, "attempts per workload (repeats > 1 measure cross-run agreement)")
-		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
-		jsonOut  = flag.String("json", "", "write the JSON report to this file (- for stdout)")
-		csvOut   = flag.String("csv", "", "write the per-cell CSV to this file (- for stdout)")
-		quiet    = flag.Bool("quiet", false, "suppress the text summary")
-		fail     = flag.Bool("fail", false, "exit non-zero on any run error, property violation or zero-decision cell")
-		storeDir = flag.String("store", "", "persist the sweep under this directory (resumable; shared with cliffedged)")
-		resume   = flag.String("resume", "", "resume the persisted campaign with this ID (requires -store; grid flags are ignored — the stored spec wins)")
-		traces   = flag.String("traces", "", "stream every run's full binary trace into this directory, one file per job (created if absent; convert with cliffedge-trace)")
-		merge    = flag.Bool("merge", false, "merge the argument campaign directories (shards of one campaign) into a single report instead of running anything")
+		topos     = flag.String("topos", "all", "comma-separated topology families ("+strings.Join(gen.FamilyNames(), ", ")+") or all")
+		regimes   = flag.String("regimes", "all", "comma-separated fault regimes ("+strings.Join(gen.RegimeNames(), ", ")+") or all")
+		engines   = flag.String("engines", "sim", "comma-separated engines (sim, live)")
+		seeds     = flag.Int("seeds", 16, "seeds per cell (each seed is one workload)")
+		seed0     = flag.Int64("seed-start", 1, "first seed of the range")
+		repeats   = flag.Int("repeats", 1, "attempts per workload (repeats > 1 measure cross-run agreement)")
+		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
+		jsonOut   = flag.String("json", "", "write the JSON report to this file (- for stdout)")
+		csvOut    = flag.String("csv", "", "write the per-cell CSV to this file (- for stdout)")
+		quiet     = flag.Bool("quiet", false, "suppress the text summary")
+		fail      = flag.Bool("fail", false, "exit non-zero on any run error, property violation or zero-decision cell")
+		storeDir  = flag.String("store", "", "persist the sweep under this directory (resumable; shared with cliffedged)")
+		resume    = flag.String("resume", "", "resume the persisted campaign with this ID (requires -store; grid flags are ignored — the stored spec wins)")
+		traces    = flag.String("traces", "", "stream every run's full binary trace into this directory, one file per job (created if absent; convert with cliffedge-trace)")
+		merge     = flag.Bool("merge", false, "merge the argument campaign directories (shards of one campaign) into a single report instead of running anything")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+
+	var err error
+	if logger, err = obs.NewLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "cliffedge-campaign:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 
 	if *merge {
 		runMerge(flag.Args(), *jsonOut, *csvOut, *quiet, *fail)
@@ -148,7 +163,7 @@ func main() {
 		if *fail {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "cliffedge-campaign: warning:", err)
+		logger.Warn("report carries failures", "err", err)
 	}
 }
 
@@ -175,8 +190,8 @@ func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Ca
 		if sw, err = serve.Open(st, resumeID, extra...); err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "cliffedge-campaign: resuming %s (%d/%d runs already committed)\n",
-			resumeID, sw.Completed(), sw.Total())
+		logger.Info("resuming persistent sweep", "campaign", resumeID,
+			"completed", sw.Completed(), "total", sw.Total())
 	} else {
 		id, err := serve.AllocateID(st)
 		if err != nil {
@@ -185,14 +200,13 @@ func runPersistent(ctx context.Context, dir, resumeID string, camp *cliffedge.Ca
 		if sw, err = serve.Create(st, id, "cli", time.Now().UTC(), camp.Spec(), extra...); err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "cliffedge-campaign: persistent sweep %s (%d runs) in %s\n",
-			id, sw.Total(), dir)
+		logger.Info("persistent sweep created", "campaign", id, "runs", sw.Total(), "store", dir)
 	}
 	defer sw.Close()
 	rep, err := sw.Run(ctx, workers)
 	if err != nil && ctx.Err() != nil {
-		fmt.Fprintf(os.Stderr, "cliffedge-campaign: interrupted at %d/%d; resume with: cliffedge-campaign -store %s -resume %s\n",
-			sw.Completed(), sw.Total(), dir, sw.ID)
+		logger.Warn("interrupted; resume with -store/-resume", "campaign", sw.ID,
+			"completed", sw.Completed(), "total", sw.Total(), "store", dir)
 	}
 	return rep, err
 }
@@ -210,8 +224,8 @@ func runMerge(dirs []string, jsonOut, csvOut string, quiet, failOn bool) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cliffedge-campaign: merged %d stores covering seeds %d-%d\n",
-		len(dirs), spec.SeedStart, spec.SeedStart+int64(spec.Seeds)-1)
+	logger.Info("merged shard stores", "stores", len(dirs),
+		"seed_start", spec.SeedStart, "seed_end", spec.SeedStart+int64(spec.Seeds)-1)
 	if !quiet {
 		if err := rep.WriteText(os.Stdout); err != nil {
 			fatal(err)
@@ -227,7 +241,7 @@ func runMerge(dirs []string, jsonOut, csvOut string, quiet, failOn bool) {
 		if failOn {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "cliffedge-campaign: warning:", err)
+		logger.Warn("report carries failures", "err", err)
 	}
 }
 
@@ -251,6 +265,10 @@ func emit(path string, fn func(io.Writer) error) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cliffedge-campaign:", err)
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "cliffedge-campaign:", err)
+	}
 	os.Exit(1)
 }

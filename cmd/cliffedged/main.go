@@ -37,6 +37,11 @@
 //	    "engines": ["sim"], "seed_start": 1, "seeds": 600, "repeats": 1}'
 //	curl -N localhost:8090/api/v1/fleets/f000001/events      # merged SSE
 //	curl    localhost:8090/api/v1/fleets/f000001/report.json
+//
+// Observability: both modes expose GET /metrics (Prometheus text format)
+// and a JSON /healthz on the main listener; -debug-addr opens a second,
+// private listener with net/http/pprof and a /metrics mirror. -log-level
+// and -log-format control the structured (log/slog) operational log.
 package main
 
 import (
@@ -44,8 +49,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +62,7 @@ import (
 
 	"cliffedge"
 	"cliffedge/internal/fleet"
+	"cliffedge/internal/obs"
 	"cliffedge/internal/serve"
 )
 
@@ -71,10 +78,20 @@ func main() {
 		shards      = flag.Int("shards", 0, "coordinator: shards per fleet (0 = 4×workers, capped at the seed count)")
 		perWorker   = flag.Int("per-worker", 2, "coordinator: max concurrently leased shards per worker")
 		workerLoss  = flag.Duration("worker-timeout", 15*time.Second, "coordinator: re-lease a worker's shards after contact failures persist this long")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "private debug listener with net/http/pprof and /metrics (empty = off)")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "cliffedged: ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cliffedged:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	startDebug(logger, *debugAddr)
+
 	if *coordinator {
 		runCoordinator(logger, *addr, *storeDir, *workers, *shards, *perWorker, *workerLoss)
 		return
@@ -84,7 +101,7 @@ func main() {
 	if *workers != "" {
 		n, err := strconv.Atoi(*workers)
 		if err != nil {
-			logger.Fatalf("-workers must be a pool size in worker mode (worker URLs need -coordinator): %v", err)
+			fatal(logger, "-workers must be a pool size in worker mode (worker URLs need -coordinator)", "err", err)
 		}
 		pool = n
 	}
@@ -101,18 +118,47 @@ func main() {
 		MaxPerClient:   *maxClient,
 		ClusterOptions: copts,
 		PersistTraces:  *traces,
-		Logf:           logger.Printf,
+		Logger:         logger.With("component", "serve"),
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(logger, "cannot start server", "err", err)
 	}
-	logger.Printf("listening on %s, store %s, %d workers", *addr, *storeDir, pool)
+	logger.Info("listening", "addr", *addr, "store", *storeDir, "workers", pool)
 	serveHTTP(logger, *addr, srv.Handler(), srv.Shutdown)
+}
+
+// fatal logs at error level and exits non-zero — the slog analogue of
+// log.Fatal.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// startDebug opens the opt-in private listener: the standard pprof
+// endpoints plus a /metrics mirror, so profiling and scraping never have
+// to ride the public API listener.
+func startDebug(logger *slog.Logger, addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", obs.Handler())
+	go func() {
+		logger.Info("debug listener", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logger.Error("debug listener failed", "err", err)
+		}
+	}()
 }
 
 // runCoordinator is the -coordinator main: shard fleets across the worker
 // URLs, mirror the campaign API under /api/v1/fleets.
-func runCoordinator(logger *log.Logger, addr, storeDir, workerList string, shards, perWorker int, workerTimeout time.Duration) {
+func runCoordinator(logger *slog.Logger, addr, storeDir, workerList string, shards, perWorker int, workerTimeout time.Duration) {
 	var urls []string
 	for _, u := range strings.Split(workerList, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -120,19 +166,19 @@ func runCoordinator(logger *log.Logger, addr, storeDir, workerList string, shard
 		}
 	}
 	if len(urls) == 0 {
-		logger.Fatal("-coordinator needs -workers with at least one worker base URL")
+		fatal(logger, "-coordinator needs -workers with at least one worker base URL")
 	}
 	co, err := fleet.NewCoordinator(storeDir, fleet.Config{
 		Workers:       urls,
 		Shards:        shards,
 		PerWorker:     perWorker,
 		WorkerTimeout: workerTimeout,
-		Logf:          logger.Printf,
+		Logger:        logger.With("component", "fleet"),
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(logger, "cannot start coordinator", "err", err)
 	}
-	logger.Printf("coordinating %d workers on %s, store %s", len(urls), addr, storeDir)
+	logger.Info("coordinating", "workers", len(urls), "addr", addr, "store", storeDir)
 	serveHTTP(logger, addr, fleet.NewServer(co).Handler(), co.Shutdown)
 }
 
@@ -140,7 +186,7 @@ func runCoordinator(logger *log.Logger, addr, storeDir, workerList string, shard
 // accepting requests and shuts the core down. In-flight work aborts and
 // unfinished sweeps/fleets keep their "running" manifests, so the next
 // start resumes them.
-func serveHTTP(logger *log.Logger, addr string, handler http.Handler, shutdown func()) {
+func serveHTTP(logger *slog.Logger, addr string, handler http.Handler, shutdown func()) {
 	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -149,9 +195,9 @@ func serveHTTP(logger *log.Logger, addr string, handler http.Handler, shutdown f
 	defer stop()
 	select {
 	case <-ctx.Done():
-		logger.Printf("shutting down")
+		logger.Info("shutting down")
 	case err := <-errCh:
-		logger.Printf("http server: %v", err)
+		logger.Error("http server failed", "err", err)
 		shutdown()
 		os.Exit(1)
 	}
@@ -159,8 +205,8 @@ func serveHTTP(logger *log.Logger, addr string, handler http.Handler, shutdown f
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown failed", "err", err)
 	}
 	shutdown()
-	fmt.Fprintln(os.Stderr, "cliffedged: stopped")
+	logger.Info("stopped")
 }

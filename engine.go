@@ -176,6 +176,7 @@ func attachNetStats(res *Result, net *netem.Net) {
 	if net != nil {
 		s := net.Stats()
 		res.Net = &s
+		net.PublishMetrics()
 	}
 }
 

@@ -200,7 +200,7 @@ func (r *Runner) Execute(ctx context.Context, jobs []Job) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for job := range feed {
-				res := r.Run(job)
+				res := r.runJob(job)
 				agg.Add(job, res)
 				if r.OnResult != nil {
 					r.OnResult(job, res)
@@ -209,16 +209,21 @@ func (r *Runner) Execute(ctx context.Context, jobs []Job) (*Report, error) {
 		}()
 	}
 
+	mQueueDepth.Add(int64(len(jobs)))
 	var err error
+	dispatched := 0
 dispatch:
 	for _, job := range jobs {
 		select {
 		case feed <- job:
+			dispatched++
+			mQueueDepth.Add(-1)
 		case <-ctx.Done():
 			err = ctx.Err()
 			break dispatch
 		}
 	}
+	mQueueDepth.Add(-int64(len(jobs) - dispatched)) // cancelled remainder
 	close(feed)
 	wg.Wait()
 	return agg.Report(), err

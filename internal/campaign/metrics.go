@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"time"
+
+	"cliffedge/internal/obs"
+)
+
+// Pool metrics cost a handful of atomics per job — each job is a full
+// protocol run, so the overhead is invisible next to the work it counts.
+var (
+	mJobsStarted = obs.NewCounter("cliffedge_campaign_jobs_started_total",
+		"Campaign jobs handed to a worker.")
+	mJobsCompleted = obs.NewCounter("cliffedge_campaign_jobs_completed_total",
+		"Campaign jobs that ran to completion (including skips and errors).")
+	mJobErrors = obs.NewCounter("cliffedge_campaign_job_errors_total",
+		"Campaign jobs whose run reported an error.")
+	mJobsSkipped = obs.NewCounter("cliffedge_campaign_jobs_skipped_total",
+		"Campaign jobs skipped by the workload generator.")
+	mQueueDepth = obs.NewGauge("cliffedge_campaign_queue_depth",
+		"Jobs accepted by Execute and not yet handed to a worker.")
+	mBusyWorkers = obs.NewGauge("cliffedge_campaign_busy_workers",
+		"Worker goroutines currently inside a run.")
+	mJobDuration = obs.NewHistogram("cliffedge_campaign_job_duration_us",
+		"Wall-clock duration of one campaign job, microseconds.")
+)
+
+// runJob wraps one worker iteration with its occupancy and latency
+// bookkeeping.
+func (r *Runner) runJob(job Job) RunStats {
+	mJobsStarted.Inc()
+	mBusyWorkers.Add(1)
+	start := time.Now()
+	res := r.Run(job)
+	mJobDuration.Observe(time.Since(start).Microseconds())
+	mBusyWorkers.Add(-1)
+	mJobsCompleted.Inc()
+	if res.Err != "" {
+		mJobErrors.Inc()
+	}
+	if res.Skipped {
+		mJobsSkipped.Inc()
+	}
+	return res
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 
 	"cliffedge"
 	"cliffedge/internal/campaign"
+	"cliffedge/internal/obs"
 	"cliffedge/internal/serve"
 	"cliffedge/internal/store"
 )
@@ -64,7 +66,11 @@ type Config struct {
 	// are applied by the coordinator. Defaults to a fresh client.
 	Client *http.Client
 
-	// Logf receives progress lines; nil discards them.
+	// Logger receives progress records (nil: Logf if set, else discard).
+	Logger *slog.Logger
+
+	// Logf is the legacy printf sink, kept for tests that pass t.Logf;
+	// when set (and Logger is nil) it is adapted with obs.LogfLogger.
 	Logf func(format string, args ...any)
 
 	// now stubs time for tests.
@@ -84,8 +90,12 @@ func (c Config) withDefaults() Config {
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			c.Logger = obs.LogfLogger(c.Logf)
+		} else {
+			c.Logger = slog.New(slog.DiscardHandler)
+		}
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -111,8 +121,9 @@ type worker struct {
 // server-side core of `cliffedged -coordinator`: Submit starts a fleet,
 // NewCoordinator resumes the running ones from disk.
 type Coordinator struct {
-	st  *store.Store
-	cfg Config
+	st      *store.Store
+	cfg     Config
+	started time.Time
 
 	wmu     sync.Mutex
 	workers []*worker
@@ -139,7 +150,7 @@ func NewCoordinator(dataDir string, cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	co := &Coordinator{st: st, cfg: cfg, fleets: make(map[string]*Fleet)}
+	co := &Coordinator{st: st, cfg: cfg, started: time.Now(), fleets: make(map[string]*Fleet)}
 	for _, url := range cfg.Workers {
 		co.workers = append(co.workers, &worker{
 			url: strings.TrimRight(url, "/"),
@@ -163,10 +174,11 @@ func NewCoordinator(dataDir string, cfg Config) (*Coordinator, error) {
 		}
 		f, err := co.openFleet(m)
 		if err != nil {
-			co.cfg.Logf("fleet: cannot resume %s: %v", m.ID, err)
+			co.cfg.Logger.Warn("cannot resume fleet", "fleet", m.ID, "err", err)
 			continue
 		}
-		co.cfg.Logf("fleet: resuming %s (%d/%d jobs committed)", f.ID, f.sw.Completed(), f.sw.Total())
+		co.cfg.Logger.Info("resuming fleet", "fleet", f.ID,
+			"completed", f.sw.Completed(), "total", f.sw.Total())
 		co.startFleet(f)
 	}
 	return co, nil
@@ -198,8 +210,8 @@ func (co *Coordinator) Submit(spec cliffedge.CampaignSpec, client string) (*Flee
 		sw.Close()
 		return nil, err
 	}
-	co.cfg.Logf("fleet: %s submitted by %s (%d jobs, %d shards, %d workers)",
-		id, client, sw.Total(), len(f.shards), len(co.workers))
+	co.cfg.Logger.Info("fleet submitted", "fleet", id, "client", client,
+		"jobs", sw.Total(), "shards", len(f.shards), "workers", len(co.workers))
 	co.startFleet(f)
 	return f, nil
 }
@@ -359,7 +371,8 @@ func (co *Coordinator) markLost(w *worker) {
 	defer co.wmu.Unlock()
 	if !w.lost {
 		w.lost = true
-		co.cfg.Logf("fleet: worker %s lost", w.url)
+		mWorkersLost.Add(1)
+		co.cfg.Logger.Warn("worker lost", "worker", w.url)
 	}
 }
 
@@ -374,6 +387,7 @@ func (co *Coordinator) probeLost() {
 			continue
 		}
 		w.probing = true
+		mProbes.Inc()
 		go func(w *worker) {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			healthy := w.wc.Healthy(ctx)
@@ -382,7 +396,8 @@ func (co *Coordinator) probeLost() {
 			w.probing = false
 			if healthy && w.lost {
 				w.lost = false
-				co.cfg.Logf("fleet: worker %s back", w.url)
+				mWorkersLost.Add(-1)
+				co.cfg.Logger.Info("worker back", "worker", w.url)
 			}
 			co.wmu.Unlock()
 		}(w)
@@ -483,7 +498,9 @@ type shardMsg struct {
 func (f *Fleet) run() {
 	defer f.co.wg.Done()
 	defer f.sw.Close()
-	logf := f.co.cfg.Logf
+	mActiveFleets.Add(1)
+	defer mActiveFleets.Add(-1)
+	log := f.co.cfg.Logger.With("fleet", f.ID)
 
 	msgs := make(chan shardMsg)
 	tick := time.NewTicker(flushEvery)
@@ -521,7 +538,8 @@ func (f *Fleet) run() {
 				}
 				running[i] = true
 				inflight++
-				logf("fleet: %s shard %d -> %s (attempt %d)", f.ID, i, w.url, sh.Attempt)
+				mLeases.Inc()
+				log.Info("shard leased", "shard", i, "worker", w.url, "attempt", sh.Attempt)
 				go f.driveShard(w, lease, msgs)
 			}
 		}
@@ -536,14 +554,14 @@ func (f *Fleet) run() {
 
 		if pending == 0 && inflight == 0 {
 			if err := f.sw.Finish(); err != nil {
-				logf("fleet: %s finish: %v", f.ID, err)
+				log.Error("finish failed", "err", err)
 				return
 			}
-			logf("fleet: %s done (%d jobs)", f.ID, f.sw.Total())
+			log.Info("fleet done", "jobs", f.sw.Total())
 			return
 		}
 		if failed != "" && inflight == 0 {
-			logf("fleet: %s stalled: %s (manifest stays running; restart to retry)", f.ID, failed)
+			log.Error("fleet stalled; manifest stays running, restart to retry", "reason", failed)
 			return
 		}
 
@@ -568,9 +586,9 @@ func (f *Fleet) run() {
 			if cancelled {
 				f.cancelRemotes(shards)
 				if err := f.sw.Cancel(); err != nil {
-					logf("fleet: %s cancel: %v", f.ID, err)
+					log.Error("cancel failed", "err", err)
 				}
-				logf("fleet: %s cancelled", f.ID)
+				log.Info("fleet cancelled")
 			}
 			return
 		}
@@ -578,7 +596,7 @@ func (f *Fleet) run() {
 }
 
 func (f *Fleet) handle(msg shardMsg, terminalMsg func(shardMsg)) {
-	logf := f.co.cfg.Logf
+	log := f.co.cfg.Logger.With("fleet", f.ID)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	sh := f.shards[msg.index]
@@ -588,17 +606,21 @@ func (f *Fleet) handle(msg shardMsg, terminalMsg func(shardMsg)) {
 	case msgDone:
 		terminalMsg(msg)
 		sh.Done = true
-		logf("fleet: %s shard %d complete on %s", f.ID, msg.index, msg.worker.url)
+		mShardsDone.Inc()
+		log.Info("shard complete", "shard", msg.index, "worker", msg.worker.url)
 	case msgLost:
 		terminalMsg(msg)
 		f.co.markLost(msg.worker)
 		sh.Attempt++
-		logf("fleet: %s shard %d orphaned by %s (%v); re-leasing", f.ID, msg.index, msg.worker.url, msg.err)
+		mReassignments.Inc()
+		log.Warn("shard orphaned; re-leasing", "shard", msg.index,
+			"worker", msg.worker.url, "err", msg.err)
 	case msgRetry:
 		terminalMsg(msg)
 		sh.RemoteID = ""
 		sh.Attempt++
-		logf("fleet: %s shard %d must re-run (%v)", f.ID, msg.index, msg.err)
+		mReassignments.Inc()
+		log.Warn("shard must re-run", "shard", msg.index, "err", msg.err)
 	case msgAborted:
 		terminalMsg(msg)
 	}
@@ -606,7 +628,7 @@ func (f *Fleet) handle(msg shardMsg, terminalMsg func(shardMsg)) {
 		f.failure = fmt.Sprintf("shard %d failed %d times (last: %v)", msg.index, sh.Attempt, msg.err)
 	}
 	if err := saveShards(f.co.st, f.ID, f.shards); err != nil {
-		logf("fleet: %s: persisting shard table: %v", f.ID, err)
+		log.Error("persisting shard table failed", "err", err)
 	}
 }
 
@@ -823,13 +845,20 @@ func (f *Fleet) syncShard(ctx context.Context, wc *workerClient, remoteID string
 	if err != nil {
 		return err
 	}
+	mSyncBatches.Inc()
 	for _, rec := range recs {
 		if !f.inGrid[rec.Job()] {
 			return fmt.Errorf("worker returned record outside the fleet grid: %s seed %d attempt %d",
 				rec.Cell, rec.Seed, rec.Attempt)
 		}
-		if _, err := f.sw.CommitUnique(rec.Job(), rec.Stats); err != nil {
+		added, err := f.sw.CommitUnique(rec.Job(), rec.Stats)
+		if err != nil {
 			return err
+		}
+		if added {
+			mRecordsMerged.Inc()
+		} else {
+			mRecordsDeduped.Inc()
 		}
 	}
 	return nil

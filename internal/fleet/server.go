@@ -12,6 +12,7 @@ import (
 
 	"cliffedge"
 	"cliffedge/internal/campaign"
+	"cliffedge/internal/obs"
 	"cliffedge/internal/serve"
 	"cliffedge/internal/store"
 )
@@ -27,13 +28,14 @@ type Server struct {
 // NewServer wraps a coordinator.
 func NewServer(co *Coordinator) *Server { return &Server{co: co} }
 
-// Handler returns the coordinator's route table.
+// Handler returns the coordinator's route table, wrapped in the shared
+// per-route request middleware. Like the worker's, /healthz stays a 200
+// for probes while carrying the JSON status document, and /metrics
+// exposes the whole process's registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler())
 	mux.HandleFunc("POST /api/v1/fleets", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/fleets", s.handleList)
 	mux.HandleFunc("GET /api/v1/fleets/{id}", s.handleStatus)
@@ -43,7 +45,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/fleets/{id}/report", s.handleReportJSON)
 	mux.HandleFunc("GET /api/v1/fleets/{id}/report.json", s.handleReportJSON)
 	mux.HandleFunc("GET /api/v1/fleets/{id}/report.csv", s.handleReportCSV)
-	return mux
+	return obs.InstrumentHTTP(mux)
+}
+
+// handleHealthz serves the coordinator's JSON status document.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.co.wmu.Lock()
+	lost := 0
+	for _, wk := range s.co.workers {
+		if wk.lost {
+			lost++
+		}
+	}
+	workers := len(s.co.workers)
+	s.co.wmu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.co.started).Seconds()),
+		"build":          obs.BuildInfo(),
+		"active_fleets":  mActiveFleets.Load(),
+		"workers":        workers,
+		"workers_lost":   lost,
+	})
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

@@ -59,6 +59,7 @@ type mailbox struct {
 	buf    []envelope // power-of-two ring; nil until the first put
 	head   int        // masked index of the next envelope to dequeue
 	count  int
+	peak   int // deepest backlog this run; flushed to metrics at Result
 	closed bool
 }
 
@@ -72,6 +73,9 @@ func (m *mailbox) put(e envelope) {
 		}
 		m.buf[(m.head+m.count)&(len(m.buf)-1)] = e
 		m.count++
+		if m.count > m.peak {
+			m.peak = m.count
+		}
 	}
 	m.mu.Unlock()
 	m.cond.Signal()
@@ -209,9 +213,10 @@ type Runtime struct {
 	// crash is united with its already-crashed neighbours, so the faulty
 	// domains of the run are available at any time without a
 	// ConnectedComponents recomputation. Guarded by mu.
-	regions *dsu.DSU
-	wg      sync.WaitGroup
-	stopped bool
+	regions   *dsu.DSU
+	wg        sync.WaitGroup
+	stopped   bool
+	published bool // metrics flushed once, by the first Result call
 }
 
 // Options configures optional Runtime behaviour.
@@ -673,6 +678,7 @@ func (rt *Runtime) Result() *Result {
 			decisions[id] = d
 		}
 	}
+	rt.publishMetrics(stats)
 	return &Result{
 		Events:    events,
 		Stats:     stats,

@@ -1,0 +1,45 @@
+package livenet
+
+import (
+	"cliffedge/internal/obs"
+	"cliffedge/internal/trace"
+)
+
+// Live-runtime metrics are flushed once per run when the stopped
+// runtime's Result is assembled: mailbox depth peaks are plain ints
+// maintained under the mailbox's existing lock, and the logical clock is
+// the atomic the runtime already ticks — the goroutine hot paths gain no
+// new synchronisation.
+var (
+	mLiveRuns = obs.NewCounter("cliffedge_live_runs_total",
+		"Live (goroutine) runtime runs completed.")
+	mLiveSends = obs.NewCounter("cliffedge_live_sends_total",
+		"Protocol messages sent through the live runtime.")
+	mLiveDeliveries = obs.NewCounter("cliffedge_live_deliveries_total",
+		"Protocol messages delivered through the live runtime.")
+	mLiveTicks = obs.NewCounter("cliffedge_live_ticks_total",
+		"Logical clock ticks consumed by live runs.")
+	mLiveMailboxPeak = obs.NewGauge("cliffedge_live_mailbox_peak_depth",
+		"Deepest per-node mailbox backlog observed over the process lifetime.")
+)
+
+// publishMetrics flushes one stopped run's aggregates. Called from
+// Result, which runs after Stop's wg.Wait — every mailbox is closed and
+// its peak final, so the plain-int reads need no locks.
+func (rt *Runtime) publishMetrics(stats trace.Stats) {
+	if rt.published {
+		return
+	}
+	rt.published = true
+	mLiveRuns.Inc()
+	mLiveSends.Add(uint64(stats.Messages))
+	mLiveDeliveries.Add(uint64(stats.Deliveries))
+	mLiveTicks.Add(uint64(rt.clock.Load()))
+	peak := 0
+	for i := range rt.boxes {
+		if p := rt.boxes[i].peak; p > peak {
+			peak = p
+		}
+	}
+	mLiveMailboxPeak.Ratchet(int64(peak))
+}

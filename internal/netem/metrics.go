@@ -1,0 +1,38 @@
+package netem
+
+import "cliffedge/internal/obs"
+
+// The link-layer counters are per-Net atomics already (Stats snapshots
+// them); the process-wide series are fed by one PublishMetrics call per
+// run, so Adjudicate — the pure hot function — is untouched.
+var (
+	mSent = obs.NewCounter("cliffedge_netem_sent_total",
+		"Transmissions adjudicated by the link-fault model.")
+	mDelivered = obs.NewCounter("cliffedge_netem_delivered_total",
+		"Copies delivered through the link-fault model (duplicates count twice).")
+	mDropped = obs.NewCounter("cliffedge_netem_dropped_total",
+		"Transmissions lost for good (raw-loss mode).")
+	mRetransmits = obs.NewCounter("cliffedge_netem_retransmits_total",
+		"Link-layer resends charged by retransmit mode.")
+	mDuplicates = obs.NewCounter("cliffedge_netem_duplicates_total",
+		"Extra copies delivered (raw-loss mode).")
+	mDelayTicks = obs.NewCounter("cliffedge_netem_delay_ticks_total",
+		"Extra delay ticks imposed across all deliveries.")
+)
+
+// PublishMetrics folds the model's run counters into the process-wide
+// metrics. Call once per finished run (the engines do, when they snapshot
+// Stats onto the result); a nil receiver — an unconditioned run — is a
+// no-op.
+func (n *Net) PublishMetrics() {
+	if n == nil {
+		return
+	}
+	s := n.Stats()
+	mSent.Add(uint64(s.Sent))
+	mDelivered.Add(uint64(s.Delivered))
+	mDropped.Add(uint64(s.Dropped))
+	mRetransmits.Add(uint64(s.Retransmits))
+	mDuplicates.Add(uint64(s.Duplicates))
+	mDelayTicks.Add(uint64(s.DelayTicks))
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families in name order, series in label order,
+// histograms as cumulative _bucket/_sum/_count triples. Counter and gauge
+// reads are single atomic loads, so scraping concurrently with hot-path
+// updates is safe and never blocks them.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, s.labels, strconv.FormatUint(s.c.Load(), 10))
+			case kindGauge:
+				writeSample(bw, f.name, s.labels, strconv.FormatInt(s.g.Load(), 10))
+			case kindGaugeFunc:
+				v := 0.0
+				if s.f != nil {
+					v = s.f()
+				}
+				writeSample(bw, f.name, s.labels, strconv.FormatFloat(v, 'g', -1, 64))
+			case kindHistogram:
+				writeHistogram(bw, f.name, s.labels, s.h.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series. The le bound of each
+// bucket is its largest contained integer (values are int64, buckets are
+// [Lo, Hi)), so cumulative counts are exact, not approximations.
+func writeHistogram(w *bufio.Writer, name, labels string, h Hist) {
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		writeSample(w, name+"_bucket",
+			joinLabels(labels, `le="`+strconv.FormatInt(b.Hi-1, 10)+`"`),
+			strconv.FormatInt(cum, 10))
+	}
+	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`),
+		strconv.FormatInt(h.Count(), 10))
+	writeSample(w, name+"_sum", labels, strconv.FormatInt(h.sum, 10))
+	writeSample(w, name+"_count", labels, strconv.FormatInt(h.Count(), 10))
+}
+
+func writeSample(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler serves the registry as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the Default registry.
+func Handler() http.Handler { return Default.Handler() }

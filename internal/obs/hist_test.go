@@ -1,4 +1,4 @@
-package campaign
+package obs
 
 import (
 	"math/rand"

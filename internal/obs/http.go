@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+var (
+	httpRequests = NewCounterVec("cliffedge_http_requests_total",
+		"HTTP requests served, by matched route pattern and status code.",
+		"route", "code")
+	httpLatency = NewHistogramVec("cliffedge_http_request_duration_us",
+		"HTTP request latency in microseconds, by matched route pattern.",
+		"route")
+)
+
+// InstrumentHTTP wraps a ServeMux-backed handler with request metrics:
+// a per-route request counter (by status code) and a per-route latency
+// histogram. Routes are labeled by the mux's matched pattern
+// (http.Request.Pattern), so path parameters don't explode cardinality.
+func InstrumentHTTP(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		httpRequests.With(route, strconv.Itoa(code)).Inc()
+		httpLatency.With(route).Observe(time.Since(start).Microseconds())
+	})
+}
+
+// statusWriter captures the response code while passing Flush through —
+// the SSE handlers depend on the wrapped writer remaining an
+// http.Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

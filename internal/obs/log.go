@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime/debug"
+	"strings"
+)
+
+// NewLogger builds the binaries' structured logger: leveled, with a text
+// or JSON handler. level accepts the slog spellings ("debug", "info",
+// "warn", "error", case-insensitive, with optional offsets like
+// "info+2"); format is "text" or "json".
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("obs: bad log level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: bad log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// LogfLogger adapts a printf-style sink into a *slog.Logger — the bridge
+// that lets tests keep passing t.Logf while the packages under test log
+// structurally. Records render as "msg key=value ..." through one call
+// to logf.
+func LogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	return slog.New(&logfHandler{logf: logf})
+}
+
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs string
+}
+
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logfHandler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	b.WriteString(rec.Message)
+	b.WriteString(h.attrs)
+	rec.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	s := h.attrs
+	for _, a := range attrs {
+		s += fmt.Sprintf(" %s=%v", a.Key, a.Value)
+	}
+	return &logfHandler{logf: h.logf, attrs: s}
+}
+
+func (h *logfHandler) WithGroup(string) slog.Handler { return h }
+
+// BuildInfo summarises debug.ReadBuildInfo for status endpoints: the Go
+// toolchain, the main module version, and the VCS revision/time when the
+// binary was built from a checkout.
+func BuildInfo() map[string]string {
+	out := map[string]string{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["go"] = bi.GoVersion
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified":
+			out[s.Key] = s.Value
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_counter_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.Ratchet(2)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("Ratchet lowered the gauge: %d", got)
+	}
+	g.Ratchet(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("Ratchet did not raise the gauge: %d", got)
+	}
+}
+
+func TestRegistryIdempotentAndShapeChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h")
+	b := r.Counter("dup_total", "h")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	mustPanic(t, func() { r.Gauge("dup_total", "h") })
+	mustPanic(t, func() { r.Counter("bad name", "h") })
+	v := r.CounterVec("vec_total", "h", "k")
+	mustPanic(t, func() { v.With("a", "b") }) // key-count mismatch
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// TestConcurrentUpdatesDuringExposition hammers counters, gauges, vec
+// series and histograms from many goroutines while another goroutine
+// scrapes the registry — the -race proof that exposition takes no
+// snapshot the writers can tear.
+func TestConcurrentUpdatesDuringExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_counter_total", "h")
+	g := r.Gauge("conc_gauge", "h")
+	h := r.Histogram("conc_hist_us", "h")
+	vec := r.CounterVec("conc_vec_total", "h", "worker")
+	r.GaugeFunc("conc_func", "h", func() float64 { return float64(c.Load()) })
+
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if _, err := ParseText(&buf); err != nil {
+				t.Errorf("ParseText mid-write: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := vec.With(fmt.Sprintf("w%d", w))
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i%1000 + 1))
+				lane.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	snap := h.Snapshot()
+	if snap.Count() != writers*perWriter {
+		t.Fatalf("hist count = %d, want %d", snap.Count(), writers*perWriter)
+	}
+}
+
+// TestPrometheusRoundTrip writes a registry with every metric kind and
+// re-parses the exposition, checking names, label escaping and values —
+// including label values containing braces, commas and quotes, the shapes
+// real route labels produce.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_counter_total", "plain counter").Add(42)
+	r.Gauge("rt_gauge", "a gauge").Set(-7)
+	r.GaugeFunc("rt_func", "derived", func() float64 { return 1.5 })
+	h := r.Histogram("rt_hist_us", "latency")
+	for _, v := range []int64{1, 2, 3, 100, 10000} {
+		h.Observe(v)
+	}
+	vec := r.CounterVec("rt_requests_total", "by route", "route", "code")
+	vec.With("GET /api/v1/campaigns/{id}", "200").Add(3)
+	vec.With(`tricky,"va\lue`, "500").Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+
+	expect := map[string]float64{
+		"rt_counter_total": 42,
+		"rt_gauge":         -7,
+		"rt_func":          1.5,
+		"rt_hist_us_count": 5,
+		"rt_hist_us_sum":   10106,
+		`rt_requests_total{route="GET /api/v1/campaigns/{id}",code="200"}`: 3,
+		`rt_requests_total{route="tricky,\"va\\lue",code="500"}`:           1,
+	}
+	for k, want := range expect {
+		got, ok := samples[k]
+		if !ok {
+			t.Errorf("missing sample %q\n%s", k, text)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %g, want %g", k, got, want)
+		}
+	}
+	// Cumulative histogram buckets must end at +Inf with the full count.
+	if got := samples[`rt_hist_us_bucket{le="+Inf"}`]; got != 5 {
+		t.Errorf(`le="+Inf" bucket = %g, want 5`, got)
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_test_total", "h").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	samples, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["handler_test_total"] != 1 {
+		t.Fatalf("handler_test_total = %g", samples["handler_test_total"])
+	}
+}
+
+// BenchmarkCounterInc pins the hot-path contract: incrementing a counter
+// is one atomic add, zero allocations.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_counter_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if testing.AllocsPerRun(100, func() { c.Inc() }) != 0 {
+		b.Fatal("Counter.Inc allocates")
+	}
+}
+
+// BenchmarkVecWith pins the labeled fast path: looking up an interned
+// series and incrementing it stays allocation-free after the first use.
+func BenchmarkVecWith(b *testing.B) {
+	r := NewRegistry()
+	vec := r.CounterVec("bench_vec_total", "h", "k")
+	vec.With("hot").Inc() // intern
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vec.With("hot").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_hist_us", "h")
+	h.Observe(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i&1023 + 1))
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text-format exposition and returns its
+// samples keyed by the full series name (labels included, exactly as
+// written). It enforces the grammar the format promises — a TYPE line
+// before a family's first sample, valid metric names, parseable values,
+// balanced label braces — so the exposition tests are a real round trip,
+// not a substring grep. It is a verification helper, not a scrape client.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	typed := make(map[string]string) // family → declared type
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			if !validName(fields[2]) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", line, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", line, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s before its TYPE line", line, name)
+		}
+		key := name + labels
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", line, key)
+		}
+		samples[key] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional) and validates
+// each piece. The label scan is quote-aware: braces and commas inside
+// quoted values (HTTP route patterns contain both) do not terminate the
+// block, and backslash escapes are honored.
+func parseSample(text string) (name, labels string, value float64, err error) {
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", "", 0, fmt.Errorf("sample %q has no value", text)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", "", 0, fmt.Errorf("%w in %q", err, text)
+		}
+		labels = rest[:end]
+		rest = rest[end:]
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", text, err)
+	}
+	return name, labels, value, nil
+}
+
+// scanLabels validates a `{k="v",...}` block at the start of s and
+// returns the index one past its closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	if i < len(s) && s[i] == '}' {
+		return i + 1, nil
+	}
+	for {
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !validName(s[start:i]) {
+			return 0, fmt.Errorf("malformed label key %q", s[start:min(i, len(s))])
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value")
+		}
+		i++ // past opening quote
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i >= len(s) {
+			return 0, fmt.Errorf("unbalanced labels")
+		}
+		switch s[i] {
+		case ',':
+			i++
+		case '}':
+			return i + 1, nil
+		default:
+			return 0, fmt.Errorf("unexpected %q after label value", s[i])
+		}
+	}
+}

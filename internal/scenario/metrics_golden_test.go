@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"cliffedge/internal/obs"
+)
+
+// TestGoldenHashWithConcurrentScrape is the tentpole guarantee of the
+// observability layer: running the golden cascade with the metrics
+// registry being scraped concurrently — the worst plausible interference
+// — still reproduces the pinned trace hash at shard counts 1 and 8. The
+// kernel flushes its counters only after quiescence, so a scrape can
+// never observe (or perturb) a run in flight.
+func TestGoldenHashWithConcurrentScrape(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := obs.Default.WritePrometheus(&buf); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}()
+
+		spec := CascadeSpec(32, 32, 8, 8, 30, 7)
+		spec.Shards = shards
+		res, err := spec.Run()
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := traceHash(res.Events); got != goldenCascadeHash {
+			t.Fatalf("shards=%d: instrumented trace hash %#x != golden %#x (metrics perturbed the kernel)",
+				shards, got, goldenCascadeHash)
+		}
+	}
+
+	// The run just executed must have been counted — the flush really
+	// happened, it just happened outside the hot path.
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["cliffedge_sim_runs_total"] < 2 {
+		t.Fatalf("cliffedge_sim_runs_total = %g, want >= 2", samples["cliffedge_sim_runs_total"])
+	}
+	if samples["cliffedge_sim_events_total"] <= 0 {
+		t.Fatalf("cliffedge_sim_events_total = %g, want > 0", samples["cliffedge_sim_events_total"])
+	}
+}

@@ -72,6 +72,20 @@ func NewScheduler(workers int) *Scheduler {
 // Workers returns the pool size.
 func (sc *Scheduler) Workers() int { return sc.workers }
 
+// Queued counts jobs accepted but not yet dispatched across the active
+// tasks — the healthz backlog figure.
+func (sc *Scheduler) Queued() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	n := 0
+	for _, t := range sc.tasks {
+		if !t.finished && !t.cancelled {
+			n += len(t.Jobs) - t.cursor
+		}
+	}
+	return n
+}
+
 // Submit enters a task into the round-robin ring. The task's context
 // descends from the scheduler's, so Stop aborts its in-flight runs. A
 // task with no jobs — a resumed sweep whose grid had fully committed
@@ -84,6 +98,7 @@ func (sc *Scheduler) Submit(t *Task) {
 	}
 	t.ctx, t.cancel = context.WithCancel(sc.ctx)
 	sc.tasks = append(sc.tasks, t)
+	mSchedQueueDepth.Add(int64(len(t.Jobs)))
 	done := sc.maybeFinishLocked(t)
 	sc.cond.Broadcast()
 	sc.mu.Unlock()
@@ -172,6 +187,7 @@ func (sc *Scheduler) pickLocked() (*Task, campaign.Job, bool) {
 		job := t.Jobs[t.cursor]
 		t.cursor++
 		t.inflight++
+		mSchedQueueDepth.Add(-1)
 		sc.next = (idx + 1) % n
 		return t, job, true
 	}
@@ -193,6 +209,9 @@ func (sc *Scheduler) maybeFinishLocked(t *Task) func() {
 	}
 	t.finished = true
 	t.cancel()
+	// A cancelled task retires with its tail undispatched; give the
+	// depth gauge those jobs back (zero for completed tasks).
+	mSchedQueueDepth.Add(-int64(len(t.Jobs) - t.cursor))
 	// Compact the ring so long-retired tasks don't slow the scan.
 	live := sc.tasks[:0]
 	for _, c := range sc.tasks {
@@ -232,12 +251,17 @@ func (sc *Scheduler) worker() {
 		ctx := t.ctx
 		sc.mu.Unlock()
 
+		mSchedBusy.Add(1)
 		stats := t.Run(ctx, job)
+		mSchedBusy.Add(-1)
 		// A run aborted by cancellation or shutdown must not be persisted:
 		// its context-error stats would replay on resume as a completed
 		// job. Clean results are kept even when cancellation raced in
 		// after the run finished.
 		persist := ctx.Err() == nil || stats.Err == ""
+		if !persist {
+			mJobsAborted.Inc()
+		}
 		if t.Commit != nil {
 			t.Commit(job, stats, persist)
 		}

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -15,6 +15,7 @@ import (
 
 	"cliffedge"
 	"cliffedge/internal/campaign"
+	"cliffedge/internal/obs"
 	"cliffedge/internal/store"
 )
 
@@ -35,7 +36,12 @@ type Config struct {
 	// campaign.Job.TraceName). Like ClusterOptions it is runtime
 	// configuration: resumed sweeps inherit the server's current setting.
 	PersistTraces bool
-	// Logf receives operational log lines (nil: log.Printf).
+	// Logger receives operational log records (nil: Logf if set, else
+	// slog.Default).
+	Logger *slog.Logger
+	// Logf is the legacy printf sink, kept for tests that pass t.Logf;
+	// when set (and Logger is nil) it is adapted into a structured
+	// logger with obs.LogfLogger.
 	Logf func(format string, args ...any)
 	// now stamps campaign creation times (tests override; nil: time.Now).
 	now func() time.Time
@@ -46,10 +52,11 @@ type Config struct {
 // with NewServer, mount Handler, and Shutdown on exit — a SIGKILL
 // instead merely means the next start resumes every running sweep.
 type Server struct {
-	st    *store.Store
-	sched *Scheduler
-	cfg   Config
-	logf  func(format string, args ...any)
+	st      *store.Store
+	sched   *Scheduler
+	cfg     Config
+	log     *slog.Logger
+	started time.Time
 
 	mu     sync.Mutex
 	sweeps map[string]*Sweep // active (running) sweeps only
@@ -82,15 +89,20 @@ func NewServer(dataDir string, cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = log.Printf
+	logger := cfg.Logger
+	if logger == nil {
+		if cfg.Logf != nil {
+			logger = obs.LogfLogger(cfg.Logf)
+		} else {
+			logger = slog.Default()
+		}
 	}
 	s := &Server{
 		st:      st,
 		sched:   NewScheduler(cfg.Workers),
 		cfg:     cfg,
-		logf:    logf,
+		log:     logger,
+		started: time.Now(),
 		sweeps:  make(map[string]*Sweep),
 		owner:   make(map[string]string),
 		history: make(map[string][]Event),
@@ -112,12 +124,13 @@ func NewServer(dataDir string, cfg Config) (*Server, error) {
 		if err == nil {
 			var sw *Sweep
 			if sw, err = Open(st, m.ID, extra...); err == nil {
-				s.logf("serve: resumed campaign %s (%d/%d done)", m.ID, sw.Completed(), sw.Total())
+				s.log.Info("resumed campaign", "campaign", m.ID,
+					"completed", sw.Completed(), "total", sw.Total())
 				s.submit(sw, m.Client)
 				continue
 			}
 		}
-		s.logf("serve: cannot resume campaign %s: %v", m.ID, err)
+		s.log.Warn("cannot resume campaign", "campaign", m.ID, "err", err)
 	}
 	return s, nil
 }
@@ -180,6 +193,7 @@ func (s *Server) Shutdown() {
 	for _, sw := range s.sweeps {
 		sw.Close()
 	}
+	mActiveSweeps.Add(-int64(len(s.sweeps)))
 	s.sweeps = make(map[string]*Sweep)
 }
 
@@ -190,13 +204,14 @@ func (s *Server) submit(sw *Sweep, client string) {
 	s.sweeps[sw.ID] = sw
 	s.owner[sw.ID] = client
 	s.mu.Unlock()
+	mActiveSweeps.Add(1)
 	s.sched.Submit(&Task{
 		ID:   sw.ID,
 		Jobs: sw.Remaining(),
 		Run:  sw.RunJob,
 		Commit: func(job campaign.Job, stats campaign.RunStats, persist bool) {
 			if err := sw.Commit(job, stats, persist); err != nil {
-				s.logf("serve: campaign %s: commit: %v", sw.ID, err)
+				s.log.Error("commit failed", "campaign", sw.ID, "err", err)
 			}
 		},
 		Done: func(cancelled bool) {
@@ -207,11 +222,12 @@ func (s *Server) submit(sw *Sweep, client string) {
 				err = sw.Finish()
 			}
 			if err != nil {
-				s.logf("serve: campaign %s: finish: %v", sw.ID, err)
+				s.log.Error("finish failed", "campaign", sw.ID, "err", err)
 			}
-			s.logf("serve: campaign %s %s (%d/%d)", sw.ID,
-				map[bool]string{false: "done", true: "cancelled"}[cancelled],
-				sw.Completed(), sw.Total())
+			s.log.Info("campaign finished", "campaign", sw.ID,
+				"status", map[bool]string{false: "done", true: "cancelled"}[cancelled],
+				"completed", sw.Completed(), "total", sw.Total())
+			mActiveSweeps.Add(-1)
 			evs, _ := sw.EventsSince(0)
 			s.mu.Lock()
 			delete(s.sweeps, sw.ID)
@@ -228,13 +244,16 @@ func (s *Server) submit(sw *Sweep, client string) {
 	})
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in the per-route
+// request counter/latency middleware. /healthz answers 200 to any probe
+// that only reads the status code, and carries the JSON status document
+// for anyone who reads the body; /metrics is the Prometheus scrape
+// endpoint of the whole process (every instrumented layer, not just the
+// server).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler())
 	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
@@ -245,7 +264,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReportJSON)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report.json", s.handleReportJSON)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report.csv", s.handleReportCSV)
-	return mux
+	return obs.InstrumentHTTP(mux)
+}
+
+// handleHealthz serves the JSON status document: uptime, build info,
+// scheduler occupancy. Plain liveness probes keep reading just the 200.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	active := len(s.sweeps)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"uptime_seconds":   int64(time.Since(s.started).Seconds()),
+		"build":            obs.BuildInfo(),
+		"active_campaigns": active,
+		"queued_jobs":      s.sched.Queued(),
+		"workers":          s.sched.Workers(),
+	})
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -324,6 +359,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if active >= s.cfg.MaxPerClient {
 		s.mu.Unlock()
+		mAdmissionRejects.Inc()
 		httpError(w, http.StatusTooManyRequests,
 			"client %q already has %d active campaigns (limit %d)", client, active, s.cfg.MaxPerClient)
 		return
@@ -351,7 +387,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.logf("serve: campaign %s submitted by %q (%d jobs)", id, client, sw.Total())
+	s.log.Info("campaign submitted", "campaign", id, "client", client, "jobs", sw.Total())
 	s.submit(sw, client)
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id": id, "status": store.StatusRunning, "total": sw.Total(),
@@ -384,7 +420,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if s.sched.Cancel(id) {
-		s.logf("serve: campaign %s cancel requested", id)
+		s.log.Info("cancel requested", "campaign", id)
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": "cancelling"})
 		return
 	}
@@ -504,6 +540,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if since < 0 { // unparseable or hostile cursors read from the start
 		since = 0
 	}
+	if since > 0 {
+		mSSEReplays.Inc()
+	}
+	mSSESubscribers.Add(1)
+	defer mSSESubscribers.Add(-1)
 
 	s.mu.Lock()
 	sw := s.sweeps[id]

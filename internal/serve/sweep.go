@@ -239,6 +239,7 @@ func (s *Sweep) commitLocked(job campaign.Job, stats campaign.RunStats) error {
 	s.done[job] = true
 	s.appendEventLocked(job, stats)
 	s.wakeLocked()
+	publishCommit(stats)
 	return nil
 }
 

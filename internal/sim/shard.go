@@ -159,6 +159,8 @@ func (r *Runner) runSharded(ctx context.Context, lanes []*lane) error {
 				active = append(active, ln)
 			}
 		}
+		r.qWindows++
+		r.qLaneWindows += len(active)
 		if len(active) == 1 {
 			active[0].runWindow()
 		} else {

@@ -261,6 +261,10 @@ type Runner struct {
 	qMsgs, qDeliveries, qDrops, qBytes, qMaxRound int
 	qParticipants                                 graph.Bitset
 	endTime                                       int64
+	// Metrics accumulators, plain ints flushed once per run: events
+	// processed (summed from the lanes in mergeLanes), window barriers
+	// and active-lane windows (counted by the sharded driver).
+	qEvents, qWindows, qLaneWindows int
 }
 
 // NewRunner validates cfg and builds a Runner.
@@ -457,6 +461,7 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			stats.EndTime = r.endTime
 		}
 	}
+	r.publishRunMetrics(stats)
 	return &Result{
 		Events:    events,
 		Stats:     stats,
@@ -512,6 +517,7 @@ func (r *Runner) mergeLanes(lanes []*lane) {
 		if ln.now > r.endTime {
 			r.endTime = ln.now
 		}
+		r.qEvents += ln.processed
 	}
 }
 

@@ -1,0 +1,14 @@
+package store
+
+import "cliffedge/internal/obs"
+
+var (
+	mAppends = obs.NewCounter("cliffedge_store_appends_total",
+		"Records appended to segment logs.")
+	mAppendBytes = obs.NewCounter("cliffedge_store_append_bytes_total",
+		"Bytes written to segment logs, frames included.")
+	mRecoveries = obs.NewCounter("cliffedge_store_recoveries_total",
+		"Torn or corrupt segment tails truncated away at open.")
+	mSegmentsOpened = obs.NewCounter("cliffedge_store_segments_opened_total",
+		"Segment logs opened (creation and replay both count).")
+)

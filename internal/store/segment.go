@@ -52,6 +52,10 @@ func OpenSegment(path string) (*Segment, [][]byte, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	mSegmentsOpened.Inc()
+	if fi, err := f.Stat(); err == nil && fi.Size() > clean {
+		mRecoveries.Inc()
+	}
 	if err := f.Truncate(clean); err != nil {
 		f.Close()
 		return nil, nil, err
@@ -116,6 +120,10 @@ func (s *Segment) Append(payload []byte) error {
 	s.buf = binary.LittleEndian.AppendUint32(s.buf, crc32.ChecksumIEEE(payload))
 	s.buf = append(s.buf, payload...)
 	_, err := s.f.Write(s.buf)
+	if err == nil {
+		mAppends.Inc()
+		mAppendBytes.Add(uint64(len(s.buf)))
+	}
 	return err
 }
 

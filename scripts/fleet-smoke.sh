@@ -104,6 +104,31 @@ cmp "$REF" "$WORK/fleet.json" || {
 }
 echo "fleet-smoke: merged report byte-identical to single-box reference"
 
+# The coordinator's metrics must account for the whole fleet: every run
+# merged exactly once, the kill visible as re-lease traffic, and the
+# re-run shards' overlap absorbed as dedups rather than double commits.
+curl -fsS "$CBASE/metrics" | python3 -c '
+import sys
+samples = {}
+for line in sys.stdin:
+    if line.startswith("#") or not line.strip():
+        continue
+    name, _, value = line.rpartition(" ")
+    samples[name] = float(value)
+assert samples.get("cliffedge_fleet_records_merged_total", 0) == 30000, \
+    "records merged %r != 30000" % samples.get("cliffedge_fleet_records_merged_total")
+assert samples.get("cliffedge_fleet_shard_leases_total", 0) >= 12, \
+    "leases %r < 12 shards" % samples.get("cliffedge_fleet_shard_leases_total")
+assert samples.get("cliffedge_fleet_shard_reassignments_total", 0) > 0, \
+    "kill produced no re-lease in metrics"
+assert samples.get("cliffedge_store_recoveries_total") == 0, \
+    "coordinator store reported recoveries: %r" % samples.get("cliffedge_store_recoveries_total")
+print("fleet-smoke: coordinator /metrics: %d records merged, %d dedup, %d re-leases"
+      % (samples["cliffedge_fleet_records_merged_total"],
+         samples.get("cliffedge_fleet_records_deduped_total", 0),
+         samples["cliffedge_fleet_shard_reassignments_total"]))
+'
+
 curl -fsS "$CBASE/api/v1/fleets/$ID" | python3 -c '
 import json, sys
 doc = json.load(sys.stdin)

@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:18436
 BASE="http://$ADDR"
+DEBUG=127.0.0.1:18437
 DATA=$(mktemp -d)
 LOG1=$(mktemp)
 LOG2=$(mktemp)
@@ -32,7 +33,7 @@ wait_healthy() {
     return 1
 }
 
-"$BIN" -addr "$ADDR" -store "$DATA" -workers 2 >"$LOG1" 2>&1 &
+"$BIN" -addr "$ADDR" -store "$DATA" -workers 2 -debug-addr "$DEBUG" >"$LOG1" 2>&1 &
 PID=$!
 wait_healthy
 
@@ -51,6 +52,32 @@ if [ "$(printf '%s\n' "$SEEN" | wc -l)" -lt 5 ]; then
     echo "serve-smoke: saw fewer than 5 SSE results before interrupting" >&2
     exit 1
 fi
+# Mid-sweep, the metrics endpoint must already show committed work on a
+# fresh store (no torn-tail recoveries), and the pprof side listener must
+# answer.
+curl -fsS "$BASE/metrics" | python3 -c '
+import sys
+samples = {}
+for line in sys.stdin:
+    if line.startswith("#") or not line.strip():
+        continue
+    name, _, value = line.rpartition(" ")
+    samples[name] = float(value)
+assert samples.get("cliffedge_serve_jobs_committed_total", 0) > 0, \
+    "no jobs committed: %r" % samples.get("cliffedge_serve_jobs_committed_total")
+assert samples.get("cliffedge_sim_runs_total", 0) > 0, \
+    "no sim runs counted: %r" % samples.get("cliffedge_sim_runs_total")
+assert samples.get("cliffedge_store_appends_total", 0) > 0, \
+    "no store appends counted: %r" % samples.get("cliffedge_store_appends_total")
+assert samples.get("cliffedge_store_recoveries_total") == 0, \
+    "fresh store reported recoveries: %r" % samples.get("cliffedge_store_recoveries_total")
+print("serve-smoke: /metrics live mid-sweep: %d jobs committed, 0 recoveries"
+      % samples["cliffedge_serve_jobs_committed_total"])
+'
+curl -fsS "http://$DEBUG/debug/pprof/" >/dev/null
+curl -fsS "http://$DEBUG/metrics" | grep -q '^cliffedge_serve_jobs_committed_total '
+echo "serve-smoke: pprof and metrics answering on -debug-addr"
+
 kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 echo "serve-smoke: SIGKILLed mid-sweep"
@@ -58,7 +85,7 @@ echo "serve-smoke: SIGKILLed mid-sweep"
 "$BIN" -addr "$ADDR" -store "$DATA" -workers 2 >"$LOG2" 2>&1 &
 PID=$!
 wait_healthy
-grep -q "resumed campaign $ID" "$LOG2" || {
+grep "resumed campaign" "$LOG2" | grep -q "campaign=$ID" || {
     echo "serve-smoke: restart did not resume $ID" >&2
     cat "$LOG2" >&2
     exit 1
